@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz experiments cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over every parser.
+fuzz:
+	$(GO) test ./internal/hypergraph -fuzz FuzzReadHGR -fuzztime 30s
+	$(GO) test ./internal/hypergraph -fuzz FuzzReadNetlist -fuzztime 30s
+	$(GO) test ./internal/hypergraph -fuzz FuzzReadBookshelf -fuzztime 30s
+
+# Regenerate every paper table at full size.
+experiments:
+	$(GO) run igpart/cmd/experiments
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out

@@ -1,0 +1,127 @@
+// Command igpart partitions a netlist file with a chosen algorithm and
+// prints the resulting metrics (and optionally the assignment).
+//
+// Usage:
+//
+//	igpart -in design.hgr [-algo igmatch|igvote|eig1|rcut|kl|refined|condensed]
+//	       [-starts 10] [-seed 1] [-assign] [-stats]
+//
+// The input format is selected by extension: ".hgr" for the hMETIS-style
+// format, anything else for the named module/net format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"igpart"
+	"igpart/internal/fm"
+	"igpart/internal/hypergraph"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input netlist path (.hgr or named format)")
+		nodes  = flag.String("nodes", "", "Bookshelf .nodes path (use with -nets instead of -in)")
+		nets   = flag.String("nets", "", "Bookshelf .nets path (use with -nodes instead of -in)")
+		algo   = flag.String("algo", "igmatch", "algorithm: igmatch, igvote, eig1, rcut, kl, refined, condensed, multiway")
+		k      = flag.Int("k", 4, "part count for -algo multiway")
+		starts = flag.Int("starts", 10, "random starts for rcut")
+		seed   = flag.Int64("seed", 1, "seed for randomized algorithms")
+		assign = flag.Bool("assign", false, "print the per-module side assignment")
+		stats  = flag.Bool("stats", false, "print netlist statistics before partitioning")
+		fixIn  = flag.String("fix", "", "hMETIS .fix file pinning modules to sides; applied with FM refinement after the chosen algorithm")
+	)
+	flag.Parse()
+	var h *igpart.Netlist
+	var err error
+	switch {
+	case *in != "":
+		h, err = igpart.Load(*in)
+	case *nodes != "" && *nets != "":
+		h, err = igpart.LoadBookshelf(*nodes, *nets)
+	default:
+		fmt.Fprintln(os.Stderr, "igpart: need -in, or -nodes with -nets")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Println(hypergraph.ComputeStats(h))
+	}
+
+	var res igpart.Result
+	switch *algo {
+	case "igmatch":
+		r, err := igpart.IGMatch(h)
+		if err != nil {
+			fatal(err)
+		}
+		res = r.Result
+		fmt.Printf("lambda2=%.6g split=%d/%d matching-bound=%d\n",
+			r.Lambda2, r.BestRank, h.NumNets(), r.MatchingBound)
+	case "igvote":
+		res, err = igpart.IGVote(h)
+	case "eig1":
+		res, err = igpart.EIG1(h)
+	case "rcut":
+		res, err = igpart.RCut(h, *starts, *seed)
+	case "kl":
+		res, err = igpart.KL(h, *seed)
+	case "refined":
+		res, err = igpart.Refined(h)
+	case "condensed":
+		res, err = igpart.Condensed(h)
+	case "multiway":
+		mw, err := igpart.Multiway(h, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("multiway: k=%d sizes=%v spanning=%d connectivity=%d ratio=%.5g\n",
+			mw.K, mw.PartSizesSorted(), mw.SpanningNets, mw.Connectivity, mw.RatioValue)
+		if *assign {
+			for v := 0; v < h.NumModules(); v++ {
+				fmt.Printf("%s %d\n", h.ModuleName(v), mw.Part[v])
+			}
+		}
+		return
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *fixIn != "" {
+		fix, err := hypergraph.LoadFix(*fixIn, h.NumModules(), 2)
+		if err != nil {
+			fatal(err)
+		}
+		for v, part := range fix.Part {
+			if part == 0 {
+				res.Partition.Set(v, igpart.U)
+			} else if part == 1 {
+				res.Partition.Set(v, igpart.W)
+			}
+		}
+		met, _, err := fm.RefinePartition(h, res.Partition, fm.Options{Fixed: fix.Mask()})
+		if err != nil {
+			fatal(err)
+		}
+		res.Metrics = met
+		fmt.Printf("applied %d pinned modules from %s\n", fix.NumFixed(), *fixIn)
+	}
+	fmt.Printf("%s: %v\n", *algo, res.Metrics)
+	if *assign {
+		for v := 0; v < h.NumModules(); v++ {
+			fmt.Printf("%s %v\n", h.ModuleName(v), res.Partition.Side(v))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "igpart:", err)
+	os.Exit(1)
+}

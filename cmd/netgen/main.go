@@ -1,0 +1,83 @@
+// Command netgen emits synthetic benchmark circuits in either netlist
+// format, standing in for the MCNC suite of the paper's evaluation.
+//
+// Usage:
+//
+//	netgen -bench Prim2 -out prim2.hgr            # a named preset
+//	netgen -modules 1000 -nets 1100 -seed 7 -out c.hgr
+//	netgen -list                                   # show presets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"igpart"
+	"igpart/internal/hypergraph"
+	"igpart/internal/netgen"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark preset name (see -list)")
+		list      = flag.Bool("list", false, "list benchmark presets and exit")
+		modules   = flag.Int("modules", 0, "module count (custom circuit)")
+		nets      = flag.Int("nets", 0, "net count (custom circuit)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		locality  = flag.Float64("locality", 0, "hierarchy locality (0 = default 0.93)")
+		hubProb   = flag.Float64("hubs", 0, "per-net hub pickup probability (0 = off)")
+		scale     = flag.Float64("scale", 1, "scale factor applied to preset sizes")
+		out       = flag.String("out", "", "output path (.hgr or named format); stdout if empty")
+		stats     = flag.Bool("stats", false, "print circuit statistics to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range netgen.Benchmarks {
+			fmt.Printf("%-8s %5d modules %5d nets\n", c.Name, c.Modules, c.Nets)
+		}
+		return
+	}
+
+	var cfg netgen.Config
+	switch {
+	case *benchName != "":
+		c, ok := netgen.ByName(*benchName)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q (try -list)", *benchName))
+		}
+		cfg = c.Scaled(*scale)
+	case *modules > 0 && *nets > 0:
+		cfg = netgen.Config{Name: "custom", Modules: *modules, Nets: *nets}
+	default:
+		fmt.Fprintln(os.Stderr, "netgen: need -bench or -modules/-nets")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+	cfg.Locality = *locality
+	cfg.HubProb = *hubProb
+
+	h, err := netgen.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, hypergraph.ComputeStats(h))
+	}
+	if *out == "" {
+		if err := hypergraph.WriteHGR(os.Stdout, h); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := igpart.Save(*out, h); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command netstats analyzes a netlist: size summary, net-size histogram
+// (the layout of the paper's Table 1, before partitioning), connectivity,
+// and the clique-vs-intersection-graph sparsity comparison of Section 1.2.
+//
+// Usage:
+//
+//	netstats -in design.hgr [-lambda2]
+//	netstats -nodes d.nodes -nets d.nets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"igpart"
+	"igpart/internal/eigen"
+	"igpart/internal/hypergraph"
+	"igpart/internal/netmodel"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input netlist path (.hgr or named format)")
+		nodes   = flag.String("nodes", "", "Bookshelf .nodes path")
+		nets    = flag.String("nets", "", "Bookshelf .nets path")
+		lambda2 = flag.Bool("lambda2", false, "also compute the IG Laplacian's second eigenvalue")
+	)
+	flag.Parse()
+
+	var h *igpart.Netlist
+	var err error
+	switch {
+	case *in != "":
+		h, err = igpart.Load(*in)
+	case *nodes != "" && *nets != "":
+		h, err = igpart.LoadBookshelf(*nodes, *nets)
+	default:
+		fmt.Fprintln(os.Stderr, "netstats: need -in, or -nodes with -nets")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netstats:", err)
+		os.Exit(1)
+	}
+
+	s := hypergraph.ComputeStats(h)
+	fmt.Println(s)
+	_, comps := hypergraph.ConnectedComponents(h)
+	fmt.Printf("connected components: %d\n", comps)
+
+	sp := netmodel.CompareSparsity(h)
+	fmt.Printf("nonzeros: clique=%d ig=%d (clique/ig = %.2f)\n",
+		sp.CliqueNonzeros, sp.IGNonzeros, sp.Ratio)
+
+	fmt.Println("\nnet-size histogram:")
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "Net Size\tNumber of Nets\t")
+	for _, row := range s.SizeHistogramRows() {
+		fmt.Fprintf(w, "%d\t%d\t\n", row[0], row[1])
+	}
+	w.Flush()
+
+	if *lambda2 {
+		q := netmodel.IGLaplacian(h, netmodel.IGOptions{})
+		res, err := eigen.Fiedler(q, eigen.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netstats: eigensolve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nIG lambda2 = %.6g (ratio-cut lower bound λ2/m = %.3g)\n",
+			res.Lambda2, res.Lambda2/float64(h.NumNets()))
+	}
+}

@@ -1,0 +1,58 @@
+// Benchmarksweep: run the four partitioners of the paper's evaluation over
+// the synthetic benchmark suite and print a Table 2/3-style comparison.
+// Pass a scale factor to shrink the circuits (default 0.25 keeps the whole
+// sweep under a minute).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"text/tabwriter"
+
+	"igpart"
+)
+
+func main() {
+	scale := 0.25
+	if len(os.Args) > 1 {
+		s, err := strconv.ParseFloat(os.Args[1], 64)
+		if err != nil {
+			log.Fatalf("bad scale %q: %v", os.Args[1], err)
+		}
+		scale = s
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Test\tmodules\tIG-Match\tIG-Vote\tEIG1\tRCut(10)\t")
+	for _, name := range igpart.BenchmarkNames() {
+		cfg, _ := igpart.Benchmark(name)
+		h, err := igpart.Generate(cfg.Scaled(scale))
+		if err != nil {
+			log.Fatal(err)
+		}
+		igm, err := igpart.IGMatch(h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		igv, err := igpart.IGVote(h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e1, err := igpart.EIG1(h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rc, err := igpart.RCut(h, 10, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.3g\t%.3g\t%.3g\t%.3g\t\n",
+			name, h.NumModules(),
+			igm.Metrics.RatioCut, igv.Metrics.RatioCut,
+			e1.Metrics.RatioCut, rc.Metrics.RatioCut)
+	}
+	w.Flush()
+	fmt.Println("\n(ratio-cut cost; lower is better — IG-Match should win or tie every row)")
+}

@@ -1,0 +1,81 @@
+// Splitsweep: visualize the IG-Match main loop (Figures 2 and 5–7 of the
+// paper). As nets migrate from L to R in eigenvector order, the induced
+// bipartite conflict graph's maximum matching bounds the completed cut; the
+// sweep's ratio-cut profile shows where the natural partition lives. The
+// example prints an ASCII profile of matching size and completed ratio cut
+// against the split rank.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"igpart/internal/core"
+	"igpart/internal/netgen"
+)
+
+func main() {
+	cfg, _ := netgen.ByName("Prim1")
+	h, err := netgen.Generate(cfg.Scaled(0.5))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var trace []core.SplitRecord
+	res, err := core.Partition(h, core.Options{Trace: &trace})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit: %d modules, %d nets\n", h.NumModules(), h.NumNets())
+	fmt.Printf("best split: rank %d of %d, %v (matching bound %d)\n\n",
+		res.BestRank, h.NumNets(), res.Metrics, res.BestMatching)
+
+	// Downsample the sweep into 40 buckets and plot min ratio + matching.
+	const buckets = 40
+	fmt.Println("rank     matching  best-ratio   profile (log scale, * = best bucket)")
+	bestBucket := res.BestRank * buckets / len(trace)
+	for bkt := 0; bkt < buckets; bkt++ {
+		lo := bkt * len(trace) / buckets
+		hi := (bkt + 1) * len(trace) / buckets
+		if lo >= hi {
+			continue
+		}
+		minRatio := math.Inf(1)
+		maxMatch := 0
+		for _, rec := range trace[lo:hi] {
+			if rec.RatioCut > 0 && !math.IsInf(rec.RatioCut, 1) && rec.RatioCut < minRatio {
+				minRatio = rec.RatioCut
+			}
+			if rec.MatchingSize > maxMatch {
+				maxMatch = rec.MatchingSize
+			}
+		}
+		bar := ""
+		if !math.IsInf(minRatio, 1) {
+			// Log-scale bar: shorter is better.
+			n := int(8 * (math.Log10(minRatio) + 5)) // 1e-5 -> 0, 1e-1 -> 32
+			if n < 0 {
+				n = 0
+			}
+			if n > 48 {
+				n = 48
+			}
+			bar = strings.Repeat("#", n)
+		}
+		marker := " "
+		if bkt == bestBucket {
+			marker = "*"
+		}
+		fmt.Printf("%5d %s %8d  %10.3g   %s\n", trace[lo].Rank, marker, maxMatch, minRatio, bar)
+	}
+
+	// The Theorem 5 invariant holds at every split.
+	for _, rec := range trace {
+		if rec.CutNets >= 0 && rec.CutNets > rec.MatchingSize {
+			log.Fatalf("rank %d: cut %d exceeds matching %d", rec.Rank, rec.CutNets, rec.MatchingSize)
+		}
+	}
+	fmt.Println("\nTheorem 5 verified at every split: completed cut ≤ |maximum matching|")
+}

@@ -1,0 +1,3 @@
+module igpart
+
+go 1.22

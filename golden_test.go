@@ -1,0 +1,64 @@
+package igpart
+
+import "testing"
+
+// TestGoldenDeterminism pins the integer outcomes (cut, sizes, bound) of
+// every deterministic algorithm on a fixed seeded circuit. It protects the
+// reproduction against silent behavioral drift: any change to the
+// generator, eigensolver ordering, sweep, or completions that alters
+// results must consciously update these numbers.
+//
+// Only integer metrics are pinned; floating-point ratio values follow from
+// them exactly.
+func TestGoldenDeterminism(t *testing.T) {
+	cfg, _ := Benchmark("Prim1")
+	h, err := Generate(cfg.Scaled(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumModules() != 249 || h.NumNets() != 270 || h.NumPins() != 1055 {
+		t.Fatalf("generator drift: %d modules %d nets %d pins",
+			h.NumModules(), h.NumNets(), h.NumPins())
+	}
+
+	type golden struct {
+		cut, sizeU, sizeW int
+	}
+	check := func(name string, got Metrics, want golden) {
+		t.Helper()
+		if got.CutNets != want.cut || got.SizeU != want.sizeU || got.SizeW != want.sizeW {
+			t.Errorf("%s drift: got cut=%d %d:%d, golden cut=%d %d:%d",
+				name, got.CutNets, got.SizeU, got.SizeW, want.cut, want.sizeU, want.sizeW)
+		}
+	}
+
+	ig, err := IGMatch(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("IGMatch", ig.Metrics, golden{cut: 11, sizeU: 125, sizeW: 124})
+
+	iv, err := IGVote(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("IGVote", iv.Metrics, golden{cut: 11, sizeU: 132, sizeW: 117})
+
+	e1, err := EIG1(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("EIG1", e1.Metrics, golden{cut: 11, sizeU: 125, sizeW: 124})
+
+	rc, err := RCut(h, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("RCut", rc.Metrics, golden{cut: 13, sizeU: 182, sizeW: 67})
+
+	dm, err := IGDiam(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("IGDiam", dm.Metrics, golden{cut: 6, sizeU: 24, sizeW: 225})
+}

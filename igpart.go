@@ -1,0 +1,348 @@
+// Package igpart is a circuit netlist partitioning library built around
+// intersection-graph spectral partitioning: the IG-Match algorithm of Cong,
+// Hagen and Kahng ("Net Partitions Yield Better Module Partitions", DAC
+// 1992), together with the baselines it was evaluated against and the
+// substrates they all share.
+//
+// A netlist is a hypergraph: modules (gates, cells) are vertices and signal
+// nets are hyperedges. IG-Match partitions the *nets* first — it sorts the
+// second eigenvector of the Laplacian of the netlist's intersection graph
+// (one vertex per net, edges between nets sharing a module), sweeps every
+// split of that ordering, and completes each net bipartition into a module
+// bipartition with a maximum-matching computation that provably cuts no
+// more nets than the matching size. The best ratio-cut completion wins.
+//
+// Quick start:
+//
+//	h, err := igpart.Load("design.hgr")          // or igpart.NewBuilder()
+//	res, err := igpart.IGMatch(h)
+//	fmt.Println(res.Metrics)                      // areas, net cut, ratio cut
+//
+// The package also provides:
+//
+//   - IGVote, EIG1, RCut, KL: the comparison algorithms from the paper.
+//   - Refined and Condensed: the Section 5 hybrid flows (FM polishing and
+//     cluster condensation).
+//   - Generate: a synthetic benchmark generator reproducing the structural
+//     properties of the MCNC circuits the paper evaluates on.
+//
+// Everything is deterministic for a fixed seed; IG-Match itself needs no
+// seed at all (a single run suffices — the stability property the paper
+// emphasizes over multi-start iterative methods).
+package igpart
+
+import (
+	"igpart/internal/anneal"
+	"igpart/internal/cluster"
+	"igpart/internal/core"
+	"igpart/internal/eigen"
+	"igpart/internal/flow"
+	"igpart/internal/fm"
+	"igpart/internal/hypergraph"
+	"igpart/internal/igdiam"
+	"igpart/internal/igvote"
+	"igpart/internal/kl"
+	"igpart/internal/multiway"
+	"igpart/internal/netgen"
+	"igpart/internal/netmodel"
+	"igpart/internal/partition"
+	"igpart/internal/place"
+	"igpart/internal/refine"
+	"igpart/internal/spectral"
+)
+
+// Netlist is a circuit hypergraph: modules connected by multi-pin signal
+// nets. Construct one with NewBuilder, Load, or Generate.
+type Netlist = hypergraph.Hypergraph
+
+// Builder assembles a Netlist incrementally.
+type Builder = hypergraph.Builder
+
+// Bipartition assigns each module to side U or W.
+type Bipartition = partition.Bipartition
+
+// Metrics reports net cut, side sizes, and ratio cut for a bipartition.
+type Metrics = partition.Metrics
+
+// Side identifies a partition side.
+type Side = partition.Side
+
+// The two sides of a bipartition.
+const (
+	U = partition.U
+	W = partition.W
+)
+
+// GenConfig parameterizes the synthetic benchmark generator.
+type GenConfig = netgen.Config
+
+// WeightScheme selects the intersection-graph edge weighting.
+type WeightScheme = netmodel.WeightScheme
+
+// The available intersection-graph weightings (SchemePaper is the formula
+// from Section 2.2 of the paper).
+const (
+	SchemePaper   = netmodel.SchemePaper
+	SchemeUnit    = netmodel.SchemeUnit
+	SchemeOverlap = netmodel.SchemeOverlap
+	SchemeMinSize = netmodel.SchemeMinSize
+)
+
+// NewBuilder returns an empty netlist builder.
+func NewBuilder() *Builder { return hypergraph.NewBuilder() }
+
+// Load reads a netlist from disk (.hgr for the hMETIS-style format,
+// anything else for the named `module`/`net` format).
+func Load(path string) (*Netlist, error) { return hypergraph.LoadFile(path) }
+
+// Save writes a netlist to disk, dispatching on extension like Load.
+func Save(path string, h *Netlist) error { return hypergraph.SaveFile(path, h) }
+
+// Generate produces a synthetic benchmark circuit.
+func Generate(cfg GenConfig) (*Netlist, error) { return netgen.Generate(cfg) }
+
+// Benchmark returns the named preset from the paper's evaluation suite
+// (bm1, 19ks, Prim1, Prim2, Test02–Test06) — see BenchmarkNames.
+func Benchmark(name string) (GenConfig, bool) { return netgen.ByName(name) }
+
+// BenchmarkNames lists the benchmark presets in the paper's table order.
+func BenchmarkNames() []string { return netgen.Names() }
+
+// Evaluate computes the metric set of p on h.
+func Evaluate(h *Netlist, p *Bipartition) Metrics { return partition.Evaluate(h, p) }
+
+// NewBipartition returns a bipartition of n modules, all on side U.
+func NewBipartition(n int) *Bipartition { return partition.New(n) }
+
+// IsNetCut reports whether net e has pins on both sides of p.
+func IsNetCut(h *Netlist, p *Bipartition, e int) bool { return partition.IsNetCut(h, p, e) }
+
+// Result is the common shape returned by every partitioner in this package.
+type Result struct {
+	// Partition is the module bipartition found.
+	Partition *Bipartition
+	// Metrics evaluates Partition on the input netlist.
+	Metrics Metrics
+}
+
+// IGMatchOptions tunes IGMatch.
+type IGMatchOptions struct {
+	// Scheme selects the intersection-graph edge weighting
+	// (default SchemePaper).
+	Scheme WeightScheme
+	// Threshold, when positive, excludes nets above this size from the
+	// eigensolve's intersection graph (sparsification; completions remain
+	// exact).
+	Threshold int
+	// RecursionDepth enables the recursive completion extension.
+	RecursionDepth int
+	// Seed seeds the Lanczos starting vector (results are deterministic per
+	// seed; the default seed is fine for production use).
+	Seed int64
+	// BlockSize selects the block Lanczos engine with the given block width
+	// when > 1 — the paper's solver family, more robust on clustered or
+	// degenerate eigenvalues. ≤ 1 uses single-vector Lanczos.
+	BlockSize int
+}
+
+// IGMatchResult extends Result with IG-Match-specific detail.
+type IGMatchResult struct {
+	Result
+	// Lambda2 is the second-smallest eigenvalue of the intersection-graph
+	// Laplacian.
+	Lambda2 float64
+	// NetOrder is the eigenvector-sorted net ordering driving the sweep.
+	NetOrder []int
+	// BestRank is the winning split position in NetOrder.
+	BestRank int
+	// MatchingBound is the maximum-matching size at the winning split — a
+	// certified upper bound on the nets the completion cut (Theorem 5).
+	MatchingBound int
+}
+
+// IGMatch partitions h with the paper's IG-Match algorithm.
+func IGMatch(h *Netlist, opts ...IGMatchOptions) (IGMatchResult, error) {
+	var o IGMatchOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	res, err := core.Partition(h, core.Options{
+		IG:             netmodel.IGOptions{Scheme: o.Scheme, Threshold: o.Threshold},
+		Eigen:          eigen.Options{Seed: o.Seed, BlockSize: o.BlockSize},
+		RecursionDepth: o.RecursionDepth,
+	})
+	if err != nil {
+		return IGMatchResult{}, err
+	}
+	return IGMatchResult{
+		Result:        Result{Partition: res.Partition, Metrics: res.Metrics},
+		Lambda2:       res.Lambda2,
+		NetOrder:      res.NetOrder,
+		BestRank:      res.BestRank,
+		MatchingBound: res.BestMatching,
+	}, nil
+}
+
+// IGVote partitions h with the Hagen–Kahng IG-Vote heuristic (the EIG1-IG
+// algorithm of the paper's Appendix B).
+func IGVote(h *Netlist) (Result, error) {
+	res, err := igvote.Partition(h, igvote.Options{})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Partition: res.Partition, Metrics: res.Metrics}, nil
+}
+
+// EIG1 partitions h with the Hagen–Kahng module-side spectral heuristic
+// (clique net model, sorted Fiedler vector, best ratio-cut split).
+func EIG1(h *Netlist) (Result, error) {
+	res, err := spectral.Partition(h, spectral.Options{})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Partition: res.Partition, Metrics: res.Metrics}, nil
+}
+
+// RCut partitions h with the multi-start FM-style ratio-cut optimizer
+// standing in for Wei–Cheng RCut1.0. starts ≤ 0 selects the paper's
+// best-of-10.
+func RCut(h *Netlist, starts int, seed int64) (Result, error) {
+	if starts <= 0 {
+		starts = 10
+	}
+	res, err := fm.RatioCut(h, fm.Options{Starts: starts, Seed: seed})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Partition: res.Partition, Metrics: res.Metrics}, nil
+}
+
+// IGDiam partitions h with the diameter-based intersection-graph heuristic
+// (Kahng, DAC 1989 — the earliest IG partitioner the paper cites).
+func IGDiam(h *Netlist) (Result, error) {
+	res, err := igdiam.Partition(h)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Partition: res.Partition, Metrics: res.Metrics}, nil
+}
+
+// KL bisects h with Kernighan–Lin on the clique-model graph.
+func KL(h *Netlist, seed int64) (Result, error) {
+	res, err := kl.Bisect(h, kl.Options{Seed: seed})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Partition: res.Partition, Metrics: res.Metrics}, nil
+}
+
+// Anneal partitions h with simulated annealing on the ratio-cut objective
+// (the stochastic class of Section 1.1).
+func Anneal(h *Netlist, seed int64) (Result, error) {
+	res, err := anneal.RatioCut(h, anneal.Options{Seed: seed})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Partition: res.Partition, Metrics: res.Metrics}, nil
+}
+
+// MinCut finds a small net cut by max-flow over a few well-spread
+// source/sink pairs — the Section 1.1 "Minimum Cut" formulation. The cut
+// is provably minimum for the best pair tried; as the paper notes, it
+// usually divides the circuit very unevenly.
+func MinCut(h *Netlist) (Result, error) {
+	res, err := flow.BestOverPairs(h, 6)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Partition: res.Partition, Metrics: res.Metrics}, nil
+}
+
+// MinNetCutBetween computes the exact minimum net cut separating modules s
+// and t (max-flow/min-cut on the net-splitting gadget network).
+func MinNetCutBetween(h *Netlist, s, t int) (Result, int, error) {
+	res, err := flow.MinNetCut(h, s, t)
+	if err != nil {
+		return Result{}, 0, err
+	}
+	return Result{Partition: res.Partition, Metrics: res.Metrics}, res.MaxFlow, nil
+}
+
+// Refined runs IG-Match and polishes the result with ratio-cut FM passes
+// (the Section 5 hybrid). The refined result is never worse than the pure
+// spectral one.
+func Refined(h *Netlist) (Result, error) {
+	res, err := refine.IGMatchFM(h, core.Options{}, fm.Options{})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Partition: res.Partition, Metrics: res.Refined}, nil
+}
+
+// Condensed runs the cluster-condensation pipeline: coarsen by heavy
+// matching, IG-Match on the coarse circuit, project, FM-polish.
+func Condensed(h *Netlist) (Result, error) {
+	res, err := cluster.Partition(h, cluster.Options{})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Partition: res.Partition, Metrics: res.Metrics}, nil
+}
+
+// Sparsity compares the clique-model and intersection-graph representation
+// sizes of h (stored off-diagonal nonzeros).
+type Sparsity = netmodel.Sparsity
+
+// CompareSparsity builds both net models of h and reports their sizes.
+func CompareSparsity(h *Netlist) Sparsity { return netmodel.CompareSparsity(h) }
+
+// MultiwayResult is a k-way partition with its quality metrics (spanning
+// nets, connectivity, multiway ratio value).
+type MultiwayResult = multiway.Result
+
+// Multiway produces a k-way partition of h by recursive IG-Match bisection.
+func Multiway(h *Netlist, k int) (MultiwayResult, error) {
+	return multiway.Partition(h, multiway.Options{K: k})
+}
+
+// EvaluateMultiway computes the multiway metrics for an arbitrary part
+// assignment with parts 0..k−1.
+func EvaluateMultiway(h *Netlist, part []int, k int) MultiwayResult {
+	return multiway.Evaluate(h, part, k)
+}
+
+// Placement holds 1-D or 2-D coordinates for modules or nets.
+type Placement = place.Placement
+
+// PlaceHall1D computes Hall's one-dimensional quadratic placement of the
+// modules (Appendix A of the paper) and returns it with λ₂, the optimal
+// objective value.
+func PlaceHall1D(h *Netlist) (Placement, float64, error) {
+	return place.Hall1D(h, place.Options{})
+}
+
+// PlaceHall2D computes Hall's two-dimensional placement from eigenvectors
+// 2 and 3 of the module Laplacian.
+func PlaceHall2D(h *Netlist) (Placement, [2]float64, error) {
+	return place.Hall2D(h, place.Options{})
+}
+
+// PlaceNetsAsPoints embeds the nets in 2-D via the intersection graph and
+// drops each module at the centroid of its nets (the Pillage–Rohrer
+// construction cited in Section 2.2).
+func PlaceNetsAsPoints(h *Netlist) (nets, modules Placement, err error) {
+	return place.NetsAsPoints2D(h, place.Options{})
+}
+
+// HPWL evaluates the half-perimeter wirelength of a module placement.
+func HPWL(h *Netlist, p Placement) float64 { return place.HPWL(h, p) }
+
+// LoadBookshelf reads a UCLA Bookshelf .nodes/.nets file pair.
+func LoadBookshelf(nodesPath, netsPath string) (*Netlist, error) {
+	return hypergraph.LoadBookshelf(nodesPath, netsPath)
+}
+
+// SaveBookshelf writes a UCLA Bookshelf .nodes/.nets file pair.
+func SaveBookshelf(nodesPath, netsPath string, h *Netlist) error {
+	return hypergraph.SaveBookshelf(nodesPath, netsPath, h)
+}

@@ -1,0 +1,113 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"igpart/internal/hypergraph"
+	"igpart/internal/partition"
+)
+
+func clustered(k, bridges int, seed int64) *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(2 * k)
+	for c := 0; c < 2; c++ {
+		base := c * k
+		for i := 0; i < k-1; i++ {
+			b.AddNet(base+i, base+i+1)
+		}
+		for e := 0; e < 2*k; e++ {
+			b.AddNet(base+rng.Intn(k), base+rng.Intn(k), base+rng.Intn(k))
+		}
+	}
+	for i := 0; i < bridges; i++ {
+		b.AddNet(rng.Intn(k), k+rng.Intn(k))
+	}
+	return b.Build()
+}
+
+func TestAnnealFindsGoodCut(t *testing.T) {
+	h := clustered(15, 1, 3)
+	res, err := RatioCut(h, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.SizeU == 0 || res.Metrics.SizeW == 0 {
+		t.Fatal("improper partition")
+	}
+	if res.Metrics.CutNets > 5 {
+		t.Errorf("cut = %d, want near 1", res.Metrics.CutNets)
+	}
+	if res.Accepted == 0 {
+		t.Error("no moves accepted")
+	}
+}
+
+func TestAnnealMetricsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		b := hypergraph.NewBuilder()
+		b.SetNumModules(n)
+		for e := 0; e < 2*n; e++ {
+			pins := []int{rng.Intn(n), rng.Intn(n), rng.Intn(n)}
+			b.AddNet(pins...)
+		}
+		h := b.Build()
+		res, err := RatioCut(h, Options{Seed: seed, Sweeps: 15})
+		if err != nil {
+			return false
+		}
+		met := partition.Evaluate(h, res.Partition)
+		return met == res.Metrics && met.SizeU > 0 && met.SizeW > 0 &&
+			!math.IsInf(met.RatioCut, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	h := clustered(10, 2, 7)
+	a, err := RatioCut(h, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RatioCut(h, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics != b.Metrics || a.Accepted != b.Accepted {
+		t.Error("same seed, different walks")
+	}
+}
+
+func TestAnnealMoreSweepsNeverHurts(t *testing.T) {
+	// The best-seen tracking makes quality monotone in the budget for a
+	// fixed seed prefix... the walk differs, so compare statistically: the
+	// long run must be at least as good as the short run on this easy
+	// instance.
+	h := clustered(12, 1, 5)
+	short, err := RatioCut(h, Options{Seed: 3, Sweeps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := RatioCut(h, Options{Seed: 3, Sweeps: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Metrics.RatioCut > short.Metrics.RatioCut+1e-9 {
+		t.Errorf("longer run worse: %v vs %v", long.Metrics.RatioCut, short.Metrics.RatioCut)
+	}
+}
+
+func TestAnnealTooSmall(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(1)
+	if _, err := RatioCut(b.Build(), Options{}); err == nil {
+		t.Error("accepted 1 module")
+	}
+}

@@ -1,0 +1,426 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"igpart/internal/netmodel"
+	"igpart/internal/partition"
+)
+
+// quickSuite runs the harness at 15% scale so the whole table set completes
+// in seconds.
+func quickSuite() Suite { return Suite{Scale: 0.15, RCutStarts: 3} }
+
+func TestImprovementPct(t *testing.T) {
+	// Paper rows: bm1 12.73 -> 5.53 is 57%; 19ks 5.88 -> 5.96 is -1%.
+	if got := ImprovementPct(12.73e-5, 5.53e-5); got < 56 || got > 58 {
+		t.Errorf("bm1-style improvement = %v, want ≈57", got)
+	}
+	if got := ImprovementPct(5.88e-5, 5.96e-5); got > -1 || got < -2 {
+		t.Errorf("19ks-style improvement = %v, want ≈-1.4", got)
+	}
+	if ImprovementPct(0, 1) != 0 {
+		t.Error("zero base should yield 0")
+	}
+}
+
+func TestDefaultSuite(t *testing.T) {
+	s := DefaultSuite()
+	if s.Scale != 1.0 || s.RCutStarts != 10 {
+		t.Errorf("DefaultSuite = %+v", s)
+	}
+}
+
+func TestEIG1AndIGDiamTables(t *testing.T) {
+	s := quickSuite()
+	e, err := s.TableEIG1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.TableIGDiam()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e) != 9 || len(d) != 9 {
+		t.Fatalf("rows: eig1=%d igdiam=%d", len(e), len(d))
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	s := quickSuite()
+	_, hs, err := s.circuits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Run("nope", hs[0]); err == nil {
+		t.Error("accepted unknown algorithm")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, err := quickSuite().Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	total := 0
+	for _, row := range r.Rows {
+		total += row.Count
+		if row.Cut > row.Count {
+			t.Errorf("size %d: cut %d > count %d", row.NetSize, row.Cut, row.Count)
+		}
+	}
+	if total == 0 {
+		t.Error("empty histogram")
+	}
+	out := FormatTable1(r)
+	if !strings.Contains(out, "Net Size") {
+		t.Errorf("format missing header: %q", out)
+	}
+}
+
+func TestNonMonotone(t *testing.T) {
+	// Cut fraction dips at size 3 then rises: non-monotone.
+	dip := []partition.CutStatRow{
+		{NetSize: 2, Count: 100, Cut: 10},
+		{NetSize: 3, Count: 50, Cut: 2},
+		{NetSize: 4, Count: 10, Cut: 5},
+	}
+	if !NonMonotone(dip, 1) {
+		t.Error("dip not detected")
+	}
+	mono := []partition.CutStatRow{
+		{NetSize: 2, Count: 100, Cut: 5},
+		{NetSize: 3, Count: 50, Cut: 10},
+		{NetSize: 4, Count: 10, Cut: 9},
+	}
+	if NonMonotone(mono, 1) {
+		t.Error("false positive on monotone data")
+	}
+	// Rows below the count floor are ignored.
+	if NonMonotone(dip, 60) {
+		t.Error("count floor not applied")
+	}
+}
+
+func TestTables2And3(t *testing.T) {
+	s := quickSuite()
+	t2, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2) != 9 {
+		t.Fatalf("Table2 has %d rows", len(t2))
+	}
+	avg := GeomImprovement(t2)
+	if avg < 0 {
+		t.Errorf("IG-Match loses to RCut on average at small scale: %.1f%%", avg)
+	}
+	t3, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range t3 {
+		if r.Improvement < -1 {
+			t.Errorf("%s: IG-Match worse than IG-Vote by %.1f%% (paper: uniform domination)", r.Name, -r.Improvement)
+		}
+	}
+	out := FormatCompare("t", "RCut", "IG-Match", t2)
+	if !strings.Contains(out, "average improvement") {
+		t.Errorf("format missing summary: %q", out)
+	}
+}
+
+func TestSparsityTable(t *testing.T) {
+	rows, err := quickSuite().SparsityTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	sparser := 0
+	for _, r := range rows {
+		if r.Ratio > 1 {
+			sparser++
+		}
+	}
+	if sparser < 7 {
+		t.Errorf("IG sparser on only %d/9 benchmarks", sparser)
+	}
+	if !strings.Contains(FormatSparsity(rows), "Clique nnz") {
+		t.Error("format broken")
+	}
+}
+
+func TestStabilityTable(t *testing.T) {
+	rows, err := quickSuite().StabilityTable(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.DistinctIGs != 1 {
+			t.Errorf("%s: IG-Match gave %d distinct results across repeats", r.Name, r.DistinctIGs)
+		}
+		if len(r.RCutRatios) != 3 {
+			t.Errorf("%s: %d RCut ratios", r.Name, len(r.RCutRatios))
+		}
+		if r.RCutBest > 0 && r.RCutSpread < 1 {
+			t.Errorf("%s: spread %v < 1", r.Name, r.RCutSpread)
+		}
+	}
+	if !strings.Contains(FormatStability(rows), "IG distinct") {
+		t.Error("format broken")
+	}
+}
+
+func TestWeightSchemeTable(t *testing.T) {
+	rows, err := quickSuite().WeightSchemeTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.Ratios) != 4 {
+			t.Errorf("%s: %d schemes", r.Name, len(r.Ratios))
+		}
+		for scheme, ratio := range r.Ratios {
+			// Zero is legitimate when the scaled-down circuit is
+			// disconnected; negative ratios never are.
+			if ratio < 0 {
+				t.Errorf("%s/%v: ratio %v", r.Name, scheme, ratio)
+			}
+		}
+	}
+	if !strings.Contains(FormatWeightSchemes(rows), netmodel.SchemePaper.String()) {
+		t.Error("format broken")
+	}
+}
+
+func TestNetModelTable(t *testing.T) {
+	rows, err := quickSuite().NetModelTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.SpreadPct < 0 {
+			t.Errorf("%s: negative spread", r.Name)
+		}
+	}
+	if !strings.Contains(FormatNetModel(rows), "EIG1/star") {
+		t.Error("format broken")
+	}
+}
+
+func TestThresholdTable(t *testing.T) {
+	rows, err := quickSuite().ThresholdTable([]int{0, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.Ratios) != 2 || len(r.IGNonzeros) != 2 {
+			t.Fatalf("%s: wrong widths %+v", r.Name, r)
+		}
+		if r.IGNonzeros[1] > r.IGNonzeros[0] {
+			t.Errorf("%s: thresholding increased nonzeros", r.Name)
+		}
+	}
+	if !strings.Contains(FormatThreshold(rows), "T=8") {
+		t.Error("format broken")
+	}
+}
+
+func TestRecursiveTable(t *testing.T) {
+	rows, err := quickSuite().RecursiveTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Recursive.RatioCut > r.Plain.RatioCut+1e-12 {
+			t.Errorf("%s: recursion worsened ratio", r.Name)
+		}
+	}
+	if !strings.Contains(FormatRecursive(rows), "recursive ratio") {
+		t.Error("format broken")
+	}
+}
+
+func TestRefineTable(t *testing.T) {
+	rows, err := quickSuite().RefineTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.IGMatchFM > r.IGMatch+1e-12 {
+			t.Errorf("%s: FM polish worsened IG-Match", r.Name)
+		}
+		if r.EIG1FM > r.EIG1+1e-12 {
+			t.Errorf("%s: FM polish worsened EIG1", r.Name)
+		}
+	}
+	if !strings.Contains(FormatRefine(rows), "+FM") {
+		t.Error("format broken")
+	}
+}
+
+func TestClusterTable(t *testing.T) {
+	rows, err := quickSuite().ClusterTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.CoarseModules <= 0 {
+			t.Errorf("%s: coarse modules %d", r.Name, r.CoarseModules)
+		}
+		if r.Condensed.SizeU == 0 || r.Condensed.SizeW == 0 {
+			t.Errorf("%s: improper condensed partition", r.Name)
+		}
+	}
+	if !strings.Contains(FormatCluster(rows), "coarse n") {
+		t.Error("format broken")
+	}
+}
+
+func TestOrderingTable(t *testing.T) {
+	rows, err := quickSuite().OrderingTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	betterOrEqual := 0
+	for _, r := range rows {
+		if r.Eigen <= r.RandomMean+1e-12 {
+			betterOrEqual++
+		}
+	}
+	// The eigen ordering should beat the mean random ordering on most
+	// circuits — that is the point of the spectral stage.
+	if betterOrEqual < 6 {
+		t.Errorf("eigen order only matched random mean on %d/9 circuits", betterOrEqual)
+	}
+	if !strings.Contains(FormatOrdering(rows), "random mean") {
+		t.Error("format broken")
+	}
+}
+
+func TestScalingTable(t *testing.T) {
+	rows, err := quickSuite().ScalingTable([]float64{0.5, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Nets <= rows[i-1].Nets {
+			t.Errorf("circuit sizes not increasing: %d then %d", rows[i-1].Nets, rows[i].Nets)
+		}
+	}
+	if !strings.Contains(FormatScaling(rows), "exponent") {
+		t.Error("format broken")
+	}
+}
+
+func TestCSVEmitters(t *testing.T) {
+	s := quickSuite()
+	rows, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteCompareCSV(&buf, "a", "b", rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 10 { // header + 9 rows
+		t.Errorf("compare CSV has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "test,elements,a_sizeU") {
+		t.Errorf("header = %q", lines[0])
+	}
+
+	r1, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteCutStatsCSV(&buf, r1.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "net_size,count,cut\n") {
+		t.Error("cut-stats header broken")
+	}
+
+	trace, err := s.SweepTrace("Prim1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	buf.Reset()
+	if err := WriteTraceCSV(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "rank,matching,cut,ratio\n") {
+		t.Error("trace header broken")
+	}
+	if _, err := s.SweepTrace("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestTaxonomyTable(t *testing.T) {
+	rows, err := quickSuite().TaxonomyTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The min cut must be at most every other method's cut: it is the
+		// true minimum over some separation, and in particular is optimal
+		// for its own pair.
+		if r.MinCut.CutNets > r.RCut.CutNets && r.MinCut.CutNets > r.IGMatch.CutNets {
+			t.Errorf("%s: flow 'min cut' %d larger than both heuristics (%d, %d)",
+				r.Name, r.MinCut.CutNets, r.RCut.CutNets, r.IGMatch.CutNets)
+		}
+	}
+	if !strings.Contains(FormatTaxonomy(rows), "MinCut(flow)") {
+		t.Error("format broken")
+	}
+}
+
+func TestTimingAndLanczosTables(t *testing.T) {
+	s := quickSuite()
+	rows, err := s.TimingTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if !strings.Contains(FormatTiming(rows, s.RCutStarts), "RCutN/IG") {
+		t.Error("format broken")
+	}
+	lz, err := s.LanczosTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range lz {
+		if r.Lambda2 < 0 {
+			t.Errorf("%s: λ2 = %v", r.Name, r.Lambda2)
+		}
+	}
+	if !strings.Contains(FormatLanczos(lz), "lambda2") {
+		t.Error("format broken")
+	}
+}

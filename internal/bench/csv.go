@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"igpart/internal/core"
+	"igpart/internal/partition"
+)
+
+// This file provides machine-readable CSV emitters for the harness
+// results, so downstream plotting (gnuplot, pandas, spreadsheets) can
+// regenerate the paper's figures from `cmd/experiments -csv`.
+
+// WriteCompareCSV emits a Table 2/3-style comparison.
+func WriteCompareCSV(w io.Writer, baseName, oursName string, rows []CompareRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"test", "elements",
+		baseName + "_sizeU", baseName + "_sizeW", baseName + "_cut", baseName + "_ratio",
+		oursName + "_sizeU", oursName + "_sizeW", oursName + "_cut", oursName + "_ratio",
+		"improvement_pct",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Name, strconv.Itoa(r.Elements),
+			strconv.Itoa(r.Base.SizeU), strconv.Itoa(r.Base.SizeW),
+			strconv.Itoa(r.Base.CutNets), formatRatio(r.Base.RatioCut),
+			strconv.Itoa(r.Ours.SizeU), strconv.Itoa(r.Ours.SizeW),
+			strconv.Itoa(r.Ours.CutNets), formatRatio(r.Ours.RatioCut),
+			strconv.FormatFloat(r.Improvement, 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCutStatsCSV emits Table 1 rows.
+func WriteCutStatsCSV(w io.Writer, rows []partition.CutStatRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"net_size", "count", "cut"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{strconv.Itoa(r.NetSize), strconv.Itoa(r.Count), strconv.Itoa(r.Cut)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTraceCSV emits the per-split sweep records behind the Figure 2-style
+// profile (rank, matching bound, completed cut, ratio).
+func WriteTraceCSV(w io.Writer, trace []core.SplitRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rank", "matching", "cut", "ratio"}); err != nil {
+		return err
+	}
+	for _, r := range trace {
+		rec := []string{
+			strconv.Itoa(r.Rank), strconv.Itoa(r.MatchingSize),
+			strconv.Itoa(r.CutNets), formatRatio(r.RatioCut),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatRatio renders a ratio for CSV (plain float, "inf" for +Inf).
+func formatRatio(r float64) string {
+	if r > 1e300 {
+		return "inf"
+	}
+	return strconv.FormatFloat(r, 'g', 8, 64)
+}
+
+// SweepTrace runs IG-Match on one named benchmark at the suite scale and
+// returns the full split trace (the data behind examples/splitsweep).
+func (s Suite) SweepTrace(benchName string) ([]core.SplitRecord, error) {
+	s = s.withDefaults()
+	cfgs, hs, err := s.circuits()
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range cfgs {
+		if cfg.Name != benchName {
+			continue
+		}
+		var trace []core.SplitRecord
+		if _, err := core.Partition(hs[i], core.Options{Trace: &trace}); err != nil {
+			return nil, err
+		}
+		return trace, nil
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q", benchName)
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"igpart/internal/core"
+	"igpart/internal/hypergraph"
+)
+
+// OrderingRow compares IG-Match sweep quality under different net orderings
+// on one benchmark — the ablation that isolates how much of IG-Match's
+// quality comes from the spectral ordering versus the matching completion.
+type OrderingRow struct {
+	Name string
+	// Eigen is the ratio cut with the Fiedler-vector ordering (the paper's
+	// configuration).
+	Eigen float64
+	// RandomBest and RandomMean summarize sweeps over random orderings.
+	RandomBest float64
+	RandomMean float64
+	// BySize is the ratio cut with nets sorted by ascending pin count.
+	BySize float64
+	// BFS is the ratio cut with a breadth-first ordering of the
+	// intersection graph.
+	BFS float64
+}
+
+// OrderingTable runs the ordering ablation over the suite.
+func (s Suite) OrderingTable(randomTrials int) ([]OrderingRow, error) {
+	s = s.withDefaults()
+	if randomTrials <= 0 {
+		randomTrials = 3
+	}
+	cfgs, hs, err := s.circuits()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]OrderingRow, len(hs))
+	for i, h := range hs {
+		row := OrderingRow{Name: cfgs[i].Name}
+
+		eig, err := core.Partition(h, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: eigen order on %s: %w", cfgs[i].Name, err)
+		}
+		row.Eigen = eig.Metrics.RatioCut
+
+		rng := rand.New(rand.NewSource(77 + s.Seed))
+		row.RandomBest = math.Inf(1)
+		sum := 0.0
+		for trial := 0; trial < randomTrials; trial++ {
+			order := rng.Perm(h.NumNets())
+			res, err := core.PartitionWithOrder(h, order, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			sum += res.Metrics.RatioCut
+			if res.Metrics.RatioCut < row.RandomBest {
+				row.RandomBest = res.Metrics.RatioCut
+			}
+		}
+		row.RandomMean = sum / float64(randomTrials)
+
+		res, err := core.PartitionWithOrder(h, sizeOrder(h), core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row.BySize = res.Metrics.RatioCut
+
+		res, err = core.PartitionWithOrder(h, bfsOrder(h), core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row.BFS = res.Metrics.RatioCut
+
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// sizeOrder sorts nets by ascending pin count (stable on index).
+func sizeOrder(h *hypergraph.Hypergraph) []int {
+	order := make([]int, h.NumNets())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return h.NetSize(order[a]) < h.NetSize(order[b])
+	})
+	return order
+}
+
+// bfsOrder orders nets breadth-first over the intersection graph starting
+// from net 0 (unreached nets appended in index order).
+func bfsOrder(h *hypergraph.Hypergraph) []int {
+	adj := core.IGAdjacency(h)
+	m := len(adj)
+	order := make([]int, 0, m)
+	seen := make([]bool, m)
+	for start := 0; start < m; start++ {
+		if seen[start] {
+			continue
+		}
+		seen[start] = true
+		order = append(order, start)
+		for qi := len(order) - 1; qi < len(order); qi++ {
+			for _, nb := range adj[order[qi]] {
+				if !seen[nb] {
+					seen[nb] = true
+					order = append(order, nb)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// FormatOrdering renders the ordering ablation.
+func FormatOrdering(rows []OrderingRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation O1: IG-Match sweep under different net orderings (ratio cut)")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Test\teigen\trandom best\trandom mean\tby-size\tBFS\t")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t\n",
+			r.Name, ratioStr(r.Eigen), ratioStr(r.RandomBest),
+			ratioStr(r.RandomMean), ratioStr(r.BySize), ratioStr(r.BFS))
+	}
+	w.Flush()
+	return b.String()
+}

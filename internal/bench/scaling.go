@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"igpart/internal/core"
+	"igpart/internal/eigen"
+	"igpart/internal/netgen"
+	"igpart/internal/netmodel"
+)
+
+// ScalingRow measures the IG-Match pipeline cost at one circuit size — the
+// data behind the paper's Section 5 claim that "the computational
+// complexity of the Lanczos implementation scales well with increasing
+// problem sizes… this overall methodology will continue to be useful even
+// when problem sizes grow very large".
+type ScalingRow struct {
+	Scale    float64
+	Modules  int
+	Nets     int
+	Pins     int
+	IGBuild  time.Duration // intersection-graph construction
+	Eigen    time.Duration // Fiedler solve on Q'
+	Sweep    time.Duration // incremental matching sweep + completions
+	Total    time.Duration
+	RatioCut float64
+}
+
+// ScalingTable runs IG-Match on the Prim2-class circuit at multiples of
+// its published size. Scales beyond 1.0 extrapolate the benchmark.
+func (s Suite) ScalingTable(scales []float64) ([]ScalingRow, error) {
+	s = s.withDefaults()
+	if len(scales) == 0 {
+		scales = []float64{0.25, 0.5, 1, 2, 4}
+	}
+	base, _ := netgen.ByName("Prim2")
+	rows := make([]ScalingRow, 0, len(scales))
+	for _, f := range scales {
+		cfg := base.Scaled(f * s.Scale)
+		cfg.Seed += s.Seed
+		h, err := netgen.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := ScalingRow{Scale: f, Modules: h.NumModules(), Nets: h.NumNets(), Pins: h.NumPins()}
+
+		t0 := time.Now()
+		q := netmodel.IGLaplacian(h, netmodel.IGOptions{})
+		row.IGBuild = time.Since(t0)
+
+		t0 = time.Now()
+		fied, err := eigen.Fiedler(q, eigen.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: scaling eigensolve at %.2gx: %w", f, err)
+		}
+		row.Eigen = time.Since(t0)
+
+		order := core.SortNetsByVector(fied.Vector)
+		t0 = time.Now()
+		res, err := core.PartitionWithOrder(h, order, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: scaling sweep at %.2gx: %w", f, err)
+		}
+		row.Sweep = time.Since(t0)
+		row.Total = row.IGBuild + row.Eigen + row.Sweep
+		row.RatioCut = res.Metrics.RatioCut
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatScaling renders the scaling study.
+func FormatScaling(rows []ScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Scaling (§5 claim): IG-Match pipeline cost vs circuit size (Prim2 class)")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "scale\tmodules\tnets\tpins\tIG build\teigen\tsweep\ttotal\tratio\t")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%.2gx\t%d\t%d\t%d\t%v\t%v\t%v\t%v\t%s\t\n",
+			r.Scale, r.Modules, r.Nets, r.Pins,
+			r.IGBuild.Round(time.Millisecond), r.Eigen.Round(time.Millisecond),
+			r.Sweep.Round(time.Millisecond), r.Total.Round(time.Millisecond),
+			ratioStr(r.RatioCut))
+	}
+	w.Flush()
+	if len(rows) >= 2 {
+		first, last := rows[0], rows[len(rows)-1]
+		sizeRatio := float64(last.Nets) / float64(first.Nets)
+		timeRatio := float64(last.Total) / float64(first.Total)
+		fmt.Fprintf(&b, "size grew %.1fx, total time grew %.1fx (exponent %.2f)\n",
+			sizeRatio, timeRatio, logRatio(timeRatio, sizeRatio))
+	}
+	return b.String()
+}
+
+// logRatio returns log(a)/log(b) — the empirical scaling exponent.
+func logRatio(a, b float64) float64 {
+	if a <= 0 || b <= 0 || b == 1 {
+		return 0
+	}
+	return math.Log(a) / math.Log(b)
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"igpart/internal/anneal"
+	"igpart/internal/core"
+	"igpart/internal/flow"
+	"igpart/internal/fm"
+	"igpart/internal/kl"
+	"igpart/internal/partition"
+)
+
+// TaxonomyRow compares one representative of each partitioning-approach
+// class the paper's Section 1.1 surveys, on one benchmark:
+// spectral-on-the-dual (IG-Match), iterative greedy (FM ratio cut and KL),
+// stochastic (simulated annealing), and exact min-cut via max-flow.
+type TaxonomyRow struct {
+	Name    string
+	IGMatch partition.Metrics
+	RCut    partition.Metrics
+	KL      partition.Metrics
+	Anneal  partition.Metrics
+	MinCut  partition.Metrics
+	// MinCutSmallSide records how unevenly the flow min cut divides the
+	// circuit (Section 1.1's criticism of the formulation).
+	MinCutSmallSide int
+	Elapsed         time.Duration
+}
+
+// TaxonomyTable runs all five approach classes across the suite.
+func (s Suite) TaxonomyTable() ([]TaxonomyRow, error) {
+	s = s.withDefaults()
+	cfgs, hs, err := s.circuits()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TaxonomyRow, len(hs))
+	for i, h := range hs {
+		t0 := time.Now()
+		row := TaxonomyRow{Name: cfgs[i].Name}
+
+		ig, err := core.Partition(h, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row.IGMatch = ig.Metrics
+
+		rc, err := fm.RatioCut(h, fm.Options{Starts: s.RCutStarts, Seed: 1 + s.Seed})
+		if err != nil {
+			return nil, err
+		}
+		row.RCut = rc.Metrics
+
+		klr, err := kl.Bisect(h, kl.Options{Starts: 3, Seed: 2 + s.Seed})
+		if err != nil {
+			return nil, err
+		}
+		row.KL = klr.Metrics
+
+		an, err := anneal.RatioCut(h, anneal.Options{Seed: 3 + s.Seed})
+		if err != nil {
+			return nil, err
+		}
+		row.Anneal = an.Metrics
+
+		fl, err := flow.BestOverPairs(h, 4)
+		if err != nil {
+			return nil, err
+		}
+		row.MinCut = fl.Metrics
+		small := fl.Metrics.SizeU
+		if fl.Metrics.SizeW < small {
+			small = fl.Metrics.SizeW
+		}
+		row.MinCutSmallSide = small
+		row.Elapsed = time.Since(t0)
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// FormatTaxonomy renders the taxonomy comparison.
+func FormatTaxonomy(rows []TaxonomyRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Taxonomy (Section 1.1): one representative per approach class (ratio cut; min-cut column also shows cut/small-side)")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Test\tIG-Match\tRCut(FM)\tKL\tAnneal\tMinCut(flow)\tcut/small\t")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%d/%d\t\n",
+			r.Name, ratioStr(r.IGMatch.RatioCut), ratioStr(r.RCut.RatioCut),
+			ratioStr(r.KL.RatioCut), ratioStr(r.Anneal.RatioCut),
+			ratioStr(r.MinCut.RatioCut), r.MinCut.CutNets, r.MinCutSmallSide)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package bipartite
+
+// HopcroftKarp computes the maximum matching size of a bipartite graph from
+// scratch in O(E·√V). Vertices are 0..n−1; inL gives the side of each
+// vertex; adj lists neighbors (edges within a side are ignored). It serves
+// as the from-scratch oracle that validates the incremental Matcher, and is
+// exposed for callers that need a one-shot matching.
+func HopcroftKarp(adj [][]int, inL []bool) (size int, match []int) {
+	n := len(adj)
+	match = make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+
+	// BFS layers from free L vertices; returns whether any augmenting path
+	// exists.
+	bfs := func() bool {
+		queue = queue[:0]
+		for v := 0; v < n; v++ {
+			if inL[v] && match[v] < 0 {
+				dist[v] = 0
+				queue = append(queue, v)
+			} else {
+				dist[v] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			x := queue[qi]
+			for _, y := range adj[x] {
+				if inL[y] == inL[x] {
+					continue
+				}
+				p := match[y]
+				if p < 0 {
+					found = true
+					continue
+				}
+				if dist[p] == inf {
+					dist[p] = dist[x] + 1
+					queue = append(queue, p)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(x int) bool
+	dfs = func(x int) bool {
+		for _, y := range adj[x] {
+			if inL[y] == inL[x] {
+				continue
+			}
+			p := match[y]
+			if p < 0 || (dist[p] == dist[x]+1 && dfs(p)) {
+				match[x] = y
+				match[y] = x
+				return true
+			}
+		}
+		dist[x] = inf
+		return false
+	}
+
+	for bfs() {
+		for v := 0; v < n; v++ {
+			if inL[v] && match[v] < 0 && dfs(v) {
+				size++
+			}
+		}
+	}
+	return size, match
+}
+
+// BruteForceMIS returns the size of a maximum independent set of the graph
+// restricted to edges crossing the inL split, by exhaustive search over all
+// vertex subsets. Exponential; for test oracles on tiny graphs only.
+func BruteForceMIS(adj [][]int, inL []bool) int {
+	n := len(adj)
+	if n > 22 {
+		panic("bipartite: BruteForceMIS instance too large")
+	}
+	// Precompute crossing-edge masks.
+	masks := make([]uint32, n)
+	for v, nbrs := range adj {
+		for _, u := range nbrs {
+			if inL[u] != inL[v] {
+				masks[v] |= 1 << uint(u)
+			}
+		}
+	}
+	best := 0
+	for set := uint32(0); set < 1<<uint(n); set++ {
+		ok := true
+		cnt := 0
+		for v := 0; v < n && ok; v++ {
+			if set&(1<<uint(v)) == 0 {
+				continue
+			}
+			cnt++
+			if masks[v]&set != 0 {
+				ok = false
+			}
+		}
+		if ok && cnt > best {
+			best = cnt
+		}
+	}
+	return best
+}

@@ -1,0 +1,185 @@
+// Package cluster implements the hybrid condense-then-partition flow the
+// paper's Section 5 cites (Bui et al., Lengauer): greedily merge strongly
+// connected module pairs to shrink the netlist, partition the coarse
+// circuit spectrally, project the result back, and polish with FM. The
+// cluster-condensation ablation (experiment A5) measures the speed/quality
+// tradeoff against the direct solve.
+package cluster
+
+import (
+	"errors"
+	"sort"
+
+	"igpart/internal/core"
+	"igpart/internal/fm"
+	"igpart/internal/hypergraph"
+	"igpart/internal/partition"
+)
+
+// Options configures the condense-partition-refine pipeline.
+type Options struct {
+	// TargetRatio stops coarsening once the cluster count drops below
+	// TargetRatio·NumModules. Default 0.35.
+	TargetRatio float64
+	// Levels bounds the number of coarsening rounds. Default 3.
+	Levels int
+	// Core configures the coarse-level IG-Match solve.
+	Core core.Options
+	// Refine configures FM polishing; Refine.MaxPasses=0 uses the FM
+	// default.
+	Refine fm.Options
+	// SkipRefine disables the FM polish (for ablation).
+	SkipRefine bool
+	// Multilevel refines after every projection step (the classical
+	// multilevel V-cycle) instead of only at the finest level. Coarse-level
+	// refinement uses the area-weighted ratio cut, since cluster weights
+	// are exactly the fine-module counts they stand for.
+	Multilevel bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.TargetRatio <= 0 {
+		o.TargetRatio = 0.35
+	}
+	if o.Levels <= 0 {
+		o.Levels = 3
+	}
+	return o
+}
+
+// Result reports the pipeline outcome.
+type Result struct {
+	Partition *partition.Bipartition
+	Metrics   partition.Metrics
+	// CoarseModules is the module count of the coarsest level actually
+	// partitioned.
+	CoarseModules int
+	// Levels is the number of coarsening rounds performed.
+	Levels int
+}
+
+// Partition runs the full condense → IG-Match → project → refine pipeline.
+func Partition(h *hypergraph.Hypergraph, opts Options) (Result, error) {
+	if h.NumModules() < 4 {
+		return Result{}, errors.New("cluster: circuit too small to condense")
+	}
+	opts = opts.withDefaults()
+
+	type level struct {
+		h    *hypergraph.Hypergraph
+		map_ []int // fine module -> coarse cluster
+	}
+	var stack []level
+	cur := h
+	target := int(opts.TargetRatio * float64(h.NumModules()))
+	rounds := 0
+	for rounds < opts.Levels && cur.NumModules() > target && cur.NumModules() > 8 {
+		cmap, k := MatchClusters(cur)
+		if k >= cur.NumModules() {
+			break // no merges possible
+		}
+		coarse, err := hypergraph.Contract(cur, cmap, k)
+		if err != nil {
+			return Result{}, err
+		}
+		stack = append(stack, level{h: cur, map_: cmap})
+		cur = coarse
+		rounds++
+	}
+
+	res, err := core.Partition(cur, opts.Core)
+	if err != nil {
+		return Result{}, err
+	}
+	p := res.Partition
+	coarseModules := cur.NumModules()
+
+	// Project back through the levels, optionally refining at each one.
+	for i := len(stack) - 1; i >= 0; i-- {
+		lv := stack[i]
+		fine := partition.New(lv.h.NumModules())
+		for v := 0; v < lv.h.NumModules(); v++ {
+			fine.Set(v, p.Side(lv.map_[v]))
+		}
+		p = fine
+		if opts.Multilevel && !opts.SkipRefine && i > 0 {
+			ro := opts.Refine
+			ro.UseWeights = true // cluster weights carry fine module counts
+			if _, _, err := fm.RefinePartition(lv.h, p, ro); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	if !opts.SkipRefine {
+		if _, _, err := fm.RefinePartition(h, p, opts.Refine); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{
+		Partition:     p,
+		Metrics:       partition.Evaluate(h, p),
+		CoarseModules: coarseModules,
+		Levels:        rounds,
+	}, nil
+}
+
+// MatchClusters performs one round of greedy heavy-connectivity matching:
+// module pairs sharing the most (size-discounted) net weight are merged
+// first; unmatched modules survive as singletons. It returns the cluster
+// map and the cluster count.
+func MatchClusters(h *hypergraph.Hypergraph) ([]int, int) {
+	n := h.NumModules()
+	type pair struct {
+		u, v int
+		w    float64
+	}
+	// Connectivity between adjacent modules: Σ over shared nets of
+	// 1/(|net|−1) — the clique-model weight restricted to neighbors.
+	weight := map[[2]int]float64{}
+	for e := 0; e < h.NumNets(); e++ {
+		pins := h.Pins(e)
+		k := len(pins)
+		if k < 2 || k > 16 {
+			continue // huge nets say little about pairwise affinity
+		}
+		w := 1 / float64(k-1)
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				weight[[2]int{pins[i], pins[j]}] += w
+			}
+		}
+	}
+	pairs := make([]pair, 0, len(weight))
+	for key, w := range weight {
+		pairs = append(pairs, pair{key[0], key[1], w})
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].w != pairs[b].w {
+			return pairs[a].w > pairs[b].w
+		}
+		if pairs[a].u != pairs[b].u {
+			return pairs[a].u < pairs[b].u
+		}
+		return pairs[a].v < pairs[b].v
+	})
+	cmap := make([]int, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	next := 0
+	for _, pr := range pairs {
+		if cmap[pr.u] < 0 && cmap[pr.v] < 0 {
+			cmap[pr.u] = next
+			cmap[pr.v] = next
+			next++
+		}
+	}
+	for v := range cmap {
+		if cmap[v] < 0 {
+			cmap[v] = next
+			next++
+		}
+	}
+	return cmap, next
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"igpart/internal/hypergraph"
+	"igpart/internal/partition"
+)
+
+func clustered(k, bridges int, seed int64) *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(2 * k)
+	for c := 0; c < 2; c++ {
+		base := c * k
+		for i := 0; i < k-1; i++ {
+			b.AddNet(base+i, base+i+1)
+		}
+		for e := 0; e < 2*k; e++ {
+			b.AddNet(base+rng.Intn(k), base+rng.Intn(k), base+rng.Intn(k))
+		}
+	}
+	for i := 0; i < bridges; i++ {
+		b.AddNet(rng.Intn(k), k+rng.Intn(k))
+	}
+	return b.Build()
+}
+
+func TestMatchClustersValidMap(t *testing.T) {
+	h := clustered(20, 3, 1)
+	cmap, k := MatchClusters(h)
+	if len(cmap) != h.NumModules() {
+		t.Fatalf("map length %d", len(cmap))
+	}
+	seen := make([]int, k)
+	for _, c := range cmap {
+		if c < 0 || c >= k {
+			t.Fatalf("cluster %d outside [0,%d)", c, k)
+		}
+		seen[c]++
+	}
+	for c, cnt := range seen {
+		if cnt == 0 {
+			t.Errorf("cluster %d empty", c)
+		}
+		if cnt > 2 {
+			t.Errorf("cluster %d has %d members; matching merges at most 2", c, cnt)
+		}
+	}
+	if k >= h.NumModules() {
+		t.Error("matching produced no merges on a dense circuit")
+	}
+}
+
+func TestClusterPartitionQuality(t *testing.T) {
+	h := clustered(30, 1, 5)
+	res, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.SizeU == 0 || res.Metrics.SizeW == 0 {
+		t.Fatal("improper partition")
+	}
+	if res.Metrics.CutNets > 4 {
+		t.Errorf("cut = %d, want near 1 (planted bridge)", res.Metrics.CutNets)
+	}
+	if res.CoarseModules >= h.NumModules() {
+		t.Errorf("no condensation: coarse=%d fine=%d", res.CoarseModules, h.NumModules())
+	}
+	if res.Levels < 1 {
+		t.Error("no coarsening rounds")
+	}
+	if got := partition.Evaluate(h, res.Partition); got != res.Metrics {
+		t.Errorf("metrics mismatch: %+v vs %+v", got, res.Metrics)
+	}
+}
+
+func TestClusterSkipRefine(t *testing.T) {
+	h := clustered(25, 2, 7)
+	plain, err := Partition(h, Options{SkipRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Metrics.RatioCut > plain.Metrics.RatioCut {
+		t.Errorf("refined %v worse than unrefined %v", refined.Metrics.RatioCut, plain.Metrics.RatioCut)
+	}
+}
+
+func TestMultilevelRefinement(t *testing.T) {
+	h := clustered(40, 3, 17)
+	plain, err := Partition(h, Options{Levels: 4, TargetRatio: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := Partition(h, Options{Levels: 4, TargetRatio: 0.15, Multilevel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Metrics.SizeU == 0 || ml.Metrics.SizeW == 0 {
+		t.Fatal("improper multilevel partition")
+	}
+	// Per-level refinement should not lose to the single-shot polish on a
+	// clustered circuit (both see the same coarse solve).
+	if ml.Metrics.RatioCut > plain.Metrics.RatioCut*1.5+1e-12 {
+		t.Errorf("multilevel %v much worse than single-shot %v",
+			ml.Metrics.RatioCut, plain.Metrics.RatioCut)
+	}
+	if got := partition.Evaluate(h, ml.Partition); got != ml.Metrics {
+		t.Error("metrics mismatch")
+	}
+}
+
+func TestClusterTooSmall(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddNet(0, 1)
+	if _, err := Partition(b.Build(), Options{}); err == nil {
+		t.Error("accepted tiny circuit")
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	h := clustered(15, 2, 11)
+	a, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics != b.Metrics {
+		t.Errorf("nondeterministic: %+v vs %+v", a.Metrics, b.Metrics)
+	}
+}
+
+func TestTargetRatioRespected(t *testing.T) {
+	h := clustered(40, 2, 13)
+	res, err := Partition(h, Options{TargetRatio: 0.6, Levels: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One matching round halves at best; with target 0.6 one round should
+	// suffice and coarsening must stop at or below 60% plus one round's
+	// overshoot allowance.
+	if res.CoarseModules > h.NumModules() {
+		t.Errorf("coarse %d > fine %d", res.CoarseModules, h.NumModules())
+	}
+}

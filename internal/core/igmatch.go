@@ -1,0 +1,500 @@
+// Package core implements IG-Match, the paper's contribution: spectral
+// ratio-cut partitioning of a netlist via the intersection graph of its
+// hypergraph.
+//
+// The pipeline is exactly the one of Sections 2–3:
+//
+//  1. Build the intersection graph G' of the netlist (one vertex per net)
+//     with the Section 2.2 edge weighting, and its Laplacian Q' = D' − A'.
+//  2. Compute the second-smallest eigenpair of Q' (Lanczos); sorting the
+//     eigenvector yields a linear ordering of the nets.
+//  3. Sweep every split of the net ordering. For each split (L, R), the
+//     conflict bipartite graph B(L, R, E_B) is maintained incrementally
+//     along with a maximum matching (package bipartite). Phase I extracts
+//     the winner nets — a maximum independent set in B — via the Even/Odd
+//     alternating-path construction; Phase II assigns the leftover modules
+//     in bulk to whichever side gives the better ratio cut.
+//  4. Return the best module partition over all splits.
+//
+// Theorems 4–5 guarantee each completion cuts at most |maximum matching(B)|
+// nets; the sweep costs O(m·(m+e)) total for m nets (Theorem 6).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"igpart/internal/bipartite"
+	"igpart/internal/eigen"
+	"igpart/internal/hypergraph"
+	"igpart/internal/netmodel"
+	"igpart/internal/partition"
+)
+
+// Options configures an IG-Match run. The zero value reproduces the paper's
+// configuration.
+type Options struct {
+	// IG configures intersection-graph construction for the eigensolve
+	// (weight scheme, optional thresholding). The conflict graph used for
+	// matching always reflects true module sharing regardless of
+	// thresholding, so completions stay correct.
+	IG netmodel.IGOptions
+	// Eigen tunes the Lanczos solver.
+	Eigen eigen.Options
+	// RecursionDepth, when positive, enables the recursive extension
+	// sketched in Section 3: at the best split, the unassigned modules of
+	// the residual core are partitioned by a recursive IG-Match call
+	// instead of only being bulk-assigned, and the better completion wins.
+	// The value bounds the recursion depth.
+	RecursionDepth int
+	// Trace, when non-nil, receives one record per sweep split.
+	Trace *[]SplitRecord
+}
+
+// SplitRecord captures the state of one sweep split for analysis. Splits
+// where no proper completion exists (every option left a side empty) are
+// recorded with CutNets = −1 and RatioCut = +Inf.
+type SplitRecord struct {
+	Rank         int     // nets moved to R so far (1..m−1)
+	MatchingSize int     // |MM(B)| — upper bound on the completed cut
+	CutNets      int     // cut of the better completion at this split
+	RatioCut     float64 // ratio cut of the better completion
+}
+
+// Result is the outcome of an IG-Match run.
+type Result struct {
+	// Partition is the best module bipartition found.
+	Partition *partition.Bipartition
+	// Metrics evaluates Partition on the input netlist.
+	Metrics partition.Metrics
+	// NetOrder is the eigenvector-sorted net ordering driving the sweep.
+	NetOrder []int
+	// Lambda2 is the second-smallest eigenvalue of Q'(G').
+	Lambda2 float64
+	// BestRank is the number of nets on the R side at the winning split.
+	BestRank int
+	// BestMatching is |MM(B)| at the winning split; by Theorem 5 the
+	// completed partition cuts at most this many nets.
+	BestMatching int
+	// Recursed reports whether the recursive completion improved on the
+	// bulk Phase II assignment at the winning split.
+	Recursed bool
+}
+
+// Partition runs IG-Match on the netlist h.
+func Partition(h *hypergraph.Hypergraph, opts Options) (Result, error) {
+	m := h.NumNets()
+	if m < 2 {
+		return Result{}, errors.New("core: IG-Match needs at least 2 nets")
+	}
+	if h.NumModules() < 2 {
+		return Result{}, errors.New("core: IG-Match needs at least 2 modules")
+	}
+
+	// Step 1–2: net ordering from the IG Fiedler vector.
+	q := netmodel.IGLaplacian(h, opts.IG)
+	fied, err := eigen.Fiedler(q, opts.Eigen)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: eigensolve failed: %w", err)
+	}
+	order := SortNetsByVector(fied.Vector)
+
+	res, err := sweep(h, order, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Lambda2 = fied.Lambda2
+	return res, nil
+}
+
+// PartitionWithOrder runs the IG-Match sweep over an externally supplied
+// net ordering (a permutation of 0..NumNets−1). It exposes the completion
+// machinery independently of the eigensolve, which the tests and the
+// recursive extension rely on.
+func PartitionWithOrder(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) {
+	if len(order) != h.NumNets() {
+		return Result{}, fmt.Errorf("core: order has %d entries, want %d", len(order), h.NumNets())
+	}
+	return sweep(h, order, opts)
+}
+
+// SortNetsByVector returns net indices sorted by ascending eigenvector
+// component, with index order breaking ties deterministically.
+func SortNetsByVector(x []float64) []int {
+	order := make([]int, len(x))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return x[order[a]] < x[order[b]] })
+	return order
+}
+
+// IGAdjacency builds unweighted intersection-graph adjacency lists: nets a
+// and b are adjacent iff they share at least one module. This is the host
+// graph for the conflict bipartite graph B.
+func IGAdjacency(h *hypergraph.Hypergraph) [][]int {
+	m := h.NumNets()
+	adj := make([][]int, m)
+	stamp := make([]int, m)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for a := 0; a < m; a++ {
+		for _, v := range h.Pins(a) {
+			for _, b := range h.Nets(v) {
+				if b == a || stamp[b] == a {
+					continue
+				}
+				stamp[b] = a
+				adj[a] = append(adj[a], b)
+			}
+		}
+	}
+	return adj
+}
+
+// sweep runs the incremental IG-Match main loop over the given net order.
+// Each split is evaluated with a single pass over the pins: both Phase II
+// bulk options are scored simultaneously from the winner assignment, and a
+// concrete partition is only materialized when the split improves on the
+// best seen so far.
+func sweep(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) {
+	m := h.NumNets()
+	adj := IGAdjacency(h)
+	matcher := bipartite.NewMatcher(adj)
+	comp := newCompleter(h)
+
+	best := Result{NetOrder: order}
+	bestCost := partition.Metrics{RatioCut: inf()}
+	var bestSets bipartite.Sets
+	haveBest := false
+
+	var sets bipartite.Sets
+	for rank := 1; rank < m; rank++ {
+		matcher.MoveToR(order[rank-1])
+		matcher.WinnersInto(&sets)
+		met, vnSide, ok := comp.evaluate(sets)
+		if opts.Trace != nil {
+			rec := SplitRecord{
+				Rank:         rank,
+				MatchingSize: matcher.MatchingSize(),
+				CutNets:      met.CutNets,
+				RatioCut:     met.RatioCut,
+			}
+			if !ok {
+				rec.CutNets = -1
+				rec.RatioCut = math.Inf(1)
+			}
+			*opts.Trace = append(*opts.Trace, rec)
+		}
+		if !ok {
+			continue
+		}
+		if better(met, bestCost) {
+			bestCost = met
+			best.Partition = comp.materialize(vnSide)
+			best.Metrics = met
+			best.BestRank = rank
+			best.BestMatching = matcher.MatchingSize()
+			bestSets = copySets(sets) // sets storage is reused next split
+			haveBest = true
+		}
+	}
+	if !haveBest {
+		return Result{}, errors.New("core: no proper completion found (every split left one side empty)")
+	}
+
+	if opts.RecursionDepth > 0 {
+		if p2, met2, ok := completeRecursive(h, bestSets, opts); ok && better(met2, best.Metrics) {
+			best.Partition = p2
+			best.Metrics = met2
+			best.Recursed = true
+		}
+	}
+	return best, nil
+}
+
+// copySets deep-copies a winner classification whose storage is reused.
+func copySets(s bipartite.Sets) bipartite.Sets {
+	return bipartite.Sets{
+		EvenL: append([]int(nil), s.EvenL...),
+		OddL:  append([]int(nil), s.OddL...),
+		EvenR: append([]int(nil), s.EvenR...),
+		OddR:  append([]int(nil), s.OddR...),
+		CoreL: append([]int(nil), s.CoreL...),
+		CoreR: append([]int(nil), s.CoreR...),
+	}
+}
+
+// completer evaluates Phase II completions with reused buffers.
+type completer struct {
+	h *hypergraph.Hypergraph
+	// assigned holds the winner coloring: 0 = unassigned (V_N),
+	// 1 = V_L (side U), 2 = V_R (side W).
+	assigned []uint8
+	touched  []int // modules colored at the current split, for O(1) reset
+}
+
+func newCompleter(h *hypergraph.Hypergraph) *completer {
+	return &completer{
+		h:        h,
+		assigned: make([]uint8, h.NumModules()),
+		touched:  make([]int, 0, h.NumModules()),
+	}
+}
+
+// color applies the winner assignment for the given split.
+func (c *completer) color(sets bipartite.Sets) (nU, nW int) {
+	for _, v := range c.touched {
+		c.assigned[v] = 0
+	}
+	c.touched = c.touched[:0]
+	for _, e := range sets.EvenL {
+		for _, v := range c.h.Pins(e) {
+			if c.assigned[v] == 0 {
+				c.touched = append(c.touched, v)
+				nU++
+			} else if c.assigned[v] == 2 {
+				nW-- // overlap cannot happen with a maximum matching, but
+				nU++ // stay safe: latest color wins
+			}
+			c.assigned[v] = 1
+		}
+	}
+	for _, e := range sets.EvenR {
+		for _, v := range c.h.Pins(e) {
+			if c.assigned[v] == 0 {
+				c.touched = append(c.touched, v)
+				nW++
+			} else if c.assigned[v] == 1 {
+				nU--
+				nW++
+			}
+			c.assigned[v] = 2
+		}
+	}
+	return nU, nW
+}
+
+// evaluate colors the winners and scores both bulk placements of the
+// unassigned modules in one pass over the pins, returning the better
+// option's metrics and which side V_N goes to. ok is false when both
+// options leave a side empty.
+func (c *completer) evaluate(sets bipartite.Sets) (partition.Metrics, partition.Side, bool) {
+	nU, nW := c.color(sets)
+	n := c.h.NumModules()
+	nN := n - nU - nW
+
+	cutToU, cutToW := 0, 0 // cut counts for V_N→U and V_N→W
+	for e := 0; e < c.h.NumNets(); e++ {
+		pins := c.h.Pins(e)
+		if len(pins) < 2 {
+			continue
+		}
+		var hasU, hasW, hasN bool
+		for _, v := range pins {
+			switch c.assigned[v] {
+			case 1:
+				hasU = true
+			case 2:
+				hasW = true
+			default:
+				hasN = true
+			}
+		}
+		if hasW && (hasU || hasN) {
+			cutToU++
+		}
+		if hasU && (hasW || hasN) {
+			cutToW++
+		}
+	}
+
+	metU := partition.Metrics{ // V_N joins U
+		CutNets: cutToU, SizeU: nU + nN, SizeW: nW,
+		RatioCut: partition.RatioCutFrom(cutToU, nU+nN, nW),
+	}
+	metW := partition.Metrics{ // V_N joins W
+		CutNets: cutToW, SizeU: nU, SizeW: nW + nN,
+		RatioCut: partition.RatioCutFrom(cutToW, nU, nW+nN),
+	}
+	okU := metU.SizeU > 0 && metU.SizeW > 0
+	okW := metW.SizeU > 0 && metW.SizeW > 0
+	switch {
+	case okU && (!okW || !better(metW, metU)): // ties go to the U option
+		return metU, sideU, true
+	case okW:
+		return metW, sideW, true
+	default:
+		return partition.Metrics{}, sideU, false
+	}
+}
+
+// materialize builds the partition for the current coloring with V_N on
+// the given side. Must be called before the next evaluate.
+func (c *completer) materialize(vnSide partition.Side) *partition.Bipartition {
+	sides := make([]partition.Side, c.h.NumModules())
+	for v := range sides {
+		switch c.assigned[v] {
+		case 1:
+			sides[v] = sideU
+		case 2:
+			sides[v] = sideW
+		default:
+			sides[v] = vnSide
+		}
+	}
+	return partition.FromSides(sides)
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// better orders candidate completions: primarily by ratio cut, then by
+// fewer cut nets, making the sweep deterministic.
+func better(a, b partition.Metrics) bool {
+	if a.RatioCut != b.RatioCut {
+		return a.RatioCut < b.RatioCut
+	}
+	return a.CutNets < b.CutNets
+}
+
+const (
+	sideU partition.Side = partition.U
+	sideW partition.Side = partition.W
+)
+
+// assignWinners colors modules by the winner nets: V_L ← modules of Even(L)
+// nets (side U), V_R ← modules of Even(R) nets (side W). It returns the
+// list of unassigned (V_N) modules. The two winner module sets are disjoint
+// when the matching is maximum, which the Matcher guarantees.
+func assignWinners(h *hypergraph.Hypergraph, sets bipartite.Sets, sides []partition.Side, assigned []bool) (vn []int) {
+	for i := range assigned {
+		assigned[i] = false
+	}
+	for _, e := range sets.EvenL {
+		for _, v := range h.Pins(e) {
+			sides[v] = sideU
+			assigned[v] = true
+		}
+	}
+	for _, e := range sets.EvenR {
+		for _, v := range h.Pins(e) {
+			sides[v] = sideW
+			assigned[v] = true
+		}
+	}
+	for v := range assigned {
+		if !assigned[v] {
+			vn = append(vn, v)
+		}
+	}
+	return vn
+}
+
+// completeBulk performs Phase II: both bulk placements of the unassigned
+// modules are evaluated and the better one returned. ok is false when both
+// options leave a side empty (no proper bipartition exists at this split).
+func completeBulk(h *hypergraph.Hypergraph, sets bipartite.Sets, sides []partition.Side) (partition.Metrics, *partition.Bipartition, bool) {
+	assigned := make([]bool, h.NumModules())
+	vn := assignWinners(h, sets, sides, assigned)
+
+	bestMet := partition.Metrics{RatioCut: inf()}
+	var bestSides []partition.Side
+	for _, opt := range []partition.Side{sideU, sideW} {
+		for _, v := range vn {
+			sides[v] = opt
+		}
+		p := partition.FromSides(sides)
+		met := partition.Evaluate(h, p)
+		if met.SizeU == 0 || met.SizeW == 0 {
+			continue
+		}
+		if better(met, bestMet) {
+			bestMet = met
+			bestSides = append(bestSides[:0], sides...)
+		}
+	}
+	if bestSides == nil {
+		return partition.Metrics{}, nil, false
+	}
+	return bestMet, partition.FromSides(bestSides), true
+}
+
+// completeRecursive implements the recursive extension: the unassigned
+// modules are partitioned by a recursive IG-Match call on their induced
+// sub-hypergraph, and the two orientations of that sub-partition are
+// evaluated against the winner assignment.
+func completeRecursive(h *hypergraph.Hypergraph, sets bipartite.Sets, opts Options) (*partition.Bipartition, partition.Metrics, bool) {
+	sides := make([]partition.Side, h.NumModules())
+	assigned := make([]bool, h.NumModules())
+	vn := assignWinners(h, sets, sides, assigned)
+	if len(vn) < 2 {
+		return nil, partition.Metrics{}, false
+	}
+	keep := make([]bool, h.NumModules())
+	for _, v := range vn {
+		keep[v] = true
+	}
+	sub, moduleMap, _ := hypergraph.SubHypergraph(h, keep)
+	if sub.NumNets() < 2 {
+		return nil, partition.Metrics{}, false
+	}
+	subOpts := opts
+	subOpts.RecursionDepth--
+	subOpts.Trace = nil
+	subRes, err := Partition(sub, subOpts)
+	if err != nil {
+		return nil, partition.Metrics{}, false
+	}
+
+	bestMet := partition.Metrics{RatioCut: inf()}
+	var bestSides []partition.Side
+	for flip := 0; flip < 2; flip++ {
+		for i, v := range moduleMap {
+			s := subRes.Partition.Side(i)
+			if flip == 1 {
+				s = s.Opposite()
+			}
+			sides[v] = s
+		}
+		p := partition.FromSides(sides)
+		met := partition.Evaluate(h, p)
+		if met.SizeU == 0 || met.SizeW == 0 {
+			continue
+		}
+		if better(met, bestMet) {
+			bestMet = met
+			bestSides = append(bestSides[:0], sides...)
+		}
+	}
+	if bestSides == nil {
+		return nil, partition.Metrics{}, false
+	}
+	return partition.FromSides(bestSides), bestMet, true
+}
+
+// CompleteNetPartition exposes the Phase I + Phase II completion for an
+// arbitrary net bipartition (inR[e] placing net e on the R side). It
+// returns the better bulk completion along with the matching size of the
+// conflict graph — the Theorem 5 bound on the cut.
+func CompleteNetPartition(h *hypergraph.Hypergraph, inR []bool) (*partition.Bipartition, partition.Metrics, int, error) {
+	if len(inR) != h.NumNets() {
+		return nil, partition.Metrics{}, 0, fmt.Errorf("core: inR has %d entries, want %d", len(inR), h.NumNets())
+	}
+	adj := IGAdjacency(h)
+	matcher := bipartite.NewMatcher(adj)
+	for e, r := range inR {
+		if r {
+			matcher.MoveToR(e)
+		}
+	}
+	sets := matcher.Winners()
+	sides := make([]partition.Side, h.NumModules())
+	met, p, ok := completeBulk(h, sets, sides)
+	if !ok {
+		return nil, partition.Metrics{}, 0, errors.New("core: completion leaves a side empty")
+	}
+	return p, met, matcher.MatchingSize(), nil
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"igpart/internal/eigen"
+	"igpart/internal/hypergraph"
+	"igpart/internal/netmodel"
+	"igpart/internal/partition"
+)
+
+// twoClusters builds a netlist with two internally dense clusters of size
+// k joined by `bridges` two-pin nets — a planted natural ratio cut.
+func twoClusters(k, bridges int, seed int64) *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(2 * k)
+	for c := 0; c < 2; c++ {
+		base := c * k
+		// Chain to guarantee connectivity, then random 2–3 pin nets.
+		for i := 0; i < k-1; i++ {
+			b.AddNet(base+i, base+i+1)
+		}
+		for e := 0; e < 2*k; e++ {
+			x, y, z := rng.Intn(k), rng.Intn(k), rng.Intn(k)
+			if rng.Intn(2) == 0 {
+				b.AddNet(base+x, base+y)
+			} else {
+				b.AddNet(base+x, base+y, base+z)
+			}
+		}
+	}
+	for i := 0; i < bridges; i++ {
+		b.AddNet(rng.Intn(k), k+rng.Intn(k))
+	}
+	return b.Build()
+}
+
+func TestIGAdjacency(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddNet(0, 1)    // net 0
+	b.AddNet(1, 2)    // net 1 (shares module 1 with net 0)
+	b.AddNet(3, 4)    // net 2 (disjoint)
+	b.AddNet(0, 2, 3) // net 3 (shares with all)
+	h := b.Build()
+	adj := IGAdjacency(h)
+	want := map[int][]int{0: {1, 3}, 1: {0, 3}, 2: {3}, 3: {0, 1, 2}}
+	for a, nbrs := range adj {
+		got := map[int]bool{}
+		for _, x := range nbrs {
+			got[x] = true
+		}
+		if len(got) != len(want[a]) {
+			t.Errorf("adj[%d] = %v, want %v", a, nbrs, want[a])
+			continue
+		}
+		for _, x := range want[a] {
+			if !got[x] {
+				t.Errorf("adj[%d] = %v missing %d", a, nbrs, x)
+			}
+		}
+	}
+}
+
+func TestSortNetsByVector(t *testing.T) {
+	order := SortNetsByVector([]float64{0.3, -1, 0.3, 0})
+	if order[0] != 1 || order[1] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	// Stable tie-break: net 0 before net 2.
+	if order[2] != 0 || order[3] != 2 {
+		t.Errorf("tie-break not stable: %v", order)
+	}
+}
+
+func TestFigure4FewerThanMatching(t *testing.T) {
+	// The Figure 4 phenomenon: a loser net whose modules all migrate to one
+	// side ends up uncut, so the completed partition cuts strictly fewer
+	// nets than the maximum matching bound.
+	b := hypergraph.NewBuilder()
+	b.AddNamedNet("s", 0, 1) // L, disjoint from everything
+	b.AddNamedNet("v", 2, 3) // L, the loser-to-be
+	b.AddNamedNet("w", 2, 4) // R, shares module 2 with v
+	b.AddNamedNet("u", 3, 5) // R, shares module 3 with v
+	h := b.Build()
+	inR := []bool{false, false, true, true}
+	p, met, mm, err := CompleteNetPartition(h, inR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm != 1 {
+		t.Fatalf("matching size = %d, want 1", mm)
+	}
+	if met.CutNets != 0 {
+		t.Fatalf("cut = %d, want 0 (< matching bound)", met.CutNets)
+	}
+	// Modules {0,1} on one side, {2,3,4,5} on the other.
+	side0 := p.Side(0)
+	if p.Side(1) != side0 {
+		t.Error("modules 0,1 split apart")
+	}
+	for v := 2; v <= 5; v++ {
+		if p.Side(v) == side0 {
+			t.Errorf("module %d ended up with the s-side", v)
+		}
+	}
+}
+
+func TestTheorem5CutAtMostMatching(t *testing.T) {
+	// For any net partition, the completed module partition cuts at most
+	// |MM(B)| nets (Theorems 4–5).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		b := hypergraph.NewBuilder()
+		b.SetNumModules(n)
+		m := 2 + rng.Intn(20)
+		for e := 0; e < m; e++ {
+			k := 2 + rng.Intn(4)
+			pins := make([]int, k)
+			for i := range pins {
+				pins[i] = rng.Intn(n)
+			}
+			b.AddNet(pins...)
+		}
+		h := b.Build()
+		inR := make([]bool, h.NumNets())
+		any := false
+		for e := range inR {
+			inR[e] = rng.Intn(2) == 0
+			any = any || inR[e]
+		}
+		if !any {
+			inR[0] = true
+		}
+		_, met, mm, err := CompleteNetPartition(h, inR)
+		if err != nil {
+			return true // no proper completion exists at this split; fine
+		}
+		return met.CutNets <= mm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionTwoClusters(t *testing.T) {
+	h := twoClusters(30, 1, 7)
+	res, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := res.Metrics
+	if met.SizeU == 0 || met.SizeW == 0 {
+		t.Fatal("improper partition")
+	}
+	// The single bridge net is the natural cut.
+	if met.CutNets > 2 {
+		t.Errorf("cut = %d, want ≤ 2 (single planted bridge)", met.CutNets)
+	}
+	// Each cluster should be (almost) whole on one side.
+	side0 := res.Partition.Side(0)
+	misplaced := 0
+	for v := 0; v < 30; v++ {
+		if res.Partition.Side(v) != side0 {
+			misplaced++
+		}
+	}
+	for v := 30; v < 60; v++ {
+		if res.Partition.Side(v) == side0 {
+			misplaced++
+		}
+	}
+	if misplaced > 2 {
+		t.Errorf("%d modules on the wrong side of the planted split", misplaced)
+	}
+	if res.BestMatching < met.CutNets {
+		t.Errorf("Theorem 5 violated: cut %d > matching %d", met.CutNets, res.BestMatching)
+	}
+	if res.Lambda2 < 0 {
+		t.Errorf("λ2 = %v, want ≥ 0", res.Lambda2)
+	}
+}
+
+func TestPartitionValidity(t *testing.T) {
+	// IG-Match always returns a proper partition consistent with its
+	// metrics, on arbitrary random netlists.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(25)
+		b := hypergraph.NewBuilder()
+		b.SetNumModules(n)
+		for e := 0; e < n; e++ {
+			k := 2 + rng.Intn(3)
+			pins := make([]int, k)
+			for i := range pins {
+				pins[i] = rng.Intn(n)
+			}
+			b.AddNet(pins...)
+		}
+		h := b.Build()
+		res, err := Partition(h, Options{Eigen: eigenOpts(seed)})
+		if err != nil {
+			return true // degenerate instance (e.g. all nets identical)
+		}
+		met := partition.Evaluate(h, res.Partition)
+		return met == res.Metrics && met.SizeU > 0 && met.SizeW > 0 &&
+			met.CutNets <= res.BestMatching
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionWithOrderMatchesPartition(t *testing.T) {
+	h := twoClusters(15, 2, 3)
+	res, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := PartitionWithOrder(h, res.NetOrder, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Metrics != res.Metrics {
+		t.Errorf("replayed order gives %+v, direct run %+v", res2.Metrics, res.Metrics)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	h := twoClusters(20, 2, 5)
+	a, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics != b.Metrics || a.BestRank != b.BestRank {
+		t.Errorf("IG-Match not deterministic: %+v vs %+v", a.Metrics, b.Metrics)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddNet(0, 1)
+	h := b.Build()
+	if _, err := Partition(h, Options{}); err == nil {
+		t.Error("accepted single-net instance")
+	}
+	one := hypergraph.NewBuilder()
+	one.SetNumModules(1)
+	one.AddNet(0)
+	one.AddNet(0)
+	if _, err := Partition(one.Build(), Options{}); err == nil {
+		t.Error("accepted single-module instance")
+	}
+	if _, err := PartitionWithOrder(h, []int{0, 1, 2}, Options{}); err == nil {
+		t.Error("accepted wrong-length order")
+	}
+	if _, _, _, err := CompleteNetPartition(h, []bool{true, false, true}); err == nil {
+		t.Error("accepted wrong-length inR")
+	}
+}
+
+func TestTraceRecords(t *testing.T) {
+	h := twoClusters(10, 1, 2)
+	var trace []SplitRecord
+	res, err := Partition(h, Options{Trace: &trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != h.NumNets()-1 {
+		t.Fatalf("trace has %d records, want %d", len(trace), h.NumNets()-1)
+	}
+	foundBest := false
+	for i, r := range trace {
+		if r.Rank != i+1 {
+			t.Fatalf("trace rank %d at index %d", r.Rank, i)
+		}
+		if r.CutNets > r.MatchingSize {
+			t.Errorf("rank %d: cut %d exceeds matching %d", r.Rank, r.CutNets, r.MatchingSize)
+		}
+		if r.Rank == res.BestRank && r.RatioCut == res.Metrics.RatioCut {
+			foundBest = true
+		}
+	}
+	if !foundBest {
+		t.Error("best split not present in trace")
+	}
+}
+
+func TestSweepBestMatchesReplayedCompletion(t *testing.T) {
+	// The incremental sweep's winner must agree with an independent
+	// from-scratch completion of the same net prefix split.
+	h := twoClusters(18, 2, 21)
+	res, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inR := make([]bool, h.NumNets())
+	for i := 0; i < res.BestRank; i++ {
+		inR[res.NetOrder[i]] = true
+	}
+	_, met, mm, err := CompleteNetPartition(h, inR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met != res.Metrics {
+		t.Errorf("replayed completion %+v != sweep best %+v", met, res.Metrics)
+	}
+	if mm != res.BestMatching {
+		t.Errorf("replayed matching %d != sweep matching %d", mm, res.BestMatching)
+	}
+}
+
+func TestSweepBestIsMinOverTrace(t *testing.T) {
+	h := twoClusters(15, 3, 31)
+	var trace []SplitRecord
+	res, err := Partition(h, Options{Trace: &trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range trace {
+		if rec.RatioCut > 0 && rec.RatioCut < res.Metrics.RatioCut-1e-12 {
+			t.Fatalf("trace rank %d has better ratio %v than reported best %v",
+				rec.Rank, rec.RatioCut, res.Metrics.RatioCut)
+		}
+	}
+}
+
+func TestRecursiveCompletionNeverWorse(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		h := twoClusters(12, 3, seed)
+		plain, err := Partition(h, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Partition(h, Options{RecursionDepth: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Metrics.RatioCut > plain.Metrics.RatioCut {
+			t.Errorf("seed %d: recursion worsened ratio cut: %v > %v",
+				seed, rec.Metrics.RatioCut, plain.Metrics.RatioCut)
+		}
+	}
+}
+
+func TestThresholdedIGStillCorrect(t *testing.T) {
+	// Thresholding only alters the eigen ordering; completions must stay
+	// valid partitions obeying the matching bound.
+	h := twoClusters(15, 2, 9)
+	res, err := Partition(h, Options{IG: netmodel.IGOptions{Threshold: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.SizeU == 0 || res.Metrics.SizeW == 0 {
+		t.Error("improper partition under thresholding")
+	}
+	if res.Metrics.CutNets > res.BestMatching {
+		t.Error("matching bound violated under thresholding")
+	}
+}
+
+// eigenOpts gives per-seed eigen options so quick.Check cases differ.
+func eigenOpts(seed int64) eigen.Options {
+	return eigen.Options{Seed: seed}
+}

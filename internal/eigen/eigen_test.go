@@ -1,0 +1,399 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"igpart/internal/sparse"
+)
+
+func TestSymTridiagonalSmall(t *testing.T) {
+	// T = [[2,1],[1,2]] has eigenvalues 1 and 3 with known eigenvectors.
+	vals, z, err := SymTridiagonal([]float64{2, 2}, []float64{1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-12 || math.Abs(vals[1]-3) > 1e-12 {
+		t.Fatalf("vals = %v, want [1 3]", vals)
+	}
+	// Eigenvector for λ=1 is (1,-1)/√2 up to sign.
+	if math.Abs(math.Abs(z[0][0])-1/math.Sqrt2) > 1e-12 {
+		t.Errorf("z = %v", z)
+	}
+	if z[0][0]*z[1][0] > 0 {
+		t.Errorf("λ=1 eigenvector should have opposite signs: %v", z)
+	}
+}
+
+func TestSymTridiagonalDiagonal(t *testing.T) {
+	vals, z, err := SymTridiagonal([]float64{5, -1, 3}, []float64{0, 0}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 3, 5}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+	if z == nil {
+		t.Fatal("no vectors returned")
+	}
+}
+
+func TestSymTridiagonalEdgeCases(t *testing.T) {
+	if vals, _, err := SymTridiagonal(nil, nil, true); err != nil || vals != nil {
+		t.Errorf("empty: vals=%v err=%v", vals, err)
+	}
+	vals, _, err := SymTridiagonal([]float64{7}, nil, true)
+	if err != nil || len(vals) != 1 || vals[0] != 7 {
+		t.Errorf("1x1: vals=%v err=%v", vals, err)
+	}
+	if _, _, err := SymTridiagonal([]float64{1, 2}, []float64{1, 2, 3}, false); err == nil {
+		t.Error("accepted wrong subdiagonal length")
+	}
+}
+
+// randomTridiag builds a random symmetric tridiagonal system.
+func randomTridiag(rng *rand.Rand, n int) (d, e []float64) {
+	d = make([]float64, n)
+	e = make([]float64, n-1)
+	for i := range d {
+		d[i] = rng.NormFloat64() * 3
+	}
+	for i := range e {
+		e[i] = rng.NormFloat64()
+	}
+	return d, e
+}
+
+func TestSymTridiagonalMatchesJacobi(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		d, e := randomTridiag(rng, n)
+		got, z, err := SymTridiagonal(d, e, true)
+		if err != nil {
+			return false
+		}
+		m := sparse.NewSymDense(n)
+		for i := 0; i < n; i++ {
+			m.Set(i, i, d[i])
+		}
+		for i := 0; i < n-1; i++ {
+			m.Set(i, i+1, e[i])
+		}
+		want, _, err := Jacobi(m, 0)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		// Residual check: ‖T z_k − λ_k z_k‖ small for each k.
+		for k := 0; k < n; k++ {
+			x := make([]float64, n)
+			for i := 0; i < n; i++ {
+				x[i] = z[i][k]
+			}
+			y := make([]float64, n)
+			m.MulVec(y, x)
+			sparse.Axpy(-got[k], x, y)
+			if sparse.Norm2(y) > 1e-8*(1+math.Abs(got[k])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJacobiKnownMatrix(t *testing.T) {
+	// Path graph P3 Laplacian: eigenvalues 0, 1, 3.
+	a := sparse.NewSymDense(3)
+	a.Set(0, 1, 1)
+	a.Set(1, 2, 1)
+	q := sparse.DenseLaplacian(a)
+	vals, vecs, err := Jacobi(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 3}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-10 {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+	// Fiedler vector of P3 is (1,0,-1)/√2 up to sign.
+	if math.Abs(vecs[1][1]) > 1e-10 {
+		t.Errorf("middle component of Fiedler vector = %v, want 0", vecs[1][1])
+	}
+	if vecs[0][1]*vecs[2][1] >= 0 {
+		t.Errorf("end components should have opposite signs: %v %v", vecs[0][1], vecs[2][1])
+	}
+}
+
+func TestJacobiOrthonormality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		m := sparse.NewSymDense(n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		_, v, err := Jacobi(m, 0)
+		if err != nil {
+			return false
+		}
+		for a := 0; a < n; a++ {
+			for b := a; b < n; b++ {
+				s := 0.0
+				for i := 0; i < n; i++ {
+					s += v[i][a] * v[i][b]
+				}
+				want := 0.0
+				if a == b {
+					want = 1
+				}
+				if math.Abs(s-want) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargestDeflatedMatchesJacobi(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		m := sparse.NewSymDense(n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		wantVals, _, err := Jacobi(m, 0)
+		if err != nil {
+			return false
+		}
+		got, vec, err := LargestDeflated(m, nil, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		want := wantVals[n-1]
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			return false
+		}
+		// Residual check.
+		y := make([]float64, n)
+		m.MulVec(y, vec)
+		sparse.Axpy(-got, vec, y)
+		return sparse.Norm2(y) <= 1e-5*(1+math.Abs(got))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargestDeflatedRespectsDeflation(t *testing.T) {
+	// Deflating the top eigenvector must return the second-largest value.
+	rng := rand.New(rand.NewSource(7))
+	n := 16
+	m := sparse.NewSymDense(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	vals, vecs, err := Jacobi(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := make([]float64, n)
+	for i := range top {
+		top[i] = vecs[i][n-1]
+	}
+	got, vec, err := LargestDeflated(m, [][]float64{top}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-vals[n-2]) > 1e-6*(1+math.Abs(vals[n-2])) {
+		t.Errorf("second-largest = %v, want %v", got, vals[n-2])
+	}
+	if math.Abs(sparse.Dot(vec, top)) > 1e-6 {
+		t.Errorf("returned vector not orthogonal to deflation: %v", sparse.Dot(vec, top))
+	}
+}
+
+func TestLargestDeflatedErrors(t *testing.T) {
+	if _, _, err := LargestDeflated(sparse.NewSymDense(0), nil, Options{}); err == nil {
+		t.Error("accepted empty operator")
+	}
+	one := []float64{1}
+	if _, _, err := LargestDeflated(sparse.NewSymDense(1), [][]float64{one}, Options{}); err == nil {
+		t.Error("accepted full deflation")
+	}
+}
+
+// pathLaplacian builds the Laplacian of a path graph on n vertices.
+func pathLaplacian(n int) *sparse.SymCSR {
+	b := sparse.NewCSRBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.Add(i, i+1, 1)
+	}
+	return sparse.Laplacian(b.Build())
+}
+
+func TestFiedlerPathGraph(t *testing.T) {
+	// λ2 of path P_n is 2(1 − cos(π/n)); the Fiedler vector is monotone
+	// along the path, so sorting it recovers the path order.
+	for _, n := range []int{8, 40, 120} {
+		q := pathLaplacian(n)
+		res, err := Fiedler(q, Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := 2 * (1 - math.Cos(math.Pi/float64(n)))
+		if math.Abs(res.Lambda2-want) > 1e-5*(1+want) {
+			t.Errorf("n=%d: λ2 = %v, want %v", n, res.Lambda2, want)
+		}
+		// Monotonicity (up to global sign).
+		x := res.Vector
+		asc, desc := true, true
+		for i := 1; i < n; i++ {
+			if x[i] < x[i-1] {
+				asc = false
+			}
+			if x[i] > x[i-1] {
+				desc = false
+			}
+		}
+		if !asc && !desc {
+			t.Errorf("n=%d: Fiedler vector of a path is not monotone", n)
+		}
+		if (n <= denseCutoff) != res.Dense {
+			t.Errorf("n=%d: Dense=%v, cutoff=%d", n, res.Dense, denseCutoff)
+		}
+	}
+}
+
+func TestFiedlerDisconnected(t *testing.T) {
+	// Two disjoint triangles: λ2 = 0 and the vector separates components.
+	b := sparse.NewCSRBuilder(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}} {
+		b.Add(e[0], e[1], 1)
+	}
+	q := sparse.Laplacian(b.Build())
+	res, err := Fiedler(q, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lambda2) > 1e-8 {
+		t.Errorf("λ2 = %v, want 0 for disconnected graph", res.Lambda2)
+	}
+	// The λ2=0 eigenvector is constant on each component and the two
+	// constants differ (it is orthogonal to the all-ones vector and unit
+	// norm, so it cannot be globally constant).
+	vA, vB := res.Vector[0], res.Vector[3]
+	for _, i := range []int{1, 2} {
+		if math.Abs(res.Vector[i]-vA) > 1e-8 {
+			t.Errorf("component A not constant: %v", res.Vector)
+		}
+	}
+	for _, i := range []int{4, 5} {
+		if math.Abs(res.Vector[i]-vB) > 1e-8 {
+			t.Errorf("component B not constant: %v", res.Vector)
+		}
+	}
+	if math.Abs(vA-vB) < 1e-8 {
+		t.Errorf("components not separated: %v", res.Vector)
+	}
+}
+
+func TestFiedlerTwoCommunities(t *testing.T) {
+	// Two dense 30-vertex clusters joined by one edge: sorting the Fiedler
+	// vector must recover the planted split exactly.
+	rng := rand.New(rand.NewSource(11))
+	n := 60
+	b := sparse.NewCSRBuilder(n)
+	added := map[[2]int]bool{}
+	addEdge := func(i, j int) {
+		if i == j {
+			return
+		}
+		if i > j {
+			i, j = j, i
+		}
+		if !added[[2]int{i, j}] {
+			added[[2]int{i, j}] = true
+			b.Add(i, j, 1)
+		}
+	}
+	for c := 0; c < 2; c++ {
+		base := c * 30
+		// random connected-ish dense cluster
+		for i := 1; i < 30; i++ {
+			addEdge(base+i, base+rng.Intn(i))
+		}
+		for k := 0; k < 120; k++ {
+			addEdge(base+rng.Intn(30), base+rng.Intn(30))
+		}
+	}
+	addEdge(0, 30)
+	q := sparse.Laplacian(b.Build())
+	res, err := Fiedler(q, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type iv struct {
+		i int
+		v float64
+	}
+	order := make([]iv, n)
+	for i := range order {
+		order[i] = iv{i, res.Vector[i]}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].v < order[b].v })
+	sides := map[bool]bool{}
+	for _, o := range order[:30] {
+		sides[o.i < 30] = true
+	}
+	if len(sides) != 1 {
+		t.Error("Fiedler ordering mixed the two planted communities")
+	}
+}
+
+func TestFiedlerTooSmall(t *testing.T) {
+	if _, err := Fiedler(pathLaplacian(1), Options{}); err == nil {
+		t.Error("accepted 1-vertex graph")
+	}
+}
+
+func TestGershgorinUpper(t *testing.T) {
+	q := pathLaplacian(10)
+	bound := GershgorinUpper(q)
+	vals, _, err := Jacobi(sparse.FromCSR(q), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[len(vals)-1] > bound+1e-12 {
+		t.Errorf("Gershgorin bound %v below λmax %v", bound, vals[len(vals)-1])
+	}
+	if bound > 4.0+1e-12 { // path Laplacian: max 2*degree = 4
+		t.Errorf("bound too loose: %v", bound)
+	}
+}

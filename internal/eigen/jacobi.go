@@ -1,0 +1,121 @@
+package eigen
+
+import (
+	"errors"
+	"math"
+
+	"igpart/internal/sparse"
+)
+
+// Jacobi computes the full eigendecomposition of a dense symmetric matrix
+// using the cyclic Jacobi rotation method. It returns the eigenvalues in
+// ascending order and the corresponding orthonormal eigenvectors as columns
+// (vecs[i][k] is the i-th component of the k-th eigenvector).
+//
+// Jacobi is O(n³) per sweep and only intended for small matrices: it serves
+// as the oracle the Lanczos path is tested against, and handles the tiny
+// worked examples from the paper exactly.
+func Jacobi(a *sparse.SymDense, maxSweeps int) (vals []float64, vecs [][]float64, err error) {
+	n := a.N()
+	if n == 0 {
+		return nil, nil, nil
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 64
+	}
+	// Work on a raw copy of the matrix.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			m[i][j] = a.At(i, j)
+		}
+	}
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+
+	offNorm := func() float64 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += m[i][j] * m[i][j]
+			}
+		}
+		return math.Sqrt(2 * s)
+	}
+	normA := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			normA += m[i][j] * m[i][j]
+		}
+	}
+	normA = math.Sqrt(normA)
+	tol := 1e-13 * (1 + normA)
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if offNorm() <= tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p][q]
+				if math.Abs(apq) <= tol/float64(n*n) {
+					continue
+				}
+				app, aqq := m[p][p], m[q][q]
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// A' = Gᵀ A G with G the (p,q) rotation.
+				for k := 0; k < n; k++ {
+					if k == p || k == q {
+						continue
+					}
+					akp, akq := m[k][p], m[k][q]
+					m[k][p] = c*akp - s*akq
+					m[p][k] = m[k][p]
+					m[k][q] = s*akp + c*akq
+					m[q][k] = m[k][q]
+				}
+				m[p][p] = c*c*app - 2*s*c*apq + s*s*aqq
+				m[q][q] = s*s*app + 2*s*c*apq + c*c*aqq
+				m[p][q] = 0
+				m[q][p] = 0
+				// Accumulate V' = V G.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	if offNorm() > 1e-6*(1+normA) {
+		return nil, nil, errors.New("eigen: Jacobi failed to converge")
+	}
+
+	vals = make([]float64, n)
+	for i := range vals {
+		vals[i] = m[i][i]
+	}
+	// Sort ascending, permuting the eigenvector columns.
+	for i := 0; i < n-1; i++ {
+		k := i
+		for j := i + 1; j < n; j++ {
+			if vals[j] < vals[k] {
+				k = j
+			}
+		}
+		if k != i {
+			vals[i], vals[k] = vals[k], vals[i]
+			for r := 0; r < n; r++ {
+				v[r][i], v[r][k] = v[r][k], v[r][i]
+			}
+		}
+	}
+	return vals, v, nil
+}

@@ -1,0 +1,101 @@
+package eigen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"igpart/internal/sparse"
+)
+
+// SmallestK computes the k smallest eigenvalues (ascending) of the
+// symmetric matrix q and their orthonormal eigenvectors. Small instances
+// use the dense Jacobi solver; larger ones run shifted Lanczos repeatedly,
+// deflating each converged eigenvector.
+//
+// For a graph Laplacian the first pair is (0, constant vector); Hall's
+// quadratic placement (Appendix A of the paper) uses pairs 2 and 3 for a
+// two-dimensional embedding.
+func SmallestK(q *sparse.SymCSR, k int, opts Options) ([]float64, [][]float64, error) {
+	n := q.N()
+	if k < 1 || k > n {
+		return nil, nil, fmt.Errorf("eigen: k=%d outside [1,%d]", k, n)
+	}
+	if n <= denseCutoff || k >= n/2 {
+		vals, z, err := Jacobi(sparse.FromCSR(q), 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		vecs := make([][]float64, k)
+		for j := 0; j < k; j++ {
+			v := make([]float64, n)
+			for i := 0; i < n; i++ {
+				v[i] = z[i][j]
+			}
+			vecs[j] = v
+		}
+		return vals[:k], vecs, nil
+	}
+
+	sigma := GershgorinUpper(q)
+	if sigma <= 0 {
+		sigma = 1
+	}
+	op := &shifted{q: q, sigma: sigma}
+	vals := make([]float64, 0, k)
+	vecs := make([][]float64, 0, k)
+	deflate := make([][]float64, 0, k)
+	for j := 0; j < k; j++ {
+		o := opts
+		o.Seed = opts.Seed + int64(j)
+		mu, x, err := LargestDeflated(op, deflate, o)
+		if err != nil {
+			return nil, nil, fmt.Errorf("eigen: pair %d: %w", j+1, err)
+		}
+		lam := sigma - mu
+		if lam < 0 && lam > -1e-9*sigma {
+			lam = 0
+		}
+		vals = append(vals, lam)
+		vecs = append(vecs, x)
+		deflate = append(deflate, x)
+	}
+	// Deflated solves can return pairs marginally out of order when
+	// eigenvalues are nearly degenerate; enforce ascending order.
+	for i := 1; i < k; i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+			vecs[j], vecs[j-1] = vecs[j-1], vecs[j]
+		}
+	}
+	return vals, vecs, nil
+}
+
+// Residual returns ‖q·x − λx‖ for diagnostics and tests.
+func Residual(q Operator, lambda float64, x []float64) float64 {
+	if len(x) != q.N() {
+		return math.Inf(1)
+	}
+	y := make([]float64, len(x))
+	q.MulVec(y, x)
+	sparse.Axpy(-lambda, x, y)
+	return sparse.Norm2(y)
+}
+
+// CheckOrthonormal verifies that the given vectors are unit length and
+// mutually orthogonal within tol; a testing aid.
+func CheckOrthonormal(vecs [][]float64, tol float64) error {
+	for i, a := range vecs {
+		for j := i; j < len(vecs); j++ {
+			d := sparse.Dot(a, vecs[j])
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(d-want) > tol {
+				return errors.New("eigen: vectors not orthonormal")
+			}
+		}
+	}
+	return nil
+}

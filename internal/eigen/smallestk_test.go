@@ -1,0 +1,95 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"igpart/internal/sparse"
+)
+
+func TestSmallestKMatchesJacobi(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		b := sparse.NewCSRBuilder(n)
+		for e := 0; e < 3*n; e++ {
+			b.Add(rng.Intn(n), rng.Intn(n), rng.Float64())
+		}
+		q := sparse.Laplacian(b.Build())
+		k := 1 + rng.Intn(3)
+		vals, vecs, err := SmallestK(q, k, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		want, _, err := Jacobi(sparse.FromCSR(q), 0)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < k; j++ {
+			if math.Abs(vals[j]-want[j]) > 1e-6*(1+math.Abs(want[j])) {
+				return false
+			}
+			if Residual(q, vals[j], vecs[j]) > 1e-5*(1+math.Abs(vals[j])) {
+				return false
+			}
+		}
+		return CheckOrthonormal(vecs, 1e-6) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmallestKSparsePath(t *testing.T) {
+	// Force the Lanczos path with a large path-graph Laplacian, whose
+	// eigenvalues are 2(1 − cos(jπ/n)).
+	n := 150
+	q := pathLaplacian(n)
+	vals, vecs, err := SmallestK(q, 3, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		want := 2 * (1 - math.Cos(float64(j)*math.Pi/float64(n)))
+		if math.Abs(vals[j]-want) > 1e-5*(1+want) {
+			t.Errorf("λ%d = %v, want %v", j+1, vals[j], want)
+		}
+	}
+	if err := CheckOrthonormal(vecs, 1e-6); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmallestKErrors(t *testing.T) {
+	q := pathLaplacian(5)
+	if _, _, err := SmallestK(q, 0, Options{}); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, _, err := SmallestK(q, 6, Options{}); err == nil {
+		t.Error("accepted k>n")
+	}
+}
+
+func TestResidualLengthMismatch(t *testing.T) {
+	q := pathLaplacian(4)
+	if !math.IsInf(Residual(q, 0, []float64{1, 2}), 1) {
+		t.Error("mismatched length should give +Inf")
+	}
+}
+
+func TestCheckOrthonormal(t *testing.T) {
+	good := [][]float64{{1, 0}, {0, 1}}
+	if err := CheckOrthonormal(good, 1e-12); err != nil {
+		t.Error(err)
+	}
+	bad := [][]float64{{1, 0}, {1, 0}}
+	if err := CheckOrthonormal(bad, 1e-12); err == nil {
+		t.Error("accepted duplicate vectors")
+	}
+	unnormalized := [][]float64{{2, 0}}
+	if err := CheckOrthonormal(unnormalized, 1e-12); err == nil {
+		t.Error("accepted non-unit vector")
+	}
+}

@@ -1,0 +1,113 @@
+// Package eigen implements the symmetric eigensolvers behind the spectral
+// partitioners: a Lanczos iteration with full reorthogonalization and
+// deflation (the sparse workhorse, standing in for the block Lanczos code
+// the paper uses), a symmetric tridiagonal QL solver for the Lanczos
+// projection, a dense Jacobi solver used for cross-validation and tiny
+// instances, and a Fiedler-vector driver that ties them together.
+package eigen
+
+import (
+	"errors"
+	"math"
+)
+
+// SymTridiagonal solves the full eigenproblem of a symmetric tridiagonal
+// matrix with diagonal d (length n) and subdiagonal e (length n−1), using
+// the implicit QL method with Wilkinson shifts (the classical EISPACK tql2
+// algorithm). It returns the eigenvalues in ascending order and, when
+// wantVectors is set, the matrix of eigenvectors z with z[i][k] the i-th
+// component of the k-th eigenvector. d and e are not modified.
+func SymTridiagonal(d, e []float64, wantVectors bool) (vals []float64, z [][]float64, err error) {
+	n := len(d)
+	if len(e) != n-1 && !(n == 0 && len(e) == 0) {
+		return nil, nil, errors.New("eigen: subdiagonal must have length n-1")
+	}
+	if n == 0 {
+		return nil, nil, nil
+	}
+	vals = append([]float64(nil), d...)
+	sub := make([]float64, n) // sub[0..n-2] active, sub[n-1] = 0
+	copy(sub, e)
+	if wantVectors {
+		z = make([][]float64, n)
+		for i := range z {
+			z[i] = make([]float64, n)
+			z[i][i] = 1
+		}
+	}
+
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find the first small subdiagonal element at or after l.
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(vals[m]) + math.Abs(vals[m+1])
+				if math.Abs(sub[m]) <= math.SmallestNonzeroFloat64 || math.Abs(sub[m]) <= 1e-16*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter >= 50 {
+				return nil, nil, errors.New("eigen: tridiagonal QL failed to converge in 50 iterations")
+			}
+			// Form the Wilkinson shift.
+			g := (vals[l+1] - vals[l]) / (2 * sub[l])
+			r := math.Hypot(g, 1)
+			g = vals[m] - vals[l] + sub[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * sub[i]
+				b := c * sub[i]
+				r = math.Hypot(f, g)
+				sub[i+1] = r
+				if r == 0 {
+					vals[i+1] -= p
+					sub[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = vals[i+1] - p
+				r = (vals[i]-g)*s + 2*c*b
+				p = s * r
+				vals[i+1] = g + p
+				g = c*r - b
+				if wantVectors {
+					for k := 0; k < n; k++ {
+						f := z[k][i+1]
+						z[k][i+1] = s*z[k][i] + c*f
+						z[k][i] = c*z[k][i] - s*f
+					}
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			vals[l] -= p
+			sub[l] = g
+			sub[m] = 0
+		}
+	}
+
+	// Sort eigenvalues ascending, permuting eigenvectors alongside.
+	for i := 0; i < n-1; i++ {
+		k := i
+		for j := i + 1; j < n; j++ {
+			if vals[j] < vals[k] {
+				k = j
+			}
+		}
+		if k != i {
+			vals[i], vals[k] = vals[k], vals[i]
+			if wantVectors {
+				for r := 0; r < n; r++ {
+					z[r][i], z[r][k] = z[r][k], z[r][i]
+				}
+			}
+		}
+	}
+	return vals, z, nil
+}

@@ -1,0 +1,195 @@
+package flow
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"igpart/internal/hypergraph"
+	"igpart/internal/partition"
+)
+
+func twoTriangles() *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.AddNet(0, 1)
+	b.AddNet(1, 2)
+	b.AddNet(0, 2)
+	b.AddNet(3, 4)
+	b.AddNet(4, 5)
+	b.AddNet(3, 5)
+	b.AddNet(2, 3) // bridge
+	return b.Build()
+}
+
+func TestMinNetCutBridge(t *testing.T) {
+	h := twoTriangles()
+	res, err := MinNetCut(h, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxFlow != 1 {
+		t.Fatalf("max flow = %d, want 1 (the bridge)", res.MaxFlow)
+	}
+	if res.Metrics.CutNets != 1 {
+		t.Errorf("cut = %d, want 1", res.Metrics.CutNets)
+	}
+	if res.Partition.Side(0) == res.Partition.Side(5) {
+		t.Error("source and sink not separated")
+	}
+	// The whole triangles stay intact.
+	for v := 1; v <= 2; v++ {
+		if res.Partition.Side(v) != res.Partition.Side(0) {
+			t.Errorf("module %d split from source triangle", v)
+		}
+	}
+}
+
+func TestMinNetCutSharedNet(t *testing.T) {
+	// s and t on one 2-pin net: cutting that single net separates them.
+	b := hypergraph.NewBuilder()
+	b.AddNet(0, 1)
+	h := b.Build()
+	res, err := MinNetCut(h, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxFlow != 1 || res.Metrics.CutNets != 1 {
+		t.Errorf("flow=%d cut=%d, want 1/1", res.MaxFlow, res.Metrics.CutNets)
+	}
+}
+
+func TestMinNetCutErrors(t *testing.T) {
+	h := twoTriangles()
+	if _, err := MinNetCut(h, 0, 0); err == nil {
+		t.Error("accepted s == t")
+	}
+	if _, err := MinNetCut(h, -1, 2); err == nil {
+		t.Error("accepted out-of-range source")
+	}
+}
+
+// bruteMinNetCut finds the true minimum number of nets separating s and t
+// by enumerating net subsets (small instances only).
+func bruteMinNetCut(h *hypergraph.Hypergraph, s, t int) int {
+	m := h.NumNets()
+	best := m + 1
+	for mask := uint32(0); mask < 1<<uint(m); mask++ {
+		k := bits.OnesCount32(mask)
+		if k >= best {
+			continue
+		}
+		// Connectivity of s to t avoiding removed nets.
+		seen := make([]bool, h.NumModules())
+		seen[s] = true
+		queue := []int{s}
+		for qi := 0; qi < len(queue) && !seen[t]; qi++ {
+			u := queue[qi]
+			for _, e := range h.Nets(u) {
+				if mask&(1<<uint(e)) != 0 {
+					continue
+				}
+				for _, v := range h.Pins(e) {
+					if !seen[v] {
+						seen[v] = true
+						queue = append(queue, v)
+					}
+				}
+			}
+		}
+		if !seen[t] {
+			best = k
+		}
+	}
+	return best
+}
+
+func TestMinNetCutMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		b := hypergraph.NewBuilder()
+		b.SetNumModules(n)
+		m := 2 + rng.Intn(9)
+		for e := 0; e < m; e++ {
+			k := 2 + rng.Intn(3)
+			pins := make([]int, k)
+			for i := range pins {
+				pins[i] = rng.Intn(n)
+			}
+			b.AddNet(pins...)
+		}
+		h := b.Build()
+		s := rng.Intn(n)
+		t0 := rng.Intn(n)
+		if s == t0 {
+			t0 = (t0 + 1) % n
+		}
+		res, err := MinNetCut(h, s, t0)
+		if err != nil {
+			return false
+		}
+		want := bruteMinNetCut(h, s, t0)
+		// The gadget guarantees the partition cuts exactly MaxFlow nets and
+		// MaxFlow equals the true minimum.
+		return res.MaxFlow == want && res.Metrics.CutNets == res.MaxFlow &&
+			partition.Evaluate(h, res.Partition) == res.Metrics
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestOverPairs(t *testing.T) {
+	h := twoTriangles()
+	res, err := BestOverPairs(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxFlow != 1 {
+		t.Errorf("best cut = %d, want 1", res.MaxFlow)
+	}
+	if _, err := BestOverPairs(hypergraph.NewBuilder().Build(), 2); err == nil {
+		t.Error("accepted empty netlist")
+	}
+}
+
+// TestMinCutUnevenDivision reproduces the paper's Section 1.1 observation:
+// on a circuit with a cheap peripheral separation, the flow min cut peels
+// a tiny piece while the ratio-cut objective prefers the balanced split.
+func TestMinCutUnevenDivision(t *testing.T) {
+	// Two 12-module clusters joined by 3 bridges, plus one pendant module
+	// hanging off a single net: the global min cut (1) isolates the
+	// pendant; the planted "good" partition cuts 3.
+	rng := rand.New(rand.NewSource(4))
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(25)
+	for c := 0; c < 2; c++ {
+		base := c * 12
+		for i := 0; i < 11; i++ {
+			b.AddNet(base+i, base+i+1)
+		}
+		for e := 0; e < 20; e++ {
+			b.AddNet(base+rng.Intn(12), base+rng.Intn(12))
+		}
+	}
+	for i := 0; i < 3; i++ {
+		b.AddNet(rng.Intn(12), 12+rng.Intn(12))
+	}
+	b.AddNet(0, 24) // pendant module 24
+	h := b.Build()
+	res, err := BestOverPairs(h, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxFlow > 1 {
+		t.Fatalf("min cut = %d, want 1 (the pendant)", res.MaxFlow)
+	}
+	small := res.Metrics.SizeU
+	if res.Metrics.SizeW < small {
+		small = res.Metrics.SizeW
+	}
+	if small > 2 {
+		t.Errorf("min cut should divide very unevenly; small side = %d", small)
+	}
+}

@@ -1,0 +1,257 @@
+package hypergraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// This file implements the UCLA Bookshelf netlist format (the .nodes /
+// .nets file pair used by placement and partitioning benchmarks since the
+// ISPD98 suites):
+//
+//	.nodes:  UCLA nodes 1.0
+//	         NumNodes : <n>
+//	         NumTerminals : <t>
+//	         <name> <width> <height> [terminal]
+//
+//	.nets:   UCLA nets 1.0
+//	         NumNets : <m>
+//	         NumPins : <p>
+//	         NetDegree : <k> [name]
+//	         <nodename> [I|O|B] [: <xoff> <yoff>]
+//
+// Module area weights are width×height rounded to the nearest integer
+// (minimum 1). Pin directions and offsets are parsed and discarded — the
+// partitioning formulations here are direction-agnostic.
+
+// ReadBookshelf parses a Bookshelf .nodes/.nets pair.
+func ReadBookshelf(nodes, nets io.Reader) (*Hypergraph, error) {
+	b := NewBuilder()
+	idx := make(map[string]int)
+
+	// --- .nodes ---
+	sc := bufio.NewScanner(nodes)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo := 0
+	declared := -1
+	weighted := false
+	for sc.Scan() {
+		lineNo++
+		line := bookshelfLine(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "UCLA") {
+			continue
+		}
+		if key, val, ok := bookshelfHeader(line); ok {
+			switch key {
+			case "NumNodes":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("bookshelf nodes line %d: bad NumNodes %q", lineNo, val)
+				}
+				declared = n
+			case "NumTerminals":
+				// informational
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		name := fields[0]
+		if _, dup := idx[name]; dup {
+			return nil, fmt.Errorf("bookshelf nodes line %d: duplicate node %q", lineNo, name)
+		}
+		v := len(idx)
+		idx[name] = v
+		b.NameModule(v, name)
+		if len(fields) >= 3 {
+			wd, errW := strconv.ParseFloat(fields[1], 64)
+			ht, errH := strconv.ParseFloat(fields[2], 64)
+			if errW == nil && errH == nil {
+				area := int(wd*ht + 0.5)
+				if area < 1 {
+					area = 1
+				}
+				if area != 1 {
+					weighted = true
+				}
+				b.SetWeight(v, area)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if declared >= 0 && declared != len(idx) {
+		return nil, fmt.Errorf("bookshelf nodes: NumNodes %d but %d node lines", declared, len(idx))
+	}
+	_ = weighted
+
+	// --- .nets ---
+	sc = bufio.NewScanner(nets)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo = 0
+	declaredNets := -1
+	var pins []int
+	var netName string
+	remaining := 0
+	flush := func() {
+		if netName != "" || len(pins) > 0 {
+			b.AddNamedNet(netName, pins...)
+			pins = pins[:0]
+			netName = ""
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := bookshelfLine(sc.Text())
+		if line == "" || strings.HasPrefix(line, "UCLA") {
+			continue
+		}
+		if key, val, ok := bookshelfHeader(line); ok {
+			switch key {
+			case "NumNets":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("bookshelf nets line %d: bad NumNets %q", lineNo, val)
+				}
+				declaredNets = n
+				continue
+			case "NumPins":
+				continue
+			case "NetDegree":
+				if remaining > 0 {
+					return nil, fmt.Errorf("bookshelf nets line %d: previous net short by %d pins", lineNo, remaining)
+				}
+				flush()
+				fields := strings.Fields(val)
+				if len(fields) == 0 {
+					return nil, fmt.Errorf("bookshelf nets line %d: NetDegree without a count", lineNo)
+				}
+				k, err := strconv.Atoi(fields[0])
+				if err != nil || k < 0 {
+					return nil, fmt.Errorf("bookshelf nets line %d: bad NetDegree %q", lineNo, fields[0])
+				}
+				remaining = k
+				if len(fields) > 1 {
+					netName = fields[1]
+				} else {
+					netName = fmt.Sprintf("n%d", countNets(b))
+				}
+				continue
+			}
+		}
+		// A pin line.
+		if remaining <= 0 {
+			return nil, fmt.Errorf("bookshelf nets line %d: pin outside a NetDegree block", lineNo)
+		}
+		fields := strings.Fields(line)
+		v, ok := idx[fields[0]]
+		if !ok {
+			return nil, fmt.Errorf("bookshelf nets line %d: unknown node %q", lineNo, fields[0])
+		}
+		pins = append(pins, v)
+		remaining--
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("bookshelf nets: last net short by %d pins", remaining)
+	}
+	flush()
+	h := b.Build()
+	if declaredNets >= 0 && declaredNets != h.NumNets() {
+		return nil, fmt.Errorf("bookshelf nets: NumNets %d but parsed %d", declaredNets, h.NumNets())
+	}
+	return h, nil
+}
+
+// countNets reports how many nets the builder holds so far.
+func countNets(b *Builder) int { return len(b.pins) }
+
+// bookshelfLine strips comments and whitespace.
+func bookshelfLine(s string) string {
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+// bookshelfHeader parses "Key : value" lines.
+func bookshelfHeader(line string) (key, val string, ok bool) {
+	i := strings.Index(line, ":")
+	if i < 0 {
+		return "", "", false
+	}
+	key = strings.TrimSpace(line[:i])
+	val = strings.TrimSpace(line[i+1:])
+	// Headers have a single-word key starting with an ASCII letter and, to
+	// distinguish them from pin lines with offsets ("o1 I : 0 0"), no
+	// space inside the key.
+	if key == "" || strings.ContainsAny(key, " \t") {
+		return "", "", false
+	}
+	return key, val, true
+}
+
+// WriteBookshelf writes the .nodes/.nets pair for h. Module weights are
+// emitted as width=weight, height=1.
+func WriteBookshelf(nodes, nets io.Writer, h *Hypergraph) error {
+	nw := bufio.NewWriter(nodes)
+	fmt.Fprintln(nw, "UCLA nodes 1.0")
+	fmt.Fprintf(nw, "NumNodes : %d\n", h.NumModules())
+	fmt.Fprintf(nw, "NumTerminals : 0\n")
+	for v := 0; v < h.NumModules(); v++ {
+		fmt.Fprintf(nw, "  %s %d 1\n", h.ModuleName(v), h.ModuleWeight(v))
+	}
+	if err := nw.Flush(); err != nil {
+		return err
+	}
+	ew := bufio.NewWriter(nets)
+	fmt.Fprintln(ew, "UCLA nets 1.0")
+	fmt.Fprintf(ew, "NumNets : %d\n", h.NumNets())
+	fmt.Fprintf(ew, "NumPins : %d\n", h.NumPins())
+	for e := 0; e < h.NumNets(); e++ {
+		fmt.Fprintf(ew, "NetDegree : %d %s\n", h.NetSize(e), h.NetName(e))
+		for _, v := range h.Pins(e) {
+			fmt.Fprintf(ew, "  %s B\n", h.ModuleName(v))
+		}
+	}
+	return ew.Flush()
+}
+
+// LoadBookshelf reads a netlist from a .nodes/.nets file pair.
+func LoadBookshelf(nodesPath, netsPath string) (*Hypergraph, error) {
+	nf, err := os.Open(nodesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer nf.Close()
+	ef, err := os.Open(netsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	return ReadBookshelf(nf, ef)
+}
+
+// SaveBookshelf writes a netlist to a .nodes/.nets file pair.
+func SaveBookshelf(nodesPath, netsPath string, h *Hypergraph) error {
+	nf, err := os.Create(nodesPath)
+	if err != nil {
+		return err
+	}
+	defer nf.Close()
+	ef, err := os.Create(netsPath)
+	if err != nil {
+		return err
+	}
+	defer ef.Close()
+	return WriteBookshelf(nf, ef, h)
+}

@@ -1,0 +1,149 @@
+package hypergraph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const nodesSample = `UCLA nodes 1.0
+# generated
+NumNodes : 4
+NumTerminals : 1
+  a0  6  9
+  a1  1  1
+  a2  2  2  terminal
+  a3  1  1
+`
+
+const netsSample = `UCLA nets 1.0
+NumNets : 2
+NumPins : 5
+NetDegree : 3  clk
+  a0 I : 0.5 0.5
+  a1 O
+  a2 B
+NetDegree : 2
+  a0 O
+  a3 I
+`
+
+func TestReadBookshelf(t *testing.T) {
+	h, err := ReadBookshelf(strings.NewReader(nodesSample), strings.NewReader(netsSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumModules() != 4 || h.NumNets() != 2 || h.NumPins() != 5 {
+		t.Fatalf("sizes: %d/%d/%d", h.NumModules(), h.NumNets(), h.NumPins())
+	}
+	if h.ModuleName(0) != "a0" || h.NetName(0) != "clk" {
+		t.Errorf("names lost: %q %q", h.ModuleName(0), h.NetName(0))
+	}
+	if got := h.ModuleWeight(0); got != 54 { // 6×9
+		t.Errorf("weight(a0) = %d, want 54", got)
+	}
+	if got := h.ModuleWeight(2); got != 4 {
+		t.Errorf("weight(a2) = %d, want 4", got)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Net 0 connects a0,a1,a2 = modules 0,1,2.
+	want := []int{0, 1, 2}
+	for i, v := range h.Pins(0) {
+		if v != want[i] {
+			t.Errorf("Pins(0) = %v", h.Pins(0))
+			break
+		}
+	}
+}
+
+func TestBookshelfRoundTrip(t *testing.T) {
+	h, err := ReadBookshelf(strings.NewReader(nodesSample), strings.NewReader(netsSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes, nets bytes.Buffer
+	if err := WriteBookshelf(&nodes, &nets, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBookshelf(&nodes, &nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumModules() != h.NumModules() || got.NumNets() != h.NumNets() || got.NumPins() != h.NumPins() {
+		t.Fatalf("round trip sizes differ")
+	}
+	for v := 0; v < h.NumModules(); v++ {
+		if got.ModuleWeight(v) != h.ModuleWeight(v) {
+			t.Errorf("weight(%d) = %d, want %d", v, got.ModuleWeight(v), h.ModuleWeight(v))
+		}
+		if got.ModuleName(v) != h.ModuleName(v) {
+			t.Errorf("name(%d) = %q, want %q", v, got.ModuleName(v), h.ModuleName(v))
+		}
+	}
+}
+
+func TestBookshelfFiles(t *testing.T) {
+	h, err := ReadBookshelf(strings.NewReader(nodesSample), strings.NewReader(netsSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	np, ep := filepath.Join(dir, "c.nodes"), filepath.Join(dir, "c.nets")
+	if err := SaveBookshelf(np, ep, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBookshelf(np, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNets() != 2 {
+		t.Errorf("reload nets = %d", got.NumNets())
+	}
+	if _, err := LoadBookshelf(filepath.Join(dir, "missing.nodes"), ep); err == nil {
+		t.Error("missing nodes file accepted")
+	}
+	if _, err := LoadBookshelf(np, filepath.Join(dir, "missing.nets")); err == nil {
+		t.Error("missing nets file accepted")
+	}
+}
+
+func TestBookshelfErrors(t *testing.T) {
+	cases := []struct {
+		name, nodes, nets string
+	}{
+		{"badNumNodes", "NumNodes : x\n", ""},
+		{"countMismatch", "NumNodes : 3\na 1 1\n", ""},
+		{"dupNode", "a 1 1\na 1 1\n", ""},
+		{"badNumNets", "a 1 1\n", "NumNets : q\n"},
+		{"badDegree", "a 1 1\n", "NetDegree : x\n"},
+		{"emptyDegree", "a 1 1\n", "NetDegree :\n"},
+		{"unknownNode", "a 1 1\n", "NetDegree : 1\n  z I\n"},
+		{"pinOutsideBlock", "a 1 1\n", "  a I\n"},
+		{"shortNet", "a 1 1\nb 1 1\n", "NetDegree : 2\n  a I\n"},
+		{"shortThenNew", "a 1 1\nb 1 1\n", "NetDegree : 2\n  a I\nNetDegree : 1\n  b I\n"},
+		{"netsCountMismatch", "a 1 1\nb 1 1\n", "NumNets : 5\nNetDegree : 2\n  a I\n  b O\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadBookshelf(strings.NewReader(c.nodes), strings.NewReader(c.nets))
+			if err == nil {
+				t.Errorf("accepted malformed input")
+			}
+		})
+	}
+}
+
+func TestBookshelfUnnamedNetGetsName(t *testing.T) {
+	nodes := "a 1 1\nb 1 1\n"
+	nets := "NetDegree : 2\n a\n b\n"
+	h, err := ReadBookshelf(strings.NewReader(nodes), strings.NewReader(nets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NetName(0) == "" {
+		t.Error("unnamed net has empty name")
+	}
+}

@@ -1,0 +1,91 @@
+package hypergraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// This file implements the hMETIS fixed-vertex (.fix) format: one line per
+// module, containing the part index the module is pinned to, or -1 for
+// free modules. It pairs with the fixed-module support in the FM engine
+// (I/O pads and pre-placed macros keep their sides during refinement).
+
+// FixAssignment is the parsed content of a .fix file: Part[v] is the
+// pinned part of module v, or −1 when v is free.
+type FixAssignment struct {
+	Part []int
+}
+
+// NumFixed counts the pinned modules.
+func (f FixAssignment) NumFixed() int {
+	k := 0
+	for _, p := range f.Part {
+		if p >= 0 {
+			k++
+		}
+	}
+	return k
+}
+
+// Mask returns the boolean fixed-mask the FM engine consumes.
+func (f FixAssignment) Mask() []bool {
+	m := make([]bool, len(f.Part))
+	for v, p := range f.Part {
+		m[v] = p >= 0
+	}
+	return m
+}
+
+// ReadFix parses a .fix stream for a netlist with n modules. maxPart bounds
+// the accepted part indices (2 for bipartitioning).
+func ReadFix(r io.Reader, n, maxPart int) (FixAssignment, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	f := FixAssignment{Part: make([]int, 0, n)}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, err := strconv.Atoi(line)
+		if err != nil {
+			return FixAssignment{}, fmt.Errorf("fix line %d: bad part %q", lineNo, line)
+		}
+		if p < -1 || p >= maxPart {
+			return FixAssignment{}, fmt.Errorf("fix line %d: part %d outside [-1,%d)", lineNo, p, maxPart)
+		}
+		f.Part = append(f.Part, p)
+	}
+	if err := sc.Err(); err != nil {
+		return FixAssignment{}, err
+	}
+	if len(f.Part) != n {
+		return FixAssignment{}, fmt.Errorf("fix: %d lines for %d modules", len(f.Part), n)
+	}
+	return f, nil
+}
+
+// WriteFix writes a .fix stream.
+func WriteFix(w io.Writer, f FixAssignment) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range f.Part {
+		fmt.Fprintf(bw, "%d\n", p)
+	}
+	return bw.Flush()
+}
+
+// LoadFix reads a .fix file for a netlist with n modules.
+func LoadFix(path string, n, maxPart int) (FixAssignment, error) {
+	fl, err := os.Open(path)
+	if err != nil {
+		return FixAssignment{}, err
+	}
+	defer fl.Close()
+	return ReadFix(fl, n, maxPart)
+}

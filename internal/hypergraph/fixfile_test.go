@@ -1,0 +1,90 @@
+package hypergraph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadFix(t *testing.T) {
+	in := "% pads\n0\n-1\n1\n-1\n"
+	f, err := ReadFix(strings.NewReader(in), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumFixed() != 2 {
+		t.Errorf("NumFixed = %d, want 2", f.NumFixed())
+	}
+	want := []int{0, -1, 1, -1}
+	for i, p := range want {
+		if f.Part[i] != p {
+			t.Errorf("Part[%d] = %d, want %d", i, f.Part[i], p)
+		}
+	}
+	mask := f.Mask()
+	if !mask[0] || mask[1] || !mask[2] || mask[3] {
+		t.Errorf("Mask = %v", mask)
+	}
+}
+
+func TestReadFixErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+		n        int
+	}{
+		{"shortFile", "0\n", 2},
+		{"longFile", "0\n1\n-1\n", 2},
+		{"badInt", "x\n", 1},
+		{"partTooBig", "2\n", 1},
+		{"partTooSmall", "-2\n", 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadFix(strings.NewReader(c.in), c.n, 2); err == nil {
+				t.Error("accepted malformed fix file")
+			}
+		})
+	}
+}
+
+func TestFixRoundTrip(t *testing.T) {
+	f := FixAssignment{Part: []int{-1, 0, 1, -1, 0}}
+	var buf bytes.Buffer
+	if err := WriteFix(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFix(&buf, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Part {
+		if got.Part[i] != f.Part[i] {
+			t.Errorf("Part[%d] = %d, want %d", i, got.Part[i], f.Part[i])
+		}
+	}
+}
+
+func TestLoadFix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.fix")
+	f := FixAssignment{Part: []int{0, -1}}
+	buf := &bytes.Buffer{}
+	if err := WriteFix(buf, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFix(path, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFixed() != 1 {
+		t.Errorf("NumFixed = %d", got.NumFixed())
+	}
+	if _, err := LoadFix(filepath.Join(dir, "absent.fix"), 2, 2); err == nil {
+		t.Error("missing file accepted")
+	}
+}

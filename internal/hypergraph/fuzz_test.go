@@ -1,0 +1,81 @@
+package hypergraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The fuzz targets assert the parsers never panic and that anything they
+// accept is internally consistent and round-trips. `go test` runs the seed
+// corpus; `go test -fuzz=FuzzReadHGR ./internal/hypergraph` explores.
+
+func FuzzReadHGR(f *testing.F) {
+	f.Add("2 3\n1 2\n2 3\n")
+	f.Add("% c\n1 2 10\n1 2\n3\n4\n")
+	f.Add("0 0\n")
+	f.Add("1 1\n1\n")
+	f.Add("2 3 10\n1\n2 3\n1\n1\n1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		h, err := ReadHGR(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("accepted inconsistent netlist: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteHGR(&buf, h); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		h2, err := ReadHGR(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if h2.NumModules() != h.NumModules() || h2.NumNets() != h.NumNets() || h2.NumPins() != h.NumPins() {
+			t.Fatal("round trip changed sizes")
+		}
+	})
+}
+
+func FuzzReadNetlist(f *testing.F) {
+	f.Add("module a\nnet n : a b\n")
+	f.Add("net x : p q r\nmodule p 4\n")
+	f.Add("# only a comment\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		h, err := ReadNetlist(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("accepted inconsistent netlist: %v", err)
+		}
+	})
+}
+
+func FuzzReadBookshelf(f *testing.F) {
+	f.Add("UCLA nodes 1.0\nNumNodes : 2\na 1 1\nb 2 2\n",
+		"UCLA nets 1.0\nNumNets : 1\nNetDegree : 2 n\n a I\n b O\n")
+	f.Add("a 1 1\n", "NetDegree : 1\n a\n")
+	f.Add("", "")
+	f.Fuzz(func(t *testing.T, nodes, nets string) {
+		h, err := ReadBookshelf(strings.NewReader(nodes), strings.NewReader(nets))
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("accepted inconsistent netlist: %v", err)
+		}
+		var nb, eb bytes.Buffer
+		if err := WriteBookshelf(&nb, &eb, h); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		h2, err := ReadBookshelf(&nb, &eb)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if h2.NumPins() != h.NumPins() {
+			t.Fatal("round trip changed pin count")
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package hypergraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// This file implements two textual netlist formats.
+//
+// HGR format (hMETIS-compatible):
+//
+//	% comment
+//	<numNets> <numModules> [fmt]
+//	<pin> <pin> ...        (one line per net, 1-based module indices)
+//
+// When fmt contains the digit 10, module weight lines follow the net lines
+// (one integer per module). fmt 1 (net weights) is accepted but the weights
+// are discarded with a diagnostic error, since this library treats nets
+// uniformly per the paper.
+//
+// NET format (named netlist):
+//
+//	# comment
+//	module <name> [weight]
+//	net <name> : <module-name> <module-name> ...
+//
+// Modules may also be introduced implicitly by their first mention in a net
+// line.
+
+// WriteHGR writes h in HGR format.
+func WriteHGR(w io.Writer, h *Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	if h.Weighted() {
+		fmt.Fprintf(bw, "%d %d 10\n", h.NumNets(), h.NumModules())
+	} else {
+		fmt.Fprintf(bw, "%d %d\n", h.NumNets(), h.NumModules())
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		pins := h.Pins(e)
+		for i, v := range pins {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(strconv.Itoa(v + 1))
+		}
+		bw.WriteByte('\n')
+	}
+	if h.Weighted() {
+		for v := 0; v < h.NumModules(); v++ {
+			fmt.Fprintf(bw, "%d\n", h.ModuleWeight(v))
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadHGR parses HGR input.
+func ReadHGR(r io.Reader) (*Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line, lineNo, err := nextLine(sc, 0)
+	if err != nil {
+		return nil, fmt.Errorf("hgr: missing header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields) > 3 {
+		return nil, fmt.Errorf("hgr line %d: header must be `nets modules [fmt]`", lineNo)
+	}
+	numNets, err := strconv.Atoi(fields[0])
+	if err != nil || numNets < 0 {
+		return nil, fmt.Errorf("hgr line %d: bad net count %q", lineNo, fields[0])
+	}
+	numModules, err := strconv.Atoi(fields[1])
+	if err != nil || numModules < 0 {
+		return nil, fmt.Errorf("hgr line %d: bad module count %q", lineNo, fields[1])
+	}
+	hasWeights := false
+	if len(fields) == 3 {
+		switch fields[2] {
+		case "10":
+			hasWeights = true
+		case "0", "":
+		default:
+			return nil, fmt.Errorf("hgr line %d: unsupported fmt %q (only module weights, fmt 10, are supported)", lineNo, fields[2])
+		}
+	}
+	b := NewBuilder()
+	b.SetNumModules(numModules)
+	for i := 0; i < numNets; i++ {
+		line, lineNo, err = nextLine(sc, lineNo)
+		if err != nil {
+			return nil, fmt.Errorf("hgr: expected %d net lines, got %d: %w", numNets, i, err)
+		}
+		fields = strings.Fields(line)
+		pins := make([]int, 0, len(fields))
+		for _, f := range fields {
+			p, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("hgr line %d: bad pin %q", lineNo, f)
+			}
+			if p < 1 || p > numModules {
+				return nil, fmt.Errorf("hgr line %d: pin %d outside [1,%d]", lineNo, p, numModules)
+			}
+			pins = append(pins, p-1)
+		}
+		b.AddNet(pins...)
+	}
+	if hasWeights {
+		for v := 0; v < numModules; v++ {
+			line, lineNo, err = nextLine(sc, lineNo)
+			if err != nil {
+				return nil, fmt.Errorf("hgr: expected %d weight lines, got %d: %w", numModules, v, err)
+			}
+			w, err := strconv.Atoi(strings.TrimSpace(line))
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("hgr line %d: bad module weight %q", lineNo, line)
+			}
+			b.SetWeight(v, w)
+		}
+	}
+	return b.Build(), nil
+}
+
+// nextLine returns the next non-blank, non-comment line.
+func nextLine(sc *bufio.Scanner, lineNo int) (string, int, error) {
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, lineNo, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", lineNo, err
+	}
+	return "", lineNo, io.ErrUnexpectedEOF
+}
+
+// WriteNetlist writes h in the named NET format.
+func WriteNetlist(w io.Writer, h *Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < h.NumModules(); v++ {
+		if h.Weighted() {
+			fmt.Fprintf(bw, "module %s %d\n", h.ModuleName(v), h.ModuleWeight(v))
+		} else {
+			fmt.Fprintf(bw, "module %s\n", h.ModuleName(v))
+		}
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		fmt.Fprintf(bw, "net %s :", h.NetName(e))
+		for _, v := range h.Pins(e) {
+			bw.WriteByte(' ')
+			bw.WriteString(h.ModuleName(v))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadNetlist parses the named NET format.
+func ReadNetlist(r io.Reader) (*Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	b := NewBuilder()
+	idx := make(map[string]int)
+	lookup := func(name string) int {
+		if i, ok := idx[name]; ok {
+			return i
+		}
+		i := len(idx)
+		idx[name] = i
+		b.NameModule(i, name)
+		return i
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "module":
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fmt.Errorf("netlist line %d: want `module <name> [weight]`", lineNo)
+			}
+			v := lookup(fields[1])
+			if len(fields) == 3 {
+				w, err := strconv.Atoi(fields[2])
+				if err != nil || w < 0 {
+					return nil, fmt.Errorf("netlist line %d: bad weight %q", lineNo, fields[2])
+				}
+				b.SetWeight(v, w)
+			}
+		case "net":
+			colon := -1
+			for i, f := range fields {
+				if f == ":" {
+					colon = i
+					break
+				}
+			}
+			if colon != 2 {
+				return nil, fmt.Errorf("netlist line %d: want `net <name> : <modules...>`", lineNo)
+			}
+			pins := make([]int, 0, len(fields)-3)
+			for _, f := range fields[3:] {
+				pins = append(pins, lookup(f))
+			}
+			b.AddNamedNet(fields[1], pins...)
+		default:
+			return nil, fmt.Errorf("netlist line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// LoadFile reads a netlist from path, dispatching on the file extension:
+// ".hgr" selects the HGR parser and anything else the named NET parser.
+func LoadFile(path string) (*Hypergraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".hgr") {
+		return ReadHGR(f)
+	}
+	return ReadNetlist(f)
+}
+
+// SaveFile writes a netlist to path, dispatching on extension like LoadFile.
+func SaveFile(path string, h *Hypergraph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".hgr") {
+		return WriteHGR(f, h)
+	}
+	return WriteNetlist(f, h)
+}

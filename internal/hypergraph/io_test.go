@@ -1,0 +1,215 @@
+package hypergraph
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHGRRoundTrip(t *testing.T) {
+	h := paperFigure1()
+	var buf bytes.Buffer
+	if err := WriteHGR(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHGR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumModules() != h.NumModules() || got.NumNets() != h.NumNets() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d",
+			got.NumModules(), got.NumNets(), h.NumModules(), h.NumNets())
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		if !reflect.DeepEqual(got.Pins(e), h.Pins(e)) {
+			t.Errorf("net %d pins = %v, want %v", e, got.Pins(e), h.Pins(e))
+		}
+	}
+}
+
+func TestHGRWeightedRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	b.AddNet(0, 1)
+	b.AddNet(1, 2)
+	b.SetWeight(0, 3)
+	b.SetWeight(2, 5)
+	h := b.Build()
+	var buf bytes.Buffer
+	if err := WriteHGR(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "2 3 10\n") {
+		t.Fatalf("weighted header missing: %q", buf.String())
+	}
+	got, err := ReadHGR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 3; v++ {
+		if got.ModuleWeight(v) != h.ModuleWeight(v) {
+			t.Errorf("weight(%d) = %d, want %d", v, got.ModuleWeight(v), h.ModuleWeight(v))
+		}
+	}
+}
+
+func TestReadHGRComments(t *testing.T) {
+	in := "% a comment\n\n2 3\n% another\n1 2\n2 3\n"
+	h, err := ReadHGR(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNets() != 2 || h.NumModules() != 3 {
+		t.Fatalf("got %d nets, %d modules", h.NumNets(), h.NumModules())
+	}
+	if !reflect.DeepEqual(h.Pins(0), []int{0, 1}) {
+		t.Errorf("Pins(0) = %v", h.Pins(0))
+	}
+}
+
+func TestReadHGRErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"badHeader", "x y\n"},
+		{"negativeNets", "-1 3\n"},
+		{"shortNets", "2 3\n1 2\n"},
+		{"pinRange", "1 3\n4\n"},
+		{"pinZero", "1 3\n0\n"},
+		{"badPin", "1 3\n1 q\n"},
+		{"badFmt", "1 3 11\n1 2\n"},
+		{"netWeightsUnsupported", "1 3 1\n5 1 2\n"},
+		{"missingWeights", "1 2 10\n1 2\n1\n"},
+		{"badWeight", "1 2 10\n1 2\n-3\n2\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadHGR(strings.NewReader(c.in)); err == nil {
+				t.Errorf("ReadHGR(%q) succeeded, want error", c.in)
+			}
+		})
+	}
+}
+
+func TestNetlistRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	b.NameModule(0, "alu")
+	b.NameModule(1, "reg")
+	b.NameModule(2, "mux")
+	b.AddNamedNet("clk", 0, 1, 2)
+	b.AddNamedNet("d0", 0, 2)
+	b.SetWeight(0, 4)
+	h := b.Build()
+	var buf bytes.Buffer
+	if err := WriteNetlist(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNetlist(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumModules() != 3 || got.NumNets() != 2 {
+		t.Fatalf("got %d modules %d nets", got.NumModules(), got.NumNets())
+	}
+	if got.NetName(0) != "clk" || got.ModuleName(0) != "alu" {
+		t.Errorf("names lost: net=%q module=%q", got.NetName(0), got.ModuleName(0))
+	}
+	if got.ModuleWeight(0) != 4 {
+		t.Errorf("weight lost: %d", got.ModuleWeight(0))
+	}
+}
+
+func TestReadNetlistImplicitModules(t *testing.T) {
+	in := "net a : x y z\nnet b : z w\n"
+	h, err := ReadNetlist(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumModules() != 4 {
+		t.Fatalf("modules = %d, want 4", h.NumModules())
+	}
+	if h.NumNets() != 2 {
+		t.Fatalf("nets = %d, want 2", h.NumNets())
+	}
+}
+
+func TestReadNetlistErrors(t *testing.T) {
+	cases := []string{
+		"module\n",
+		"module a b c d\n",
+		"module a -1\n",
+		"module a x\n",
+		"net a x y\n", // missing colon
+		"frobnicate\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadNetlist(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadNetlist(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestLoadSaveFile(t *testing.T) {
+	dir := t.TempDir()
+	h := paperFigure1()
+
+	hgr := filepath.Join(dir, "fig1.hgr")
+	if err := SaveFile(hgr, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(hgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNets() != h.NumNets() {
+		t.Errorf("hgr reload nets = %d, want %d", got.NumNets(), h.NumNets())
+	}
+
+	net := filepath.Join(dir, "fig1.net")
+	if err := SaveFile(net, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadFile(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNets() != h.NumNets() || got.NetName(0) != "s1" {
+		t.Errorf("net reload mismatch: nets=%d name=%q", got.NumNets(), got.NetName(0))
+	}
+
+	if _, err := LoadFile(filepath.Join(dir, "absent.hgr")); !os.IsNotExist(err) {
+		t.Errorf("LoadFile(missing) err = %v, want not-exist", err)
+	}
+}
+
+func TestHGRRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomHypergraph(rng, 25, 40)
+		var buf bytes.Buffer
+		if err := WriteHGR(&buf, h); err != nil {
+			return false
+		}
+		got, err := ReadHGR(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumModules() != h.NumModules() || got.NumNets() != h.NumNets() {
+			return false
+		}
+		for e := 0; e < h.NumNets(); e++ {
+			if !reflect.DeepEqual(got.Pins(e), h.Pins(e)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes the structural properties of a netlist that matter for
+// partitioning: size, pin counts, and the net-size and module-degree
+// distributions discussed in Section 2 of the paper.
+type Stats struct {
+	Modules int
+	Nets    int
+	Pins    int
+
+	MinNetSize int
+	MaxNetSize int
+	AvgNetSize float64
+
+	MinDegree int
+	MaxDegree int
+	AvgDegree float64
+
+	NetSizeHist map[int]int // net size -> count
+	DegreeHist  map[int]int // module degree -> count
+}
+
+// ComputeStats walks the hypergraph once and returns its Stats.
+func ComputeStats(h *Hypergraph) Stats {
+	s := Stats{
+		Modules:     h.NumModules(),
+		Nets:        h.NumNets(),
+		Pins:        h.NumPins(),
+		NetSizeHist: make(map[int]int),
+		DegreeHist:  make(map[int]int),
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		k := h.NetSize(e)
+		s.NetSizeHist[k]++
+		if e == 0 || k < s.MinNetSize {
+			s.MinNetSize = k
+		}
+		if k > s.MaxNetSize {
+			s.MaxNetSize = k
+		}
+	}
+	for v := 0; v < h.NumModules(); v++ {
+		d := h.Degree(v)
+		s.DegreeHist[d]++
+		if v == 0 || d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	if s.Nets > 0 {
+		s.AvgNetSize = float64(s.Pins) / float64(s.Nets)
+	}
+	if s.Modules > 0 {
+		s.AvgDegree = float64(s.Pins) / float64(s.Modules)
+	}
+	return s
+}
+
+// String renders a short human-readable summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "modules=%d nets=%d pins=%d", s.Modules, s.Nets, s.Pins)
+	fmt.Fprintf(&b, " netsize[min=%d avg=%.2f max=%d]", s.MinNetSize, s.AvgNetSize, s.MaxNetSize)
+	fmt.Fprintf(&b, " degree[min=%d avg=%.2f max=%d]", s.MinDegree, s.AvgDegree, s.MaxDegree)
+	return b.String()
+}
+
+// SizeHistogramRows returns the net-size histogram as sorted (size, count)
+// rows — the layout of the paper's Table 1 before the "number cut" column.
+func (s Stats) SizeHistogramRows() [][2]int {
+	sizes := make([]int, 0, len(s.NetSizeHist))
+	for k := range s.NetSizeHist {
+		sizes = append(sizes, k)
+	}
+	sort.Ints(sizes)
+	rows := make([][2]int, len(sizes))
+	for i, k := range sizes {
+		rows[i] = [2]int{k, s.NetSizeHist[k]}
+	}
+	return rows
+}
+
+// ConnectedComponents returns, for each module, the index of its connected
+// component (two modules are connected when some net contains both), along
+// with the number of components. Isolated modules form singleton components.
+func ConnectedComponents(h *Hypergraph) (comp []int, n int) {
+	comp = make([]int, h.NumModules())
+	for i := range comp {
+		comp[i] = -1
+	}
+	netSeen := make([]bool, h.NumNets())
+	var queue []int
+	for v := range comp {
+		if comp[v] >= 0 {
+			continue
+		}
+		comp[v] = n
+		queue = append(queue[:0], v)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, e := range h.Nets(u) {
+				if netSeen[e] {
+					continue
+				}
+				netSeen[e] = true
+				for _, w := range h.Pins(e) {
+					if comp[w] < 0 {
+						comp[w] = n
+						queue = append(queue, w)
+					}
+				}
+			}
+		}
+		n++
+	}
+	return comp, n
+}
+
+// SubHypergraph extracts the hypergraph induced by the module set keep
+// (given as a boolean mask over modules). Nets are restricted to their kept
+// pins; nets that lose all pins are dropped. It returns the induced
+// hypergraph along with index maps from new module/net indices back to the
+// originals.
+func SubHypergraph(h *Hypergraph, keep []bool) (sub *Hypergraph, moduleMap, netMap []int) {
+	if len(keep) != h.NumModules() {
+		panic("hypergraph: keep mask has wrong length")
+	}
+	newIdx := make([]int, h.NumModules())
+	for i := range newIdx {
+		newIdx[i] = -1
+	}
+	for v, k := range keep {
+		if k {
+			newIdx[v] = len(moduleMap)
+			moduleMap = append(moduleMap, v)
+		}
+	}
+	b := NewBuilder()
+	b.SetNumModules(len(moduleMap))
+	for e := 0; e < h.NumNets(); e++ {
+		var pins []int
+		for _, v := range h.Pins(e) {
+			if newIdx[v] >= 0 {
+				pins = append(pins, newIdx[v])
+			}
+		}
+		if len(pins) == 0 {
+			continue
+		}
+		b.AddNet(pins...)
+		netMap = append(netMap, e)
+	}
+	sub = b.Build()
+	if h.weights != nil {
+		sub.weights = make([]int, len(moduleMap))
+		for i, v := range moduleMap {
+			sub.weights[i] = h.weights[v]
+		}
+	}
+	return sub, moduleMap, netMap
+}
+
+// Contract builds the coarse hypergraph obtained by merging modules into
+// clusters. cluster[v] gives the cluster index of module v; cluster indices
+// must form a dense range 0..k-1. Nets are re-expressed over clusters with
+// duplicate pins merged, and nets reduced to a single cluster are dropped
+// (they can never be cut at the coarse level). Cluster weights are the sums
+// of their member weights.
+func Contract(h *Hypergraph, cluster []int, numClusters int) (*Hypergraph, error) {
+	if len(cluster) != h.NumModules() {
+		return nil, fmt.Errorf("hypergraph: cluster map has %d entries, want %d", len(cluster), h.NumModules())
+	}
+	for v, c := range cluster {
+		if c < 0 || c >= numClusters {
+			return nil, fmt.Errorf("hypergraph: module %d has cluster %d outside [0,%d)", v, c, numClusters)
+		}
+	}
+	b := NewBuilder()
+	b.SetNumModules(numClusters)
+	buf := make([]int, 0, 16)
+	for e := 0; e < h.NumNets(); e++ {
+		buf = buf[:0]
+		for _, v := range h.Pins(e) {
+			buf = append(buf, cluster[v])
+		}
+		sort.Ints(buf)
+		buf = dedupSorted(buf)
+		if len(buf) < 2 {
+			continue
+		}
+		b.AddNet(buf...)
+	}
+	coarse := b.Build()
+	coarse.weights = make([]int, numClusters)
+	for v, c := range cluster {
+		coarse.weights[c] += h.ModuleWeight(v)
+	}
+	return coarse, nil
+}

@@ -1,0 +1,164 @@
+// Package igdiam implements a diameter-based intersection-graph bisection
+// heuristic in the spirit of Kahng's "Fast Hypergraph Partition" (DAC
+// 1989), which the paper cites as the earliest partitioning use of the
+// intersection graph: two nets realizing an (approximate) diameter of G'
+// anchor the two sides; every net joins the side of the nearer anchor, and
+// modules follow the majority of their nets. All threshold shifts of the
+// distance-difference ordering are evaluated and the best ratio cut wins.
+package igdiam
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"igpart/internal/core"
+	"igpart/internal/hypergraph"
+	"igpart/internal/partition"
+)
+
+// Result is the outcome of a diameter-heuristic run.
+type Result struct {
+	Partition *partition.Bipartition
+	Metrics   partition.Metrics
+	// AnchorA and AnchorB are the approximate diameter endpoints (nets).
+	AnchorA, AnchorB int
+	// Eccentricity is the distance between the anchors in G'.
+	Eccentricity int
+}
+
+// Partition runs the diameter heuristic on h.
+func Partition(h *hypergraph.Hypergraph) (Result, error) {
+	m := h.NumNets()
+	if m < 2 || h.NumModules() < 2 {
+		return Result{}, errors.New("igdiam: need at least 2 nets and 2 modules")
+	}
+	adj := core.IGAdjacency(h)
+
+	// Double BFS: from net 0 to its farthest net a, then from a to b.
+	distFrom := func(src int) []int {
+		dist := make([]int, m)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		for qi := 0; qi < len(queue); qi++ {
+			x := queue[qi]
+			for _, y := range adj[x] {
+				if dist[y] < 0 {
+					dist[y] = dist[x] + 1
+					queue = append(queue, y)
+				}
+			}
+		}
+		return dist
+	}
+	// farthest prefers unreachable nets (distance −1 means a different IG
+	// component — infinitely far), so the anchors straddle components when
+	// the intersection graph is disconnected.
+	farthest := func(dist []int) int {
+		best, bestD := 0, -1
+		for i, d := range dist {
+			if d < 0 {
+				return i
+			}
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		return best
+	}
+	a := farthest(distFrom(0))
+	distA := distFrom(a)
+	b := farthest(distA)
+	distB := distFrom(b)
+
+	// Score nets by distance difference; unreachable nets sort to the
+	// A side (they are disconnected from both anchors anyway).
+	type scored struct {
+		net   int
+		score int
+	}
+	reach := func(d int) int {
+		if d < 0 {
+			return m + 1 // effectively infinite
+		}
+		return d
+	}
+	order := make([]scored, m)
+	for e := 0; e < m; e++ {
+		order[e] = scored{net: e, score: reach(distA[e]) - reach(distB[e])}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].score < order[j].score })
+
+	// Sweep every threshold of the ordering; modules follow the majority
+	// of their incident nets (ties and netless modules go to side U).
+	sideOfNet := make([]partition.Side, m)
+	for i := range sideOfNet {
+		sideOfNet[i] = partition.W // everything starts on the B side
+	}
+	bestRatio := math.Inf(1)
+	var bestSides []partition.Side
+	var bestMet partition.Metrics
+	sides := make([]partition.Side, h.NumModules())
+	for t := 0; t < m-1; t++ {
+		sideOfNet[order[t].net] = partition.U
+		if order[t+1].score == order[t].score {
+			continue // only evaluate at score boundaries
+		}
+		met, ok := completeMajority(h, sideOfNet, sides)
+		if ok && met.RatioCut < bestRatio {
+			bestRatio = met.RatioCut
+			bestMet = met
+			bestSides = append(bestSides[:0], sides...)
+		}
+	}
+	// Also the final boundary (all but the last net on U).
+	met, ok := completeMajority(h, sideOfNet, sides)
+	if ok && met.RatioCut < bestRatio {
+		bestMet = met
+		bestSides = append(bestSides[:0], sides...)
+	}
+	if bestSides == nil {
+		return Result{}, errors.New("igdiam: no proper completion found")
+	}
+	return Result{
+		Partition:    partition.FromSides(bestSides),
+		Metrics:      bestMet,
+		AnchorA:      a,
+		AnchorB:      b,
+		Eccentricity: maxInt(distA[b], 0),
+	}, nil
+}
+
+// completeMajority assigns each module to the side holding the majority of
+// its nets and evaluates the result.
+func completeMajority(h *hypergraph.Hypergraph, sideOfNet []partition.Side, sides []partition.Side) (partition.Metrics, bool) {
+	for v := 0; v < h.NumModules(); v++ {
+		onU := 0
+		for _, e := range h.Nets(v) {
+			if sideOfNet[e] == partition.U {
+				onU++
+			}
+		}
+		if 2*onU >= h.Degree(v) {
+			sides[v] = partition.U
+		} else {
+			sides[v] = partition.W
+		}
+	}
+	p := partition.FromSides(sides)
+	met := partition.Evaluate(h, p)
+	if met.SizeU == 0 || met.SizeW == 0 {
+		return partition.Metrics{}, false
+	}
+	return met, true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+package igdiam
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"igpart/internal/hypergraph"
+	"igpart/internal/partition"
+)
+
+func clustered(k, bridges int, seed int64) *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(2 * k)
+	for c := 0; c < 2; c++ {
+		base := c * k
+		for i := 0; i < k-1; i++ {
+			b.AddNet(base+i, base+i+1)
+		}
+		for e := 0; e < 2*k; e++ {
+			b.AddNet(base+rng.Intn(k), base+rng.Intn(k), base+rng.Intn(k))
+		}
+	}
+	for i := 0; i < bridges; i++ {
+		b.AddNet(rng.Intn(k), k+rng.Intn(k))
+	}
+	return b.Build()
+}
+
+func TestDiameterFindsPlantedCut(t *testing.T) {
+	h := clustered(25, 1, 3)
+	res, err := Partition(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.SizeU == 0 || res.Metrics.SizeW == 0 {
+		t.Fatal("improper partition")
+	}
+	// On a cleanly clustered circuit the diameter endpoints land in
+	// opposite clusters and the heuristic finds a near-optimal cut.
+	if res.Metrics.CutNets > 5 {
+		t.Errorf("cut = %d, want near 1", res.Metrics.CutNets)
+	}
+	if res.AnchorA == res.AnchorB {
+		t.Error("anchors coincide")
+	}
+	if res.Eccentricity < 2 {
+		t.Errorf("eccentricity = %d, want a real diameter", res.Eccentricity)
+	}
+}
+
+func TestMetricsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(25)
+		b := hypergraph.NewBuilder()
+		b.SetNumModules(n)
+		for e := 0; e < 2*n; e++ {
+			k := 2 + rng.Intn(3)
+			pins := make([]int, k)
+			for i := range pins {
+				pins[i] = rng.Intn(n)
+			}
+			b.AddNet(pins...)
+		}
+		h := b.Build()
+		res, err := Partition(h)
+		if err != nil {
+			return true // degenerate instance
+		}
+		return partition.Evaluate(h, res.Partition) == res.Metrics
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	h := clustered(12, 2, 5)
+	a, err := Partition(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics != b.Metrics || a.AnchorA != b.AnchorA {
+		t.Error("nondeterministic")
+	}
+}
+
+func TestDisconnectedIG(t *testing.T) {
+	// Two netlists glued only by module adjacency within nets of separate
+	// components: the IG is disconnected; unreachable nets must be handled.
+	b := hypergraph.NewBuilder()
+	b.AddNet(0, 1)
+	b.AddNet(1, 2)
+	b.AddNet(3, 4)
+	b.AddNet(4, 5)
+	h := b.Build()
+	res, err := Partition(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.CutNets != 0 {
+		t.Errorf("cut = %d, want 0 for disconnected circuit", res.Metrics.CutNets)
+	}
+}
+
+func TestTooSmall(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddNet(0, 1)
+	if _, err := Partition(b.Build()); err == nil {
+		t.Error("accepted single-net circuit")
+	}
+}

@@ -1,0 +1,150 @@
+package igvote
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"igpart/internal/hypergraph"
+	"igpart/internal/partition"
+)
+
+func clustered(k, bridges int, seed int64) *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(2 * k)
+	for c := 0; c < 2; c++ {
+		base := c * k
+		for i := 0; i < k-1; i++ {
+			b.AddNet(base+i, base+i+1)
+		}
+		for e := 0; e < 2*k; e++ {
+			b.AddNet(base+rng.Intn(k), base+rng.Intn(k), base+rng.Intn(k))
+		}
+	}
+	for i := 0; i < bridges; i++ {
+		b.AddNet(rng.Intn(k), k+rng.Intn(k))
+	}
+	return b.Build()
+}
+
+func TestIGVoteFindsPlantedCut(t *testing.T) {
+	h := clustered(25, 1, 13)
+	res, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.SizeU == 0 || res.Metrics.SizeW == 0 {
+		t.Fatal("improper partition")
+	}
+	if res.Metrics.CutNets > 4 {
+		t.Errorf("cut = %d, want near 1", res.Metrics.CutNets)
+	}
+	if got := partition.Evaluate(h, res.Partition); got != res.Metrics {
+		t.Errorf("metrics mismatch: reported %+v, evaluated %+v", res.Metrics, got)
+	}
+}
+
+func TestSweepMetricsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		b := hypergraph.NewBuilder()
+		b.SetNumModules(n)
+		m := 3 + rng.Intn(25)
+		for e := 0; e < m; e++ {
+			k := 2 + rng.Intn(3)
+			pins := make([]int, k)
+			for i := range pins {
+				pins[i] = rng.Intn(n)
+			}
+			b.AddNet(pins...)
+		}
+		h := b.Build()
+		order := rng.Perm(h.NumNets())
+		p, met := Sweep(h, order, 0.5)
+		if p == nil {
+			return true // no proper snapshot; acceptable
+		}
+		return partition.Evaluate(h, p) == met
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSweepMonotoneMigration(t *testing.T) {
+	// After the full sweep every module with positive net weight has seen
+	// all its weight move, so all such modules end on W.
+	h := clustered(10, 2, 3)
+	order := make([]int, h.NumNets())
+	for i := range order {
+		order[i] = i
+	}
+	n := h.NumModules()
+	w := make([]float64, n)
+	z := make([]float64, n)
+	p := partition.New(n)
+	for e := 0; e < h.NumNets(); e++ {
+		vote := 1 / float64(h.NetSize(e))
+		for _, v := range h.Pins(e) {
+			w[v] += vote
+		}
+	}
+	for _, e := range order {
+		vote := 1 / float64(h.NetSize(e))
+		for _, v := range h.Pins(e) {
+			z[v] += vote
+			if p.Side(v) == partition.U && z[v] >= 0.5*w[v] {
+				p.Set(v, partition.W)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if w[v] > 0 && p.Side(v) != partition.W {
+			t.Fatalf("module %d did not migrate after full sweep", v)
+		}
+	}
+}
+
+func TestIGVoteDeterministic(t *testing.T) {
+	h := clustered(15, 2, 5)
+	a, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics != b.Metrics || a.Forward != b.Forward {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestIGVoteErrors(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddNet(0, 1)
+	if _, err := Partition(b.Build(), Options{}); err == nil {
+		t.Error("accepted single-net netlist")
+	}
+}
+
+func TestCustomThreshold(t *testing.T) {
+	h := clustered(12, 2, 21)
+	lo, err := Partition(h, Options{MoveThreshold: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Partition(h, Options{MoveThreshold: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different thresholds may legitimately give different partitions; both
+	// must be proper.
+	for _, r := range []Result{lo, hi} {
+		if r.Metrics.SizeU == 0 || r.Metrics.SizeW == 0 {
+			t.Error("improper partition")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package kl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"igpart/internal/hypergraph"
+	"igpart/internal/netmodel"
+	"igpart/internal/partition"
+)
+
+func clustered(k, bridges int, seed int64) *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(2 * k)
+	for c := 0; c < 2; c++ {
+		base := c * k
+		for i := 0; i < k-1; i++ {
+			b.AddNet(base+i, base+i+1)
+		}
+		for e := 0; e < 2*k; e++ {
+			b.AddNet(base+rng.Intn(k), base+rng.Intn(k))
+		}
+	}
+	for i := 0; i < bridges; i++ {
+		b.AddNet(rng.Intn(k), k+rng.Intn(k))
+	}
+	return b.Build()
+}
+
+func TestKLFindsPlantedBisection(t *testing.T) {
+	h := clustered(20, 2, 3)
+	res, err := Bisect(h, Options{Starts: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nu, nw := res.Partition.Sizes()
+	if nu != 20 || nw != 20 {
+		t.Fatalf("not a bisection: %d vs %d", nu, nw)
+	}
+	if res.Metrics.CutNets > 6 {
+		t.Errorf("cut = %d, want near 2", res.Metrics.CutNets)
+	}
+}
+
+func TestKLBalancePreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		b := hypergraph.NewBuilder()
+		b.SetNumModules(n)
+		for e := 0; e < 2*n; e++ {
+			b.AddNet(rng.Intn(n), rng.Intn(n))
+		}
+		h := b.Build()
+		res, err := Bisect(h, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		nu, nw := res.Partition.Sizes()
+		d := nu - nw
+		if d < 0 {
+			d = -d
+		}
+		return d <= 1 && partition.Evaluate(h, res.Partition) == res.Metrics
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKLEdgeCutConsistent(t *testing.T) {
+	h := clustered(10, 3, 5)
+	res, err := Bisect(h, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := netmodel.CliqueGraph(h, 0)
+	want := 0.0
+	for v := 0; v < g.N(); v++ {
+		cols, vals := g.Row(v)
+		for k, u := range cols {
+			if u > v && res.Partition.Side(u) != res.Partition.Side(v) {
+				want += vals[k]
+			}
+		}
+	}
+	if math.Abs(res.EdgeCut-want) > 1e-9 {
+		t.Errorf("EdgeCut = %v, recomputed %v", res.EdgeCut, want)
+	}
+}
+
+func TestKLImprovesOverRandom(t *testing.T) {
+	// KL's edge cut must be no worse than the average random bisection.
+	h := clustered(15, 4, 11)
+	g := netmodel.CliqueGraph(h, 0)
+	res, err := Bisect(h, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	totRandom := 0.0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		side := randomBisection(h.NumModules(), rng)
+		totRandom += edgeCut(g, side)
+	}
+	if res.EdgeCut > totRandom/trials {
+		t.Errorf("KL cut %v worse than average random %v", res.EdgeCut, totRandom/trials)
+	}
+}
+
+func TestKLTooSmall(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(1)
+	if _, err := Bisect(b.Build(), Options{}); err == nil {
+		t.Error("accepted single module")
+	}
+}

@@ -1,0 +1,213 @@
+// Package multiway implements k-way circuit partitioning by recursive
+// IG-Match bisection — the natural extension of the paper's flow to the
+// multiple-way formulations of Sanchis [26] and Yeh–Cheng–Lin [35] that
+// Section 5 points toward (packaging, hardware simulation across many
+// boards, multi-FPGA mapping).
+//
+// The driver repeatedly bisects the currently largest part with IG-Match
+// on the induced sub-netlist until k parts exist (or no part can be split
+// further). Three standard quality metrics are reported: the number of
+// spanning nets, the connectivity (sum over nets of spans−1, the "λ−1"
+// metric), and the multiway ratio value Σᵢ ext(Vᵢ)/|Vᵢ|, which for k=2
+// is the ratio-cut cost scaled by the module count.
+package multiway
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"igpart/internal/core"
+	"igpart/internal/hypergraph"
+)
+
+// Options configures a k-way run.
+type Options struct {
+	// K is the number of parts (≥ 2).
+	K int
+	// MinPart refuses to split parts below this size (default 2).
+	MinPart int
+	// Core configures each IG-Match bisection.
+	Core core.Options
+}
+
+// Result is a k-way partition with its quality metrics.
+type Result struct {
+	// Part maps each module to its part index in [0, K).
+	Part []int
+	// K is the number of non-empty parts produced (may fall short of the
+	// request when the circuit cannot be split further).
+	K int
+	// SpanningNets counts nets touching at least two parts.
+	SpanningNets int
+	// Connectivity is Σ over nets of (parts spanned − 1) — the λ−1 metric;
+	// it equals the cut count for k=2 and grows with fragmentation.
+	Connectivity int
+	// RatioValue is Σ_i ext(V_i)/|V_i|, where ext(V_i) counts nets with
+	// pins both inside and outside part i — the multiway generalization of
+	// the ratio-cut numerator/denominator tradeoff.
+	RatioValue float64
+	// Sizes lists the part sizes.
+	Sizes []int
+}
+
+// Partition produces a k-way module partition of h.
+func Partition(h *hypergraph.Hypergraph, opts Options) (Result, error) {
+	if opts.K < 2 {
+		return Result{}, errors.New("multiway: K must be at least 2")
+	}
+	if opts.MinPart < 2 {
+		opts.MinPart = 2
+	}
+	n := h.NumModules()
+	if n < opts.K {
+		return Result{}, fmt.Errorf("multiway: %d modules cannot form %d parts", n, opts.K)
+	}
+
+	part := make([]int, n)
+	members := [][]int{allModules(n)}
+
+	for len(members) < opts.K {
+		// Split the largest still-splittable, non-frozen part.
+		idx := -1
+		for i, m := range members {
+			if isFrozen(m) || len(m) < 2*opts.MinPart {
+				continue
+			}
+			if idx < 0 || len(m) > len(members[idx]) {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		left, right, err := bisect(h, members[idx], opts.Core)
+		if err != nil {
+			// Degenerate sub-netlist: freeze this part so it is never
+			// retried, and keep splitting the others.
+			members[idx] = markFrozen(members[idx])
+			continue
+		}
+		members[idx] = left
+		members = append(members, right)
+	}
+
+	for p, m := range members {
+		for _, v := range unfreeze(m) {
+			part[v] = p
+		}
+	}
+	res := Evaluate(h, part, len(members))
+	return res, nil
+}
+
+// frozen parts are marked by negating indices−1 in a copy; helpers below
+// keep that encoding local to this file.
+func markFrozen(m []int) []int {
+	out := make([]int, len(m))
+	for i, v := range m {
+		out[i] = -v - 1
+	}
+	return out
+}
+
+func unfreeze(m []int) []int {
+	out := make([]int, len(m))
+	for i, v := range m {
+		if v < 0 {
+			out[i] = -v - 1
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+func isFrozen(m []int) bool { return len(m) > 0 && m[0] < 0 }
+
+func allModules(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// bisect runs IG-Match on the sub-netlist induced by the given modules and
+// returns the two sides as original-module lists.
+func bisect(h *hypergraph.Hypergraph, modules []int, coreOpts core.Options) (left, right []int, err error) {
+	keep := make([]bool, h.NumModules())
+	for _, v := range modules {
+		keep[v] = true
+	}
+	sub, moduleMap, _ := hypergraph.SubHypergraph(h, keep)
+	if sub.NumNets() < 2 || sub.NumModules() < 2 {
+		return nil, nil, errors.New("multiway: sub-netlist too degenerate to bisect")
+	}
+	res, err := core.Partition(sub, coreOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, orig := range moduleMap {
+		if res.Partition.Side(i) == 0 {
+			left = append(left, orig)
+		} else {
+			right = append(right, orig)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return nil, nil, errors.New("multiway: bisection left a side empty")
+	}
+	return left, right, nil
+}
+
+// Evaluate computes the multiway metrics for an arbitrary part assignment
+// with parts 0..k−1.
+func Evaluate(h *hypergraph.Hypergraph, part []int, k int) Result {
+	res := Result{Part: part, K: k, Sizes: make([]int, k)}
+	for _, p := range part {
+		res.Sizes[p]++
+	}
+	// external[i] counts nets crossing part i's boundary.
+	external := make([]int, k)
+	seen := make([]int, k)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		spans := 0
+		for _, v := range h.Pins(e) {
+			p := part[v]
+			if seen[p] != e {
+				seen[p] = e
+				spans++
+			}
+		}
+		if spans >= 2 {
+			res.SpanningNets++
+			res.Connectivity += spans - 1
+			// Each spanned part sees this net as external.
+			for _, v := range h.Pins(e) {
+				p := part[v]
+				if seen[p] == e {
+					seen[p] = -2 - e // count once per part
+					external[p]++
+				}
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		if res.Sizes[i] > 0 {
+			res.RatioValue += float64(external[i]) / float64(res.Sizes[i])
+		}
+	}
+	return res
+}
+
+// PartSizesSorted returns the part sizes in descending order (reporting
+// convenience).
+func (r Result) PartSizesSorted() []int {
+	s := append([]int(nil), r.Sizes...)
+	sort.Sort(sort.Reverse(sort.IntSlice(s)))
+	return s
+}

@@ -1,0 +1,208 @@
+package multiway
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"igpart/internal/hypergraph"
+)
+
+// blocks builds a circuit with `k` planted clusters of `size` modules,
+// adjacent clusters joined by one bridge net each.
+func blocks(k, size int, seed int64) *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(k * size)
+	for c := 0; c < k; c++ {
+		base := c * size
+		for i := 0; i < size-1; i++ {
+			b.AddNet(base+i, base+i+1)
+		}
+		for e := 0; e < 2*size; e++ {
+			b.AddNet(base+rng.Intn(size), base+rng.Intn(size), base+rng.Intn(size))
+		}
+		if c > 0 {
+			b.AddNet((c-1)*size+rng.Intn(size), base+rng.Intn(size))
+		}
+	}
+	return b.Build()
+}
+
+func TestFourWayRecoversBlocks(t *testing.T) {
+	h := blocks(4, 20, 3)
+	res, err := Partition(h, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 4 {
+		t.Fatalf("K = %d, want 4", res.K)
+	}
+	for p, sz := range res.Sizes {
+		if sz == 0 {
+			t.Errorf("part %d empty", p)
+		}
+	}
+	// With 3 bridges, a perfect quad split spans exactly 3 nets.
+	if res.SpanningNets > 8 {
+		t.Errorf("spanning nets = %d, want near 3", res.SpanningNets)
+	}
+	// Each planted block should land (almost) whole in one part.
+	for c := 0; c < 4; c++ {
+		counts := map[int]int{}
+		for v := c * 20; v < (c+1)*20; v++ {
+			counts[res.Part[v]]++
+		}
+		max := 0
+		for _, n := range counts {
+			if n > max {
+				max = n
+			}
+		}
+		if max < 18 {
+			t.Errorf("block %d scattered: %v", c, counts)
+		}
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	// 6 modules in 3 parts; nets: {0,1} internal, {1,2} spans 2,
+	// {0,2,4} spans 3, {5} singleton.
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(6)
+	b.AddNet(0, 1)
+	b.AddNet(1, 2)
+	b.AddNet(0, 2, 4)
+	b.AddNet(5)
+	h := b.Build()
+	part := []int{0, 0, 1, 1, 2, 2}
+	res := Evaluate(h, part, 3)
+	if res.SpanningNets != 2 {
+		t.Errorf("SpanningNets = %d, want 2", res.SpanningNets)
+	}
+	// Connectivity: (2-1) + (3-1) = 3.
+	if res.Connectivity != 3 {
+		t.Errorf("Connectivity = %d, want 3", res.Connectivity)
+	}
+	// external: part0 sees nets {1,2} -> 2; part1 sees {1,2} -> 2;
+	// part2 sees {2} -> 1. Sizes all 2.
+	want := 2.0/2 + 2.0/2 + 1.0/2
+	if diff := res.RatioValue - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("RatioValue = %v, want %v", res.RatioValue, want)
+	}
+	if got := res.PartSizesSorted(); got[0] != 2 || got[2] != 2 {
+		t.Errorf("PartSizesSorted = %v", got)
+	}
+}
+
+func TestKTwoMatchesBisection(t *testing.T) {
+	h := blocks(2, 25, 7)
+	res, err := Partition(h, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("K = %d", res.K)
+	}
+	// Connectivity equals spanning nets for k=2 (spans can only be 2).
+	if res.Connectivity != res.SpanningNets {
+		t.Errorf("k=2: connectivity %d != spanning %d", res.Connectivity, res.SpanningNets)
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(40)
+		b := hypergraph.NewBuilder()
+		b.SetNumModules(n)
+		for e := 0; e < 2*n; e++ {
+			k := 2 + rng.Intn(3)
+			pins := make([]int, k)
+			for i := range pins {
+				pins[i] = rng.Intn(n)
+			}
+			b.AddNet(pins...)
+		}
+		h := b.Build()
+		k := 2 + rng.Intn(3)
+		res, err := Partition(h, Options{K: k})
+		if err != nil {
+			return true // degenerate netlist
+		}
+		total := 0
+		for p, sz := range res.Sizes {
+			if sz == 0 {
+				return false
+			}
+			total += sz
+			_ = p
+		}
+		if total != n {
+			return false
+		}
+		for _, p := range res.Part {
+			if p < 0 || p >= res.K {
+				return false
+			}
+		}
+		// Re-evaluation agrees.
+		re := Evaluate(h, res.Part, res.K)
+		return re.SpanningNets == res.SpanningNets &&
+			re.Connectivity == res.Connectivity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnsplittableStopsEarly(t *testing.T) {
+	// A circuit of 4 modules joined by a single net cannot form 4 proper
+	// IG-Match parts; the driver must stop with fewer without looping.
+	b := hypergraph.NewBuilder()
+	b.AddNet(0, 1, 2, 3)
+	b.AddNet(0, 1, 2, 3)
+	h := b.Build()
+	res, err := Partition(h, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 4 || res.K < 1 {
+		t.Errorf("K = %d", res.K)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	h := blocks(2, 5, 1)
+	if _, err := Partition(h, Options{K: 1}); err == nil {
+		t.Error("accepted K=1")
+	}
+	if _, err := Partition(h, Options{K: 100}); err == nil {
+		t.Error("accepted K > modules")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	h := blocks(3, 15, 9)
+	a, err := Partition(h, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(h, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SpanningNets != b.SpanningNets || a.RatioValue != b.RatioValue {
+		t.Error("nondeterministic")
+	}
+}
+
+func BenchmarkFourWay(b *testing.B) {
+	h := blocks(4, 100, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(h, Options{K: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package netgen
+
+import (
+	"testing"
+
+	"igpart/internal/hypergraph"
+	"igpart/internal/netmodel"
+	"igpart/internal/partition"
+)
+
+func TestGenerateBasic(t *testing.T) {
+	h, err := Generate(Config{Name: "t", Modules: 200, Nets: 220, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumModules() != 200 {
+		t.Errorf("modules = %d, want 200", h.NumModules())
+	}
+	if h.NumNets() != 220 {
+		t.Errorf("nets = %d, want 220", h.NumNets())
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Name: "t", Modules: 300, Nets: 320, Seed: 9}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNets() != b.NumNets() || a.NumPins() != b.NumPins() {
+		t.Fatalf("same seed differs: %d/%d vs %d/%d",
+			a.NumNets(), a.NumPins(), b.NumNets(), b.NumPins())
+	}
+	for e := 0; e < a.NumNets(); e++ {
+		pa, pb := a.Pins(e), b.Pins(e)
+		if len(pa) != len(pb) {
+			t.Fatalf("net %d size differs", e)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("net %d pin %d differs", e, i)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(Config{Modules: 300, Nets: 320, Seed: 1})
+	b, _ := Generate(Config{Modules: 300, Nets: 320, Seed: 2})
+	if a.NumPins() == b.NumPins() {
+		// Pins could coincide by chance; check pin lists too.
+		same := true
+		for e := 0; e < a.NumNets() && same; e++ {
+			pa, pb := a.Pins(e), b.Pins(e)
+			if len(pa) != len(pb) {
+				same = false
+				break
+			}
+			for i := range pa {
+				if pa[i] != pb[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical circuits")
+		}
+	}
+}
+
+func TestGenerateConnected(t *testing.T) {
+	h, err := Generate(Config{Modules: 500, Nets: 550, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, n := hypergraph.ConnectedComponents(h)
+	// The backbone keeps the circuit essentially connected; allow a couple
+	// of stragglers from budget exhaustion.
+	if n > 5 {
+		t.Errorf("components = %d, want few", n)
+	}
+}
+
+func TestGenerateSizeDistributionShape(t *testing.T) {
+	h, err := Generate(Config{Modules: 3014, Nets: 3029, Seed: 104})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := hypergraph.ComputeStats(h)
+	// 2-pin nets must dominate (Table 1: 1835/3029 ≈ 61%, plus backbone).
+	frac2 := float64(s.NetSizeHist[2]) / float64(s.Nets)
+	if frac2 < 0.5 {
+		t.Errorf("2-pin fraction = %v, want > 0.5", frac2)
+	}
+	// The long tail must be present.
+	if s.MaxNetSize < 17 {
+		t.Errorf("max net size = %d, want a long tail (≥17)", s.MaxNetSize)
+	}
+	if s.AvgNetSize < 2 || s.AvgNetSize > 5 {
+		t.Errorf("avg net size = %v, want 2–5", s.AvgNetSize)
+	}
+}
+
+func TestGenerateHasNaturalCut(t *testing.T) {
+	// The planted hierarchy means the middle split is far cheaper than a
+	// random one: count nets crossing the root split.
+	h, err := Generate(Config{Modules: 1000, Nets: 1100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := partition.New(h.NumModules())
+	for v := 500; v < 1000; v++ {
+		p.Set(v, partition.W)
+	}
+	natural := partition.CutNets(h, p)
+	// Compare with an interleaved (worst-case-ish) split.
+	q := partition.New(h.NumModules())
+	for v := 0; v < 1000; v += 2 {
+		q.Set(v, partition.W)
+	}
+	interleaved := partition.CutNets(h, q)
+	if natural*3 > interleaved {
+		t.Errorf("natural cut %d not clearly cheaper than interleaved %d", natural, interleaved)
+	}
+}
+
+func TestGenerateMinDegreeTwo(t *testing.T) {
+	// Real netlists have no dangling gates: every module must end with at
+	// least two incident nets (given a sufficient net budget).
+	for _, cfg := range Benchmarks {
+		h, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		low := 0
+		for v := 0; v < h.NumModules(); v++ {
+			if h.Degree(v) < 2 {
+				low++
+			}
+		}
+		if low > 0 {
+			t.Errorf("%s: %d modules with degree < 2", cfg.Name, low)
+		}
+	}
+}
+
+func TestGenerateIGSparsity(t *testing.T) {
+	// The paper's sparsity claim should hold on generated circuits with the
+	// Primary2 distribution: IG sparser than the clique model.
+	h, err := Generate(Config{Modules: 2595, Nets: 2750, Seed: 108})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := netmodel.CompareSparsity(h)
+	if s.Ratio < 1.5 {
+		t.Errorf("clique/IG nonzero ratio = %v, want clearly > 1", s.Ratio)
+	}
+}
+
+func TestBenchmarkRegistry(t *testing.T) {
+	if len(Benchmarks) != 9 {
+		t.Fatalf("registry has %d entries, want 9", len(Benchmarks))
+	}
+	cfg, ok := ByName("Prim2")
+	if !ok || cfg.Modules != 3014 {
+		t.Errorf("ByName(Prim2) = %+v, %v", cfg, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted unknown name")
+	}
+	names := Names()
+	if len(names) != 9 || names[0] != "bm1" {
+		t.Errorf("Names = %v", names)
+	}
+	for _, c := range Benchmarks {
+		h, err := Generate(c.Scaled(0.1))
+		if err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+			continue
+		}
+		if err := h.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c := Config{Modules: 1000, Nets: 1100}
+	s := c.Scaled(0.5)
+	if s.Modules != 500 || s.Nets != 550 {
+		t.Errorf("Scaled = %+v", s)
+	}
+	tiny := c.Scaled(0.0001)
+	if tiny.Modules < 2 || tiny.Nets < 1 {
+		t.Errorf("Scaled floor broken: %+v", tiny)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Modules: 1, Nets: 5}); err == nil {
+		t.Error("accepted 1 module")
+	}
+	if _, err := Generate(Config{Modules: 5, Nets: 0}); err == nil {
+		t.Error("accepted 0 nets")
+	}
+}
+
+func TestGenerateTinyCircuit(t *testing.T) {
+	// Nets larger than the whole circuit must be clamped, not loop forever.
+	h, err := Generate(Config{Modules: 4, Nets: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNets() != 30 {
+		t.Errorf("nets = %d", h.NumNets())
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		if h.NetSize(e) > 4 {
+			t.Errorf("net %d has %d pins on a 4-module circuit", e, h.NetSize(e))
+		}
+	}
+}
+
+func TestSortedSizes(t *testing.T) {
+	got := SortedSizes([]SizeBucket{{5, 1}, {2, 3}, {9, 1}})
+	if len(got) != 3 || got[0] != 2 || got[2] != 9 {
+		t.Errorf("SortedSizes = %v", got)
+	}
+}

@@ -1,0 +1,310 @@
+package netmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"igpart/internal/hypergraph"
+	"igpart/internal/sparse"
+)
+
+// example builds the hand-checked instance used across these tests:
+// modules 0,1,2; nets a={0,1}, b={1,2}, c={0,1,2}.
+// Degrees: d(0)=2, d(1)=3, d(2)=2.
+func example() *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.AddNamedNet("a", 0, 1)
+	b.AddNamedNet("b", 1, 2)
+	b.AddNamedNet("c", 0, 1, 2)
+	return b.Build()
+}
+
+func TestCliqueGraphWeights(t *testing.T) {
+	h := example()
+	g := CliqueGraph(h, 0)
+	// Net a: +1 on (0,1). Net b: +1 on (1,2). Net c: +1/2 on all pairs.
+	check := func(i, j int, want float64) {
+		if got := g.At(i, j); math.Abs(got-want) > 1e-15 {
+			t.Errorf("A[%d][%d] = %v, want %v", i, j, got, want)
+		}
+	}
+	check(0, 1, 1.5)
+	check(1, 2, 1.5)
+	check(0, 2, 0.5)
+	check(0, 0, 0)
+}
+
+func TestCliqueGraphThreshold(t *testing.T) {
+	h := example()
+	g := CliqueGraph(h, 2) // drop the 3-pin net c
+	if got := g.At(0, 2); got != 0 {
+		t.Errorf("thresholded A[0][2] = %v, want 0", got)
+	}
+	if got := g.At(0, 1); got != 1 {
+		t.Errorf("thresholded A[0][1] = %v, want 1", got)
+	}
+}
+
+func TestCliqueGraphIgnoresSmallNets(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddNet(0)
+	b.AddNet(1, 2)
+	h := b.Build()
+	g := CliqueGraph(h, 0)
+	if g.OffDiagNNZ() != 2 { // only the 2-pin net appears (stored twice)
+		t.Errorf("OffDiagNNZ = %d, want 2", g.OffDiagNNZ())
+	}
+}
+
+func TestIntersectionGraphPaperWeights(t *testing.T) {
+	h := example()
+	g := IntersectionGraph(h, IGOptions{})
+	if g.N() != 3 {
+		t.Fatalf("IG dimension = %d, want 3 (one vertex per net)", g.N())
+	}
+	// Hand computation with the Section 2.2 formula:
+	// A'(a,b): share module 1 (d=3): 1/2·(1/2+1/2) = 0.5
+	// A'(a,c): share modules 0 (d=2) and 1 (d=3):
+	//          1/1·(1/2+1/3) + 1/2·(1/2+1/3) = 5/6 + 5/12 = 1.25
+	// A'(b,c): symmetric to (a,c) = 1.25
+	check := func(i, j int, want float64) {
+		if got := g.At(i, j); math.Abs(got-want) > 1e-12 {
+			t.Errorf("A'[%d][%d] = %v, want %v", i, j, got, want)
+		}
+	}
+	check(0, 1, 0.5)
+	check(0, 2, 1.25)
+	check(1, 2, 1.25)
+}
+
+func TestIntersectionGraphSchemes(t *testing.T) {
+	h := example()
+
+	unit := IntersectionGraph(h, IGOptions{Scheme: SchemeUnit})
+	for _, p := range [][2]int{{0, 1}, {0, 2}, {1, 2}} {
+		if got := unit.At(p[0], p[1]); got != 1 {
+			t.Errorf("unit A'[%d][%d] = %v, want 1", p[0], p[1], got)
+		}
+	}
+
+	overlap := IntersectionGraph(h, IGOptions{Scheme: SchemeOverlap})
+	if got := overlap.At(0, 2); got != 2 { // nets a and c share modules 0 and 1
+		t.Errorf("overlap A'[0][2] = %v, want 2", got)
+	}
+	if got := overlap.At(0, 1); got != 1 {
+		t.Errorf("overlap A'[0][1] = %v, want 1", got)
+	}
+
+	minsize := IntersectionGraph(h, IGOptions{Scheme: SchemeMinSize})
+	if got := minsize.At(0, 2); math.Abs(got-1.0) > 1e-15 { // q=2, min(2,3)=2
+		t.Errorf("minsize A'[0][2] = %v, want 1", got)
+	}
+}
+
+func TestStarGraph(t *testing.T) {
+	h := example() // 3 modules, nets a={0,1}, b={1,2}, c={0,1,2}
+	g := StarGraph(h, 0)
+	if g.N() != 6 { // 3 modules + 3 centers
+		t.Fatalf("dim = %d, want 6", g.N())
+	}
+	// Spokes: center of net a (index 3) to modules 0 and 1.
+	if g.At(3, 0) != 1 || g.At(3, 1) != 1 || g.At(3, 2) != 0 {
+		t.Errorf("net a spokes wrong: %v %v %v", g.At(3, 0), g.At(3, 1), g.At(3, 2))
+	}
+	// Module-module edges never appear in a star model.
+	if g.At(0, 1) != 0 {
+		t.Errorf("direct module edge in star model: %v", g.At(0, 1))
+	}
+	// Pin count conservation: nonzeros = 2 × pins.
+	if g.OffDiagNNZ() != 2*h.NumPins() {
+		t.Errorf("nonzeros = %d, want %d", g.OffDiagNNZ(), 2*h.NumPins())
+	}
+	// Thresholding drops the 3-pin net c entirely.
+	gt := StarGraph(h, 2)
+	if gt.At(5, 0) != 0 || gt.At(5, 1) != 0 {
+		t.Error("thresholded star still has net c spokes")
+	}
+}
+
+func TestWeightSchemeString(t *testing.T) {
+	for s, want := range map[WeightScheme]string{
+		SchemePaper: "paper", SchemeUnit: "unit",
+		SchemeOverlap: "overlap", SchemeMinSize: "minsize",
+		WeightScheme(9): "WeightScheme(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestIntersectionGraphThreshold(t *testing.T) {
+	h := example()
+	g := IntersectionGraph(h, IGOptions{Threshold: 2})
+	// Net c (3 pins) is excluded; only the a–b edge (via module 1) remains.
+	if got := g.At(0, 2); got != 0 {
+		t.Errorf("thresholded A'[0][2] = %v, want 0", got)
+	}
+	if got := g.At(1, 2); got != 0 {
+		t.Errorf("thresholded A'[1][2] = %v, want 0", got)
+	}
+	if got := g.At(0, 1); got == 0 {
+		t.Error("a–b edge lost under threshold")
+	}
+	if g.N() != 3 {
+		t.Errorf("thresholding must keep all net vertices: N = %d", g.N())
+	}
+}
+
+func TestIGDisjointNetsNoEdge(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddNet(0, 1)
+	b.AddNet(2, 3)
+	h := b.Build()
+	g := IntersectionGraph(h, IGOptions{})
+	if g.OffDiagNNZ() != 0 {
+		t.Errorf("disjoint nets produced %d IG nonzeros", g.OffDiagNNZ())
+	}
+}
+
+func TestLaplacianWrappers(t *testing.T) {
+	h := example()
+	qm := ModuleLaplacian(h, 0)
+	if qm.N() != 3 {
+		t.Errorf("module Laplacian dim = %d", qm.N())
+	}
+	qn := IGLaplacian(h, IGOptions{})
+	if qn.N() != 3 {
+		t.Errorf("IG Laplacian dim = %d", qn.N())
+	}
+	// Laplacian rows sum to zero.
+	one := []float64{1, 1, 1}
+	y := make([]float64, 3)
+	qn.MulVec(y, one)
+	for _, v := range y {
+		if math.Abs(v) > 1e-12 {
+			t.Errorf("IG Laplacian row sums nonzero: %v", y)
+		}
+	}
+}
+
+func TestCompareSparsity(t *testing.T) {
+	// A single large net makes the clique model dense while the IG stays
+	// tiny — the effect behind the paper's Test05 measurement.
+	b := hypergraph.NewBuilder()
+	big := make([]int, 40)
+	for i := range big {
+		big[i] = i
+	}
+	b.AddNet(big...)
+	for i := 0; i < 39; i++ {
+		b.AddNet(i, i+1)
+	}
+	h := b.Build()
+	s := CompareSparsity(h)
+	if s.CliqueNonzeros <= s.IGNonzeros {
+		t.Errorf("expected clique denser: %+v", s)
+	}
+	if s.Ratio <= 1 {
+		t.Errorf("Ratio = %v, want > 1", s.Ratio)
+	}
+}
+
+func TestIGSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		bld := hypergraph.NewBuilder()
+		bld.SetNumModules(n)
+		for e := 0; e < 2+rng.Intn(20); e++ {
+			k := 2 + rng.Intn(4)
+			pins := make([]int, k)
+			for i := range pins {
+				pins[i] = rng.Intn(n)
+			}
+			bld.AddNet(pins...)
+		}
+		h := bld.Build()
+		for _, scheme := range []WeightScheme{SchemePaper, SchemeUnit, SchemeOverlap, SchemeMinSize} {
+			g := IntersectionGraph(h, IGOptions{Scheme: scheme})
+			for i := 0; i < g.N(); i++ {
+				cols, vals := g.Row(i)
+				for k, j := range cols {
+					if math.Abs(g.At(j, i)-vals[k]) > 1e-12 {
+						return false
+					}
+					if vals[k] < 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIGEdgeIffSharedModule(t *testing.T) {
+	// Structural property: A'_ab ≠ 0 exactly when nets a and b intersect.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		bld := hypergraph.NewBuilder()
+		bld.SetNumModules(n)
+		for e := 0; e < 2+rng.Intn(12); e++ {
+			k := 2 + rng.Intn(4)
+			pins := make([]int, k)
+			for i := range pins {
+				pins[i] = rng.Intn(n)
+			}
+			bld.AddNet(pins...)
+		}
+		h := bld.Build()
+		g := IntersectionGraph(h, IGOptions{})
+		for a := 0; a < h.NumNets(); a++ {
+			for b := a + 1; b < h.NumNets(); b++ {
+				shared := false
+				for _, v := range h.Pins(a) {
+					for _, w := range h.Pins(b) {
+						if v == w {
+							shared = true
+						}
+					}
+				}
+				if shared != (g.At(a, b) != 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+var sinkCSR *sparse.SymCSR
+
+func BenchmarkIntersectionGraph(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bld := hypergraph.NewBuilder()
+	n := 2000
+	bld.SetNumModules(n)
+	for e := 0; e < 2500; e++ {
+		k := 2 + rng.Intn(5)
+		pins := make([]int, k)
+		for i := range pins {
+			pins[i] = rng.Intn(n)
+		}
+		bld.AddNet(pins...)
+	}
+	h := bld.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkCSR = IntersectionGraph(h, IGOptions{})
+	}
+}

@@ -1,0 +1,309 @@
+// Package partition defines the module bipartition type and the cut
+// metrics the paper optimizes: net cut and the Wei–Cheng ratio cut
+// e(U,W) / (|U|·|W|).
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"igpart/internal/hypergraph"
+)
+
+// Side identifies one side of a bipartition.
+type Side uint8
+
+// The two sides of a bipartition, named U and W after the paper.
+const (
+	U Side = 0
+	W Side = 1
+)
+
+// Opposite returns the other side.
+func (s Side) Opposite() Side { return s ^ 1 }
+
+// String implements fmt.Stringer.
+func (s Side) String() string {
+	if s == U {
+		return "U"
+	}
+	return "W"
+}
+
+// Bipartition assigns every module of a netlist to side U or W.
+type Bipartition struct {
+	side []Side
+}
+
+// New returns a bipartition of n modules with every module on side U.
+func New(n int) *Bipartition {
+	return &Bipartition{side: make([]Side, n)}
+}
+
+// FromSides wraps an explicit side assignment (the slice is not copied).
+func FromSides(sides []Side) *Bipartition {
+	return &Bipartition{side: sides}
+}
+
+// NumModules returns the number of modules covered by the bipartition.
+func (p *Bipartition) NumModules() int { return len(p.side) }
+
+// Side returns the side of module v.
+func (p *Bipartition) Side(v int) Side { return p.side[v] }
+
+// Set assigns module v to side s.
+func (p *Bipartition) Set(v int, s Side) { p.side[v] = s }
+
+// Sides exposes the underlying side slice (owned by the bipartition).
+func (p *Bipartition) Sides() []Side { return p.side }
+
+// Clone returns an independent copy.
+func (p *Bipartition) Clone() *Bipartition {
+	return &Bipartition{side: append([]Side(nil), p.side...)}
+}
+
+// Sizes returns the number of modules on each side.
+func (p *Bipartition) Sizes() (nu, nw int) {
+	for _, s := range p.side {
+		if s == U {
+			nu++
+		} else {
+			nw++
+		}
+	}
+	return nu, nw
+}
+
+// Weights returns the total module weight on each side of the partition.
+func (p *Bipartition) Weights(h *hypergraph.Hypergraph) (wu, ww int) {
+	for v, s := range p.side {
+		if s == U {
+			wu += h.ModuleWeight(v)
+		} else {
+			ww += h.ModuleWeight(v)
+		}
+	}
+	return wu, ww
+}
+
+// Swap flips every module to the opposite side, in place.
+func (p *Bipartition) Swap() {
+	for i := range p.side {
+		p.side[i] ^= 1
+	}
+}
+
+// IsNetCut reports whether net e has pins on both sides of p.
+func IsNetCut(h *hypergraph.Hypergraph, p *Bipartition, e int) bool {
+	pins := h.Pins(e)
+	if len(pins) < 2 {
+		return false
+	}
+	first := p.side[pins[0]]
+	for _, v := range pins[1:] {
+		if p.side[v] != first {
+			return true
+		}
+	}
+	return false
+}
+
+// CutNets counts the nets of h cut by p.
+func CutNets(h *hypergraph.Hypergraph, p *Bipartition) int {
+	cut := 0
+	for e := 0; e < h.NumNets(); e++ {
+		if IsNetCut(h, p, e) {
+			cut++
+		}
+	}
+	return cut
+}
+
+// RatioCut returns the ratio-cut cost cut/(|U|·|W|) of p, using module
+// counts as in the paper (the spectral methods treat modules uniformly).
+// It returns +Inf when either side is empty: such a "partition" does not
+// divide the circuit at all.
+func RatioCut(h *hypergraph.Hypergraph, p *Bipartition) float64 {
+	nu, nw := p.Sizes()
+	if nu == 0 || nw == 0 {
+		return math.Inf(1)
+	}
+	return float64(CutNets(h, p)) / (float64(nu) * float64(nw))
+}
+
+// WeightedRatioCut returns the ratio-cut cost cut/(w(U)·w(W)) using module
+// area weights in the denominator — the Wei–Cheng formulation when areas
+// matter (the spectral methods are area-oblivious, as the paper's Section 4
+// discusses, but the iterative baselines can optimize this directly).
+func WeightedRatioCut(h *hypergraph.Hypergraph, p *Bipartition) float64 {
+	wu, ww := p.Weights(h)
+	if wu == 0 || ww == 0 {
+		return math.Inf(1)
+	}
+	return float64(CutNets(h, p)) / (float64(wu) * float64(ww))
+}
+
+// RatioCutFrom computes the ratio-cut cost from precomputed components.
+func RatioCutFrom(cut, nu, nw int) float64 {
+	if nu == 0 || nw == 0 {
+		return math.Inf(1)
+	}
+	return float64(cut) / (float64(nu) * float64(nw))
+}
+
+// Metrics bundles everything a partition report needs.
+type Metrics struct {
+	CutNets  int
+	SizeU    int
+	SizeW    int
+	RatioCut float64
+}
+
+// Evaluate computes the full metric set for p on h.
+func Evaluate(h *hypergraph.Hypergraph, p *Bipartition) Metrics {
+	nu, nw := p.Sizes()
+	cut := CutNets(h, p)
+	return Metrics{
+		CutNets:  cut,
+		SizeU:    nu,
+		SizeW:    nw,
+		RatioCut: RatioCutFrom(cut, nu, nw),
+	}
+}
+
+// String renders metrics in the paper's table style ("areas cut ratio").
+func (m Metrics) String() string {
+	return fmt.Sprintf("%d:%d cut=%d ratio=%.4g", m.SizeU, m.SizeW, m.CutNets, m.RatioCut)
+}
+
+// CutStatRow is one row of the paper's Table 1: for each net size, how many
+// nets exist and how many of them the partition cuts.
+type CutStatRow struct {
+	NetSize int
+	Count   int
+	Cut     int
+}
+
+// CutStatistics tabulates cut counts per net size for partition p — the
+// analysis behind Table 1 of the paper.
+func CutStatistics(h *hypergraph.Hypergraph, p *Bipartition) []CutStatRow {
+	count := map[int]int{}
+	cut := map[int]int{}
+	for e := 0; e < h.NumNets(); e++ {
+		k := h.NetSize(e)
+		count[k]++
+		if IsNetCut(h, p, e) {
+			cut[k]++
+		}
+	}
+	sizes := make([]int, 0, len(count))
+	for k := range count {
+		sizes = append(sizes, k)
+	}
+	sort.Ints(sizes)
+	rows := make([]CutStatRow, len(sizes))
+	for i, k := range sizes {
+		rows[i] = CutStatRow{NetSize: k, Count: count[k], Cut: cut[k]}
+	}
+	return rows
+}
+
+// FromOrderSplit builds the bipartition that places the first r modules of
+// order on side U and the rest on side W. order must be a permutation of
+// 0..n-1 and 1 ≤ r ≤ n−1 for a proper bipartition (r outside that range is
+// allowed but yields an improper partition with an empty side).
+func FromOrderSplit(order []int, r int) *Bipartition {
+	p := New(len(order))
+	for i, v := range order {
+		if i < r {
+			p.side[v] = U
+		} else {
+			p.side[v] = W
+		}
+	}
+	return p
+}
+
+// Counter tracks, per net, how many pins lie on each side of a partition,
+// allowing O(degree) incremental module moves and O(1) cut queries. It is
+// the shared engine under the iterative heuristics.
+type Counter struct {
+	h       *hypergraph.Hypergraph
+	p       *Bipartition
+	pinsOnU []int // per net
+	cut     int
+}
+
+// NewCounter builds a Counter for h around partition p. The Counter keeps a
+// reference to p; moves must go through Move so the counts stay in sync.
+func NewCounter(h *hypergraph.Hypergraph, p *Bipartition) *Counter {
+	c := &Counter{h: h, p: p, pinsOnU: make([]int, h.NumNets())}
+	for e := 0; e < h.NumNets(); e++ {
+		onU := 0
+		for _, v := range h.Pins(e) {
+			if p.Side(v) == U {
+				onU++
+			}
+		}
+		c.pinsOnU[e] = onU
+		if onU > 0 && onU < h.NetSize(e) {
+			c.cut++
+		}
+	}
+	return c
+}
+
+// Cut returns the current number of cut nets.
+func (c *Counter) Cut() int { return c.cut }
+
+// Partition returns the underlying bipartition.
+func (c *Counter) Partition() *Bipartition { return c.p }
+
+// PinsOnU returns how many pins of net e are currently on side U.
+func (c *Counter) PinsOnU(e int) int { return c.pinsOnU[e] }
+
+// Move flips module v to the opposite side, updating all counts.
+func (c *Counter) Move(v int) {
+	from := c.p.Side(v)
+	c.p.Set(v, from.Opposite())
+	for _, e := range c.h.Nets(v) {
+		size := c.h.NetSize(e)
+		wasCut := c.pinsOnU[e] > 0 && c.pinsOnU[e] < size
+		if from == U {
+			c.pinsOnU[e]--
+		} else {
+			c.pinsOnU[e]++
+		}
+		isCut := c.pinsOnU[e] > 0 && c.pinsOnU[e] < size
+		if wasCut && !isCut {
+			c.cut--
+		} else if !wasCut && isCut {
+			c.cut++
+		}
+	}
+}
+
+// Gain returns the decrease in cut nets if module v were moved to the
+// opposite side (negative when the move would increase the cut). This is
+// the Fiduccia–Mattheyses cell gain.
+func (c *Counter) Gain(v int) int {
+	from := c.p.Side(v)
+	g := 0
+	for _, e := range c.h.Nets(v) {
+		size := c.h.NetSize(e)
+		if size < 2 {
+			continue
+		}
+		onFrom := c.pinsOnU[e]
+		if from == W {
+			onFrom = size - onFrom
+		}
+		if onFrom == 1 {
+			g++ // v is the last pin on its side: moving uncuts e
+		} else if onFrom == size {
+			g-- // e is currently uncut: moving v cuts it
+		}
+	}
+	return g
+}

@@ -1,0 +1,280 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"igpart/internal/hypergraph"
+)
+
+// triH builds a small netlist: nets {0,1}, {1,2,3}, {3,4}, modules 0..4.
+func triH() *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.AddNet(0, 1)
+	b.AddNet(1, 2, 3)
+	b.AddNet(3, 4)
+	return b.Build()
+}
+
+func TestSide(t *testing.T) {
+	if U.Opposite() != W || W.Opposite() != U {
+		t.Error("Opposite broken")
+	}
+	if U.String() != "U" || W.String() != "W" {
+		t.Error("String broken")
+	}
+}
+
+func TestBasicMetrics(t *testing.T) {
+	h := triH()
+	p := New(5)
+	p.Set(3, W)
+	p.Set(4, W)
+	// Net {0,1}: uncut. Net {1,2,3}: cut. Net {3,4}: uncut.
+	if got := CutNets(h, p); got != 1 {
+		t.Errorf("CutNets = %d, want 1", got)
+	}
+	if !IsNetCut(h, p, 1) || IsNetCut(h, p, 0) || IsNetCut(h, p, 2) {
+		t.Error("IsNetCut wrong")
+	}
+	nu, nw := p.Sizes()
+	if nu != 3 || nw != 2 {
+		t.Errorf("Sizes = %d,%d", nu, nw)
+	}
+	want := 1.0 / 6.0
+	if got := RatioCut(h, p); math.Abs(got-want) > 1e-15 {
+		t.Errorf("RatioCut = %v, want %v", got, want)
+	}
+	m := Evaluate(h, p)
+	if m.CutNets != 1 || m.SizeU != 3 || m.SizeW != 2 || math.Abs(m.RatioCut-want) > 1e-15 {
+		t.Errorf("Evaluate = %+v", m)
+	}
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestRatioCutEmptySide(t *testing.T) {
+	h := triH()
+	p := New(5)
+	if !math.IsInf(RatioCut(h, p), 1) {
+		t.Error("RatioCut with empty side should be +Inf")
+	}
+	if !math.IsInf(RatioCutFrom(0, 0, 5), 1) {
+		t.Error("RatioCutFrom with empty side should be +Inf")
+	}
+}
+
+func TestSwapInvariance(t *testing.T) {
+	h := triH()
+	p := New(5)
+	p.Set(1, W)
+	p.Set(2, W)
+	before := Evaluate(h, p)
+	p.Swap()
+	after := Evaluate(h, p)
+	if before.CutNets != after.CutNets || before.RatioCut != after.RatioCut {
+		t.Errorf("metrics changed under Swap: %+v vs %+v", before, after)
+	}
+	if after.SizeU != before.SizeW || after.SizeW != before.SizeU {
+		t.Error("sizes not swapped")
+	}
+}
+
+func TestSingletonNetsNeverCut(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddNet(0)
+	b.AddNet(0, 1)
+	h := b.Build()
+	p := New(2)
+	p.Set(1, W)
+	if CutNets(h, p) != 1 {
+		t.Errorf("CutNets = %d, want 1 (singleton nets cannot be cut)", CutNets(h, p))
+	}
+}
+
+func TestWeights(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddNet(0, 1, 2)
+	b.SetWeight(0, 5)
+	b.SetWeight(1, 2)
+	h := b.Build()
+	p := New(3)
+	p.Set(0, W)
+	wu, ww := p.Weights(h)
+	if wu != 3 || ww != 5 { // modules 1(w=2)+2(w=1) vs module 0(w=5)
+		t.Errorf("Weights = %d,%d, want 3,5", wu, ww)
+	}
+}
+
+func TestWeightedRatioCut(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddNet(0, 1)
+	b.AddNet(1, 2)
+	b.SetWeight(0, 10)
+	b.SetWeight(1, 1)
+	b.SetWeight(2, 1)
+	h := b.Build()
+	p := New(3)
+	p.Set(2, W)
+	// cut = 1 (net {1,2}); weights U = 11, W = 1.
+	want := 1.0 / 11.0
+	if got := WeightedRatioCut(h, p); math.Abs(got-want) > 1e-15 {
+		t.Errorf("WeightedRatioCut = %v, want %v", got, want)
+	}
+	empty := New(3)
+	if !math.IsInf(WeightedRatioCut(h, empty), 1) {
+		t.Error("empty side should be +Inf")
+	}
+	// Unweighted circuits reduce to the count form.
+	u := triH()
+	q := New(5)
+	q.Set(3, W)
+	q.Set(4, W)
+	if WeightedRatioCut(u, q) != RatioCut(u, q) {
+		t.Error("unweighted WeightedRatioCut differs from RatioCut")
+	}
+}
+
+func TestFromOrderSplit(t *testing.T) {
+	order := []int{3, 1, 4, 0, 2}
+	p := FromOrderSplit(order, 2)
+	wantU := map[int]bool{3: true, 1: true}
+	for v := 0; v < 5; v++ {
+		if (p.Side(v) == U) != wantU[v] {
+			t.Errorf("module %d on side %v", v, p.Side(v))
+		}
+	}
+}
+
+func TestCutStatistics(t *testing.T) {
+	h := triH()
+	p := New(5)
+	p.Set(3, W)
+	p.Set(4, W)
+	rows := CutStatistics(h, p)
+	// Sizes present: 2 (two nets, zero cut), 3 (one net, one cut).
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0] != (CutStatRow{NetSize: 2, Count: 2, Cut: 0}) {
+		t.Errorf("rows[0] = %+v", rows[0])
+	}
+	if rows[1] != (CutStatRow{NetSize: 3, Count: 1, Cut: 1}) {
+		t.Errorf("rows[1] = %+v", rows[1])
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := New(3)
+	c := p.Clone()
+	c.Set(0, W)
+	if p.Side(0) != U {
+		t.Error("Clone shares storage")
+	}
+}
+
+func randomInstance(seed int64) (*hypergraph.Hypergraph, *Bipartition, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(20)
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(n)
+	m := 1 + rng.Intn(30)
+	for e := 0; e < m; e++ {
+		k := 1 + rng.Intn(5)
+		pins := make([]int, k)
+		for i := range pins {
+			pins[i] = rng.Intn(n)
+		}
+		b.AddNet(pins...)
+	}
+	h := b.Build()
+	p := New(n)
+	for v := 0; v < n; v++ {
+		if rng.Intn(2) == 1 {
+			p.Set(v, W)
+		}
+	}
+	return h, p, rng
+}
+
+func TestCounterTracksMoves(t *testing.T) {
+	f := func(seed int64) bool {
+		h, p, rng := randomInstance(seed)
+		c := NewCounter(h, p)
+		if c.Cut() != CutNets(h, p) {
+			return false
+		}
+		for step := 0; step < 40; step++ {
+			v := rng.Intn(h.NumModules())
+			g := c.Gain(v)
+			before := c.Cut()
+			c.Move(v)
+			if c.Cut() != CutNets(h, p) {
+				return false
+			}
+			if before-c.Cut() != g {
+				return false // gain must predict the cut delta exactly
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterAccessors(t *testing.T) {
+	h := triH()
+	p := New(5)
+	p.Set(3, W)
+	c := NewCounter(h, p)
+	if c.Partition() != p {
+		t.Error("Partition accessor broken")
+	}
+	// Net 1 = {1,2,3}: pins 1,2 on U, 3 on W.
+	if got := c.PinsOnU(1); got != 2 {
+		t.Errorf("PinsOnU(1) = %d, want 2", got)
+	}
+	if FromSides(p.Sides()).Side(3) != W {
+		t.Error("FromSides/Sides round trip broken")
+	}
+	if p.NumModules() != 5 {
+		t.Errorf("NumModules = %d", p.NumModules())
+	}
+}
+
+func TestCounterMoveRoundTrip(t *testing.T) {
+	h, p, _ := randomInstance(42)
+	c := NewCounter(h, p)
+	before := c.Cut()
+	c.Move(0)
+	c.Move(0)
+	if c.Cut() != before {
+		t.Errorf("double move changed cut: %d vs %d", c.Cut(), before)
+	}
+	if p.Side(0) != U && p.Side(0) != W {
+		t.Error("invalid side")
+	}
+}
+
+func TestCutStatisticsTotalsMatch(t *testing.T) {
+	f := func(seed int64) bool {
+		h, p, _ := randomInstance(seed)
+		rows := CutStatistics(h, p)
+		totalNets, totalCut := 0, 0
+		for _, r := range rows {
+			totalNets += r.Count
+			totalCut += r.Cut
+			if r.Cut > r.Count {
+				return false
+			}
+		}
+		return totalNets == h.NumNets() && totalCut == CutNets(h, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

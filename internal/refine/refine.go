@@ -1,0 +1,68 @@
+// Package refine combines the spectral partitioners with Fiduccia–
+// Mattheyses post-refinement — the hybrid the paper's Section 5 proposes
+// ("the ratio cuts so obtained may optionally be improved by using standard
+// iterative techniques").
+package refine
+
+import (
+	"igpart/internal/core"
+	"igpart/internal/fm"
+	"igpart/internal/hypergraph"
+	"igpart/internal/partition"
+	"igpart/internal/spectral"
+)
+
+// Result reports a spectral+FM pipeline outcome.
+type Result struct {
+	// Spectral is the metric of the pure spectral stage.
+	Spectral partition.Metrics
+	// Refined is the metric after FM polishing (never worse under the
+	// ratio-cut objective).
+	Refined partition.Metrics
+	// Partition is the final, refined partition.
+	Partition *partition.Bipartition
+	// Passes is the number of FM passes the refinement ran.
+	Passes int
+}
+
+// IGMatchFM runs IG-Match and then polishes its output with ratio-cut FM.
+func IGMatchFM(h *hypergraph.Hypergraph, igOpts core.Options, fmOpts fm.Options) (Result, error) {
+	res, err := core.Partition(h, igOpts)
+	if err != nil {
+		return Result{}, err
+	}
+	return polish(h, res.Partition, res.Metrics, fmOpts)
+}
+
+// EIG1FM runs EIG1 and then polishes its output with ratio-cut FM.
+func EIG1FM(h *hypergraph.Hypergraph, spOpts spectral.Options, fmOpts fm.Options) (Result, error) {
+	res, err := spectral.Partition(h, spOpts)
+	if err != nil {
+		return Result{}, err
+	}
+	return polish(h, res.Partition, res.Metrics, fmOpts)
+}
+
+// Polish refines an arbitrary starting partition (cloned, not mutated).
+func Polish(h *hypergraph.Hypergraph, p *partition.Bipartition, fmOpts fm.Options) (Result, error) {
+	return polish(h, p.Clone(), partition.Evaluate(h, p), fmOpts)
+}
+
+func polish(h *hypergraph.Hypergraph, p *partition.Bipartition, before partition.Metrics, fmOpts fm.Options) (Result, error) {
+	work := p.Clone()
+	met, passes, err := fm.RefinePartition(h, work, fmOpts)
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{Spectral: before, Passes: passes}
+	if met.RatioCut <= before.RatioCut {
+		r.Refined = met
+		r.Partition = work
+	} else {
+		// FM's prefix selection should never worsen the objective, but be
+		// defensive: keep the spectral partition if it somehow did.
+		r.Refined = before
+		r.Partition = p
+	}
+	return r, nil
+}

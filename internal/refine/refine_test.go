@@ -1,0 +1,148 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+
+	"igpart/internal/core"
+	"igpart/internal/fm"
+	"igpart/internal/hypergraph"
+	"igpart/internal/partition"
+	"igpart/internal/spectral"
+)
+
+func clustered(k, bridges int, seed int64) *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(2 * k)
+	for c := 0; c < 2; c++ {
+		base := c * k
+		for i := 0; i < k-1; i++ {
+			b.AddNet(base+i, base+i+1)
+		}
+		for e := 0; e < 2*k; e++ {
+			b.AddNet(base+rng.Intn(k), base+rng.Intn(k), base+rng.Intn(k))
+		}
+	}
+	for i := 0; i < bridges; i++ {
+		b.AddNet(rng.Intn(k), k+rng.Intn(k))
+	}
+	return b.Build()
+}
+
+func TestIGMatchFMNeverWorse(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		h := clustered(20, 3, seed)
+		r, err := IGMatchFM(h, core.Options{}, fm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Refined.RatioCut > r.Spectral.RatioCut {
+			t.Errorf("seed %d: refinement worsened %v -> %v", seed, r.Spectral.RatioCut, r.Refined.RatioCut)
+		}
+		if got := partition.Evaluate(h, r.Partition); got != r.Refined {
+			t.Errorf("seed %d: metrics mismatch %+v vs %+v", seed, got, r.Refined)
+		}
+		if r.Passes < 1 {
+			t.Errorf("seed %d: no passes recorded", seed)
+		}
+	}
+}
+
+func TestEIG1FMNeverWorse(t *testing.T) {
+	h := clustered(25, 4, 9)
+	r, err := EIG1FM(h, spectral.Options{}, fm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Refined.RatioCut > r.Spectral.RatioCut {
+		t.Errorf("refinement worsened %v -> %v", r.Spectral.RatioCut, r.Refined.RatioCut)
+	}
+}
+
+func TestPolishArbitraryPartition(t *testing.T) {
+	h := clustered(15, 2, 4)
+	// A deliberately bad partition: interleaved sides.
+	p := partition.New(h.NumModules())
+	for v := 0; v < h.NumModules(); v += 2 {
+		p.Set(v, partition.W)
+	}
+	before := partition.Evaluate(h, p)
+	r, err := Polish(h, p, fm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Refined.RatioCut > before.RatioCut {
+		t.Errorf("polish worsened %v -> %v", before.RatioCut, r.Refined.RatioCut)
+	}
+	// The input partition must not be mutated.
+	if got := partition.Evaluate(h, p); got != before {
+		t.Error("Polish mutated its input")
+	}
+	// An interleaved start on a clustered circuit leaves plenty of slack;
+	// the polish must strictly improve it.
+	if r.Refined.RatioCut >= before.RatioCut {
+		t.Errorf("no improvement from interleaved start: %v", r.Refined.RatioCut)
+	}
+}
+
+func TestRefinePartitionDirect(t *testing.T) {
+	h := clustered(10, 2, 6)
+	p := partition.New(h.NumModules())
+	for v := 10; v < 20; v++ {
+		p.Set(v, partition.W)
+	}
+	met, passes, err := fm.RefinePartition(h, p, fm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes < 1 {
+		t.Error("no passes")
+	}
+	if got := partition.Evaluate(h, p); got != met {
+		t.Errorf("in-place refinement metrics stale: %+v vs %+v", got, met)
+	}
+}
+
+func TestRefinePartitionFixedModules(t *testing.T) {
+	h := clustered(12, 2, 8)
+	// Start from a bad interleaved partition but pin modules 0 and 12 to
+	// opposite sides (like I/O pads on different boards).
+	p := partition.New(h.NumModules())
+	for v := 0; v < h.NumModules(); v += 2 {
+		p.Set(v, partition.W)
+	}
+	p.Set(0, partition.U)
+	p.Set(12, partition.W)
+	fixed := make([]bool, h.NumModules())
+	fixed[0] = true
+	fixed[12] = true
+	before := partition.Evaluate(h, p)
+	met, _, err := fm.RefinePartition(h, p, fm.Options{Fixed: fixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Side(0) != partition.U || p.Side(12) != partition.W {
+		t.Error("fixed modules moved")
+	}
+	if met.RatioCut > before.RatioCut {
+		t.Errorf("refinement with pins worsened %v -> %v", before.RatioCut, met.RatioCut)
+	}
+
+	if _, _, err := fm.RefinePartition(h, p, fm.Options{Fixed: []bool{true}}); err == nil {
+		t.Error("accepted wrong-length Fixed mask")
+	}
+}
+
+func TestRefinePartitionErrors(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(1)
+	h := b.Build()
+	if _, _, err := fm.RefinePartition(h, partition.New(1), fm.Options{}); err == nil {
+		t.Error("accepted 1-module circuit")
+	}
+	h2 := clustered(5, 1, 1)
+	if _, _, err := fm.RefinePartition(h2, partition.New(3), fm.Options{}); err == nil {
+		t.Error("accepted mismatched partition")
+	}
+}

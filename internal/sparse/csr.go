@@ -1,0 +1,185 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SymCSR is a symmetric sparse matrix in compressed-sparse-row form. Both
+// triangles are stored explicitly, which keeps the matrix-vector product a
+// single contiguous sweep — the operation Lanczos iterates on.
+type SymCSR struct {
+	n       int
+	rowPtr  []int
+	colIdx  []int
+	values  []float64
+	diag    []float64 // cached diagonal (0 where absent)
+	rowSums []float64 // cached sum of each row (including diagonal)
+}
+
+// N returns the matrix dimension.
+func (m *SymCSR) N() int { return m.n }
+
+// NNZ returns the number of stored nonzeros (both triangles plus diagonal).
+func (m *SymCSR) NNZ() int { return len(m.values) }
+
+// OffDiagNNZ returns the number of stored off-diagonal nonzeros. Divide by
+// two for the number of distinct undirected adjacencies.
+func (m *SymCSR) OffDiagNNZ() int {
+	k := 0
+	for i := 0; i < m.n; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			if m.colIdx[p] != i {
+				k++
+			}
+		}
+	}
+	return k
+}
+
+// Diag returns the cached diagonal; entry i is A[i][i].
+// The slice is owned by the matrix and must not be modified.
+func (m *SymCSR) Diag() []float64 { return m.diag }
+
+// RowSums returns, for each row, the sum of all entries in that row. For an
+// adjacency matrix this is the weighted degree vector. The slice is owned by
+// the matrix and must not be modified.
+func (m *SymCSR) RowSums() []float64 { return m.rowSums }
+
+// Row returns the column indices and values of row i. The slices are owned
+// by the matrix and must not be modified.
+func (m *SymCSR) Row(i int) ([]int, []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.values[lo:hi]
+}
+
+// At returns A[i][j] (0 when the entry is not stored).
+func (m *SymCSR) At(i, j int) float64 {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	cols := m.colIdx[lo:hi]
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return m.values[lo+k]
+	}
+	return 0
+}
+
+// MulVec computes y = A*x. x and y must both have length N and must not
+// alias each other.
+func (m *SymCSR) MulVec(y, x []float64) {
+	if len(x) != m.n || len(y) != m.n {
+		panic(fmt.Sprintf("sparse: MulVec dimension mismatch n=%d len(x)=%d len(y)=%d", m.n, len(x), len(y)))
+	}
+	for i := 0; i < m.n; i++ {
+		s := 0.0
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			s += m.values[p] * x[m.colIdx[p]]
+		}
+		y[i] = s
+	}
+}
+
+// Coord is a single (i, j, v) triplet used when assembling a matrix.
+type Coord struct {
+	I, J int
+	V    float64
+}
+
+// CSRBuilder accumulates coordinate-form entries and assembles a SymCSR.
+// Entries may be added in any order; duplicates are summed. Adding (i, j)
+// with i != j automatically adds the mirrored (j, i), so callers supply each
+// undirected adjacency once.
+type CSRBuilder struct {
+	n      int
+	coords []Coord
+}
+
+// NewCSRBuilder returns a builder for an n×n symmetric matrix.
+func NewCSRBuilder(n int) *CSRBuilder {
+	if n < 0 {
+		panic("sparse: negative dimension")
+	}
+	return &CSRBuilder{n: n}
+}
+
+// Add accumulates v into A[i][j] (and A[j][i] when i != j).
+func (b *CSRBuilder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("sparse: Add(%d,%d) outside %d×%d", i, j, b.n, b.n))
+	}
+	if v == 0 {
+		return
+	}
+	b.coords = append(b.coords, Coord{i, j, v})
+	if i != j {
+		b.coords = append(b.coords, Coord{j, i, v})
+	}
+}
+
+// Build assembles the matrix. The builder may be reused afterwards (it keeps
+// its accumulated entries).
+func (b *CSRBuilder) Build() *SymCSR {
+	sorted := append([]Coord(nil), b.coords...)
+	sort.Slice(sorted, func(a, c int) bool {
+		if sorted[a].I != sorted[c].I {
+			return sorted[a].I < sorted[c].I
+		}
+		return sorted[a].J < sorted[c].J
+	})
+	m := &SymCSR{n: b.n}
+	m.rowPtr = make([]int, b.n+1)
+	// First pass: merge duplicates.
+	merged := sorted[:0]
+	for _, c := range sorted {
+		if k := len(merged); k > 0 && merged[k-1].I == c.I && merged[k-1].J == c.J {
+			merged[k-1].V += c.V
+		} else {
+			merged = append(merged, c)
+		}
+	}
+	m.colIdx = make([]int, len(merged))
+	m.values = make([]float64, len(merged))
+	for k, c := range merged {
+		m.rowPtr[c.I+1]++
+		m.colIdx[k] = c.J
+		m.values[k] = c.V
+	}
+	for i := 0; i < b.n; i++ {
+		m.rowPtr[i+1] += m.rowPtr[i]
+	}
+	m.diag = make([]float64, b.n)
+	m.rowSums = make([]float64, b.n)
+	for i := 0; i < b.n; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			m.rowSums[i] += m.values[p]
+			if m.colIdx[p] == i {
+				m.diag[i] = m.values[p]
+			}
+		}
+	}
+	return m
+}
+
+// Laplacian returns the graph Laplacian Q = D − A of the adjacency matrix a,
+// where D is the diagonal matrix of row sums of a. Any diagonal entries of a
+// are ignored (self-loops do not affect a Laplacian).
+func Laplacian(a *SymCSR) *SymCSR {
+	b := NewCSRBuilder(a.n)
+	deg := make([]float64, a.n)
+	for i := 0; i < a.n; i++ {
+		for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
+			j := a.colIdx[p]
+			if j == i {
+				continue
+			}
+			deg[i] += a.values[p]
+			if j > i {
+				b.Add(i, j, -a.values[p])
+			}
+		}
+	}
+	for i, d := range deg {
+		b.Add(i, i, d)
+	}
+	return b.Build()
+}

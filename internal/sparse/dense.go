@@ -1,0 +1,93 @@
+package sparse
+
+import "fmt"
+
+// SymDense is a small dense symmetric matrix stored as a full square. It
+// exists to cross-validate the sparse path (Jacobi eigensolver in package
+// eigen works on SymDense) and to handle the tiny worked examples from the
+// paper exactly.
+type SymDense struct {
+	n    int
+	data []float64 // row-major n×n
+}
+
+// NewSymDense returns a zero n×n symmetric matrix.
+func NewSymDense(n int) *SymDense {
+	if n < 0 {
+		panic("sparse: negative dimension")
+	}
+	return &SymDense{n: n, data: make([]float64, n*n)}
+}
+
+// N returns the matrix dimension.
+func (m *SymDense) N() int { return m.n }
+
+// At returns A[i][j].
+func (m *SymDense) At(i, j int) float64 { return m.data[i*m.n+j] }
+
+// Set assigns A[i][j] = A[j][i] = v.
+func (m *SymDense) Set(i, j int, v float64) {
+	m.data[i*m.n+j] = v
+	m.data[j*m.n+i] = v
+}
+
+// Add accumulates v into A[i][j] (and A[j][i] when i != j).
+func (m *SymDense) Add(i, j int, v float64) {
+	m.data[i*m.n+j] += v
+	if i != j {
+		m.data[j*m.n+i] += v
+	}
+}
+
+// MulVec computes y = A*x.
+func (m *SymDense) MulVec(y, x []float64) {
+	if len(x) != m.n || len(y) != m.n {
+		panic(fmt.Sprintf("sparse: MulVec dimension mismatch n=%d len(x)=%d len(y)=%d", m.n, len(x), len(y)))
+	}
+	for i := 0; i < m.n; i++ {
+		row := m.data[i*m.n : (i+1)*m.n]
+		s := 0.0
+		for j, a := range row {
+			s += a * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// Clone returns a deep copy.
+func (m *SymDense) Clone() *SymDense {
+	c := NewSymDense(m.n)
+	copy(c.data, m.data)
+	return c
+}
+
+// FromCSR converts a sparse symmetric matrix to dense form.
+func FromCSR(a *SymCSR) *SymDense {
+	m := NewSymDense(a.N())
+	for i := 0; i < a.N(); i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			m.data[i*m.n+j] = vals[k]
+		}
+	}
+	return m
+}
+
+// DenseLaplacian returns Q = D − A for a dense adjacency matrix, ignoring
+// any diagonal entries of a.
+func DenseLaplacian(a *SymDense) *SymDense {
+	q := NewSymDense(a.n)
+	for i := 0; i < a.n; i++ {
+		d := 0.0
+		for j := 0; j < a.n; j++ {
+			if j == i {
+				continue
+			}
+			v := a.At(i, j)
+			d += v
+			q.data[i*q.n+j] = -v
+		}
+		q.data[i*q.n+i] = d
+	}
+	return q
+}

@@ -1,0 +1,232 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVectorKernels(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, -5, 6}
+	if got := Dot(x, y); got != 12 {
+		t.Errorf("Dot = %v, want 12", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Errorf("Norm2(nil) = %v, want 0", got)
+	}
+	z := []float64{1, 1, 1}
+	Axpy(2, x, z)
+	if z[0] != 3 || z[1] != 5 || z[2] != 7 {
+		t.Errorf("Axpy = %v", z)
+	}
+	Scale(0.5, z)
+	if z[0] != 1.5 {
+		t.Errorf("Scale = %v", z)
+	}
+	v := []float64{0, 3, 4}
+	n := Normalize(v)
+	if n != 5 || !almostEq(Norm2(v), 1, 1e-15) {
+		t.Errorf("Normalize: n=%v v=%v", n, v)
+	}
+	zero := []float64{0, 0}
+	if Normalize(zero) != 0 || zero[0] != 0 {
+		t.Error("Normalize(0) should be a no-op returning 0")
+	}
+	dst := make([]float64, 3)
+	Copy(dst, x)
+	if dst[2] != 3 {
+		t.Errorf("Copy = %v", dst)
+	}
+	Zero(dst)
+	if dst[0] != 0 || dst[1] != 0 || dst[2] != 0 {
+		t.Errorf("Zero = %v", dst)
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	big := math.MaxFloat64 / 2
+	got := Norm2([]float64{big, big})
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("Norm2 overflowed: %v", got)
+	}
+	want := big * math.Sqrt2
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("Norm2 = %v, want %v", got, want)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot accepted mismatched lengths")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestCSRBuildAndAt(t *testing.T) {
+	b := NewCSRBuilder(4)
+	b.Add(0, 1, 2)
+	b.Add(1, 2, 3)
+	b.Add(0, 1, 1) // duplicate, summed
+	b.Add(3, 3, 7) // diagonal
+	m := b.Build()
+	if m.N() != 4 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if got := m.At(0, 1); got != 3 {
+		t.Errorf("At(0,1) = %v, want 3", got)
+	}
+	if got := m.At(1, 0); got != 3 {
+		t.Errorf("At(1,0) = %v, want 3 (symmetry)", got)
+	}
+	if got := m.At(2, 1); got != 3 {
+		t.Errorf("At(2,1) = %v, want 3", got)
+	}
+	if got := m.At(3, 3); got != 7 {
+		t.Errorf("At(3,3) = %v, want 7", got)
+	}
+	if got := m.At(0, 3); got != 0 {
+		t.Errorf("At(0,3) = %v, want 0", got)
+	}
+	if got := m.NNZ(); got != 5 { // (0,1),(1,0),(1,2),(2,1),(3,3)
+		t.Errorf("NNZ = %d, want 5", got)
+	}
+	if got := m.OffDiagNNZ(); got != 4 {
+		t.Errorf("OffDiagNNZ = %d, want 4", got)
+	}
+	if d := m.Diag(); d[3] != 7 || d[0] != 0 {
+		t.Errorf("Diag = %v", d)
+	}
+	if rs := m.RowSums(); rs[1] != 6 || rs[3] != 7 {
+		t.Errorf("RowSums = %v", rs)
+	}
+}
+
+func TestCSRZeroEntriesSkipped(t *testing.T) {
+	b := NewCSRBuilder(3)
+	b.Add(0, 1, 0)
+	m := b.Build()
+	if m.NNZ() != 0 {
+		t.Errorf("explicit zero stored: NNZ = %d", m.NNZ())
+	}
+}
+
+func TestCSRAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add out of range did not panic")
+		}
+	}()
+	NewCSRBuilder(2).Add(0, 5, 1)
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		b := NewCSRBuilder(n)
+		d := NewSymDense(n)
+		for k := 0; k < 3*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			v := rng.NormFloat64()
+			b.Add(i, j, v)
+			d.Add(i, j, v)
+		}
+		m := b.Build()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		ys := make([]float64, n)
+		yd := make([]float64, n)
+		m.MulVec(ys, x)
+		d.MulVec(yd, x)
+		for i := range ys {
+			if !almostEq(ys[i], yd[i], 1e-9*(1+math.Abs(yd[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLaplacianProperties(t *testing.T) {
+	// Laplacian rows sum to zero and Q = D - A ignoring self-loops.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		b := NewCSRBuilder(n)
+		for k := 0; k < 2*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			b.Add(i, j, rng.Float64()) // nonnegative weights
+		}
+		a := b.Build()
+		q := Laplacian(a)
+		one := make([]float64, n)
+		for i := range one {
+			one[i] = 1
+		}
+		y := make([]float64, n)
+		q.MulVec(y, one)
+		for _, v := range y {
+			if math.Abs(v) > 1e-9 {
+				return false
+			}
+		}
+		// Positive semidefinite: x^T Q x >= 0 for random x.
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		q.MulVec(y, x)
+		return Dot(x, y) >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDenseLaplacianMatchesSparse(t *testing.T) {
+	b := NewCSRBuilder(3)
+	b.Add(0, 1, 2)
+	b.Add(1, 2, 0.5)
+	b.Add(2, 2, 9) // self-loop, ignored by Laplacian
+	a := b.Build()
+	qs := Laplacian(a)
+	qd := DenseLaplacian(FromCSR(a))
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEq(qs.At(i, j), qd.At(i, j), 1e-12) {
+				t.Errorf("Q[%d][%d]: sparse=%v dense=%v", i, j, qs.At(i, j), qd.At(i, j))
+			}
+		}
+	}
+	if qd.At(2, 2) != 0.5 {
+		t.Errorf("self-loop leaked into Laplacian: %v", qd.At(2, 2))
+	}
+}
+
+func TestFromCSR(t *testing.T) {
+	b := NewCSRBuilder(3)
+	b.Add(0, 2, 4)
+	m := FromCSR(b.Build())
+	if m.At(0, 2) != 4 || m.At(2, 0) != 4 || m.At(1, 1) != 0 {
+		t.Errorf("FromCSR wrong: %v %v %v", m.At(0, 2), m.At(2, 0), m.At(1, 1))
+	}
+	c := m.Clone()
+	c.Set(0, 2, 9)
+	if m.At(0, 2) != 4 {
+		t.Error("Clone shares storage")
+	}
+}

@@ -1,0 +1,85 @@
+// Package sparse provides the small dense/sparse linear-algebra kernels the
+// spectral partitioners need: vectors, symmetric CSR matrices, and dense
+// symmetric matrices. Everything is float64 and single-threaded; netlist
+// Laplacians at the scale of the paper's benchmarks (a few thousand rows)
+// are comfortably handled.
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of x and y, which must have equal length.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("sparse: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	// Scaled accumulation to avoid overflow for extreme inputs.
+	maxAbs := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		r := v / maxAbs
+		s += r * r
+	}
+	return maxAbs * math.Sqrt(s)
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("sparse: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Normalize scales x to unit Euclidean norm and returns the original norm.
+// A zero vector is left unchanged.
+func Normalize(x []float64) float64 {
+	n := Norm2(x)
+	if n > 0 {
+		Scale(1/n, x)
+	}
+	return n
+}
+
+// Copy copies src into dst (lengths must match).
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("sparse: Copy length mismatch %d vs %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// Zero sets every element of x to 0.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}

@@ -1,0 +1,145 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"igpart/internal/hypergraph"
+	"igpart/internal/partition"
+)
+
+func clustered(k, bridges int, seed int64) *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(2 * k)
+	for c := 0; c < 2; c++ {
+		base := c * k
+		for i := 0; i < k-1; i++ {
+			b.AddNet(base+i, base+i+1)
+		}
+		for e := 0; e < 2*k; e++ {
+			b.AddNet(base+rng.Intn(k), base+rng.Intn(k), base+rng.Intn(k))
+		}
+	}
+	for i := 0; i < bridges; i++ {
+		b.AddNet(rng.Intn(k), k+rng.Intn(k))
+	}
+	return b.Build()
+}
+
+func TestEIG1FindsPlantedCut(t *testing.T) {
+	h := clustered(30, 1, 4)
+	res, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.SizeU == 0 || res.Metrics.SizeW == 0 {
+		t.Fatal("improper partition")
+	}
+	if res.Metrics.CutNets > 3 {
+		t.Errorf("cut = %d, want near 1", res.Metrics.CutNets)
+	}
+	if got := partition.Evaluate(h, res.Partition); got != res.Metrics {
+		t.Errorf("metrics mismatch: reported %+v, evaluated %+v", res.Metrics, got)
+	}
+	if res.Lambda2 < 0 {
+		t.Errorf("λ2 = %v", res.Lambda2)
+	}
+	if len(res.ModuleOrder) != h.NumModules() {
+		t.Errorf("order length %d", len(res.ModuleOrder))
+	}
+}
+
+func TestBestSplitIncrementalMatchesDirect(t *testing.T) {
+	// The incremental sweep must agree with brute-force evaluation of every
+	// split.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		b := hypergraph.NewBuilder()
+		b.SetNumModules(n)
+		for e := 0; e < 2*n; e++ {
+			k := 2 + rng.Intn(3)
+			pins := make([]int, k)
+			for i := range pins {
+				pins[i] = rng.Intn(n)
+			}
+			b.AddNet(pins...)
+		}
+		h := b.Build()
+		order := rng.Perm(n)
+		_, met, rank := BestSplit(h, order)
+
+		bestRatio := math.Inf(1)
+		bestRank := -1
+		for r := 1; r < n; r++ {
+			p := partition.FromOrderSplit(order, r)
+			ratio := partition.RatioCut(h, p)
+			if ratio < bestRatio {
+				bestRatio = ratio
+				bestRank = r
+			}
+		}
+		return rank == bestRank && math.Abs(met.RatioCut-bestRatio) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEIG1Deterministic(t *testing.T) {
+	h := clustered(20, 2, 8)
+	a, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics != b.Metrics {
+		t.Errorf("nondeterministic: %+v vs %+v", a.Metrics, b.Metrics)
+	}
+}
+
+func TestEIG1Threshold(t *testing.T) {
+	h := clustered(20, 1, 6)
+	res, err := Partition(h, Options{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.SizeU == 0 || res.Metrics.SizeW == 0 {
+		t.Error("improper partition under thresholding")
+	}
+}
+
+func TestEIG1StarModel(t *testing.T) {
+	h := clustered(20, 1, 6)
+	res, err := Partition(h, Options{Model: ModelStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.SizeU == 0 || res.Metrics.SizeW == 0 {
+		t.Fatal("improper partition")
+	}
+	// The star model should still find the planted cut on a clean circuit.
+	if res.Metrics.CutNets > 3 {
+		t.Errorf("star-model cut = %d, want near 1", res.Metrics.CutNets)
+	}
+	if got := partition.Evaluate(h, res.Partition); got != res.Metrics {
+		t.Errorf("metrics mismatch: %+v vs %+v", got, res.Metrics)
+	}
+	if ModelStar.String() != "star" || ModelClique.String() != "clique" {
+		t.Error("NetModel.String broken")
+	}
+}
+
+func TestEIG1TooSmall(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(1)
+	if _, err := Partition(b.Build(), Options{}); err == nil {
+		t.Error("accepted single module")
+	}
+}
