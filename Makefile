@@ -10,8 +10,12 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Tier-1 chain: vet, full test run, then a race pass over the concurrent
+# packages (the parallel sweep engine and its matching substrate).
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/core ./internal/bipartite
 
 race:
 	$(GO) test -race ./...

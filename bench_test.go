@@ -6,6 +6,8 @@ package igpart
 // minutes; run `go run igpart/cmd/experiments` for the full-size tables.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"igpart/internal/bench"
@@ -249,6 +251,27 @@ func BenchmarkSweepPrim2(b *testing.B) {
 		if _, err := core.PartitionWithOrder(h, res.NetOrder, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// P-scaling — the sharded sweep engine at P=1 (serial) vs P=NumCPU on the
+// full-size Prim2 circuit. Both produce bit-identical results; the sub-
+// benchmark ratio is the sweep speedup the Parallelism knob buys on this
+// machine.
+func BenchmarkSweepPrim2Parallel(b *testing.B) {
+	h := prim2(b, 1.0)
+	res, err := core.Partition(h, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PartitionWithOrder(h, res.NetOrder, core.Options{Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -28,10 +28,11 @@ func main() {
 		scale  = flag.Float64("scale", 1.0, "benchmark scale factor")
 		starts = flag.Int("starts", 10, "RCut random starts")
 		seeds  = flag.Int("seeds", 5, "seeds for the stability table")
+		par    = flag.Int("p", 0, "IG-Match sweep parallelism (0 = GOMAXPROCS, 1 = serial; results identical)")
 		csvDir = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	)
 	flag.Parse()
-	s := bench.Suite{Scale: *scale, RCutStarts: *starts}
+	s := bench.Suite{Scale: *scale, RCutStarts: *starts, Parallelism: *par}
 
 	writeCSV := func(name string, emit func(w *os.File) error) {
 		if *csvDir == "" {

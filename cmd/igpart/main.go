@@ -4,7 +4,7 @@
 // Usage:
 //
 //	igpart -in design.hgr [-algo igmatch|igvote|eig1|rcut|kl|refined|condensed]
-//	       [-starts 10] [-seed 1] [-assign] [-stats]
+//	       [-starts 10] [-seed 1] [-p 0] [-assign] [-stats]
 //
 // The input format is selected by extension: ".hgr" for the hMETIS-style
 // format, anything else for the named module/net format.
@@ -28,6 +28,7 @@ func main() {
 		algo   = flag.String("algo", "igmatch", "algorithm: igmatch, igvote, eig1, rcut, kl, refined, condensed, multiway")
 		k      = flag.Int("k", 4, "part count for -algo multiway")
 		starts = flag.Int("starts", 10, "random starts for rcut")
+		par    = flag.Int("p", 0, "igmatch sweep parallelism: shards swept concurrently (0 = GOMAXPROCS, 1 = serial; results identical)")
 		seed   = flag.Int64("seed", 1, "seed for randomized algorithms")
 		assign = flag.Bool("assign", false, "print the per-module side assignment")
 		stats  = flag.Bool("stats", false, "print netlist statistics before partitioning")
@@ -56,7 +57,7 @@ func main() {
 	var res igpart.Result
 	switch *algo {
 	case "igmatch":
-		r, err := igpart.IGMatch(h)
+		r, err := igpart.IGMatch(h, igpart.IGMatchOptions{Parallelism: *par})
 		if err != nil {
 			fatal(err)
 		}

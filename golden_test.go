@@ -1,6 +1,11 @@
 package igpart
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+
+	"igpart/internal/core"
+)
 
 // TestGoldenDeterminism pins the integer outcomes (cut, sizes, bound) of
 // every deterministic algorithm on a fixed seeded circuit. It protects the
@@ -37,6 +42,41 @@ func TestGoldenDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	check("IGMatch", ig.Metrics, golden{cut: 11, sizeU: 125, sizeW: 124})
+
+	// Pin the winning split itself, not just the final metrics: a
+	// parallel-reduction tie-break bug could return an equal-metric
+	// partition from a different rank, which a metrics-only golden would
+	// miss. The record is fetched from the sweep trace at BestRank.
+	if ig.BestRank != 140 || ig.MatchingBound != 13 {
+		t.Errorf("IGMatch winning split drift: rank=%d bound=%d, golden rank=140 bound=13",
+			ig.BestRank, ig.MatchingBound)
+	}
+	var trace []core.SplitRecord
+	cres, err := core.Partition(h, core.Options{Trace: &trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.BestRank < 1 || cres.BestRank > len(trace) {
+		t.Fatalf("best rank %d outside trace of %d records", cres.BestRank, len(trace))
+	}
+	win := trace[cres.BestRank-1]
+	if win.Rank != 140 || win.MatchingSize != 13 || win.CutNets != 11 {
+		t.Errorf("winning split record drift: %+v, golden Rank=140 MatchingSize=13 CutNets=11", win)
+	}
+
+	// The parallel sharded sweep must reproduce the same golden numbers
+	// bit-for-bit (deterministic lowest-rank reduction).
+	for _, p := range []int{2, 4} {
+		igp, err := IGMatch(h, IGMatchOptions{Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("IGMatch(P=%d)", p), igp.Metrics, golden{cut: 11, sizeU: 125, sizeW: 124})
+		if igp.BestRank != ig.BestRank || igp.MatchingBound != ig.MatchingBound {
+			t.Errorf("IGMatch(P=%d) split drift: rank=%d bound=%d, serial rank=%d bound=%d",
+				p, igp.BestRank, igp.MatchingBound, ig.BestRank, ig.MatchingBound)
+		}
+	}
 
 	iv, err := IGVote(h)
 	if err != nil {

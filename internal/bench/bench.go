@@ -31,6 +31,10 @@ type Suite struct {
 	RCutStarts int
 	// Seed offsets the generator seeds, for stability studies.
 	Seed int64
+	// Parallelism is the IG-Match sweep shard count (0 = GOMAXPROCS,
+	// 1 = serial). Results are identical for every value; only wall-clock
+	// changes, which the scaling table reports.
+	Parallelism int
 }
 
 // DefaultSuite is the full-size configuration used by cmd/experiments.
@@ -82,7 +86,7 @@ func (s Suite) Run(alg string, h *hypergraph.Hypergraph) (partition.Metrics, tim
 	switch alg {
 	case AlgIGMatch:
 		var r core.Result
-		r, err = core.Partition(h, core.Options{})
+		r, err = core.Partition(h, core.Options{Parallelism: s.Parallelism})
 		met = r.Metrics
 	case AlgIGVote:
 		var r igvote.Result

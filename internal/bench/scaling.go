@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -25,9 +26,19 @@ type ScalingRow struct {
 	Pins     int
 	IGBuild  time.Duration // intersection-graph construction
 	Eigen    time.Duration // Fiedler solve on Q'
-	Sweep    time.Duration // incremental matching sweep + completions
-	Total    time.Duration
+	Sweep    time.Duration // serial sweep: matching maintenance + completions
+	SweepPar time.Duration // same sweep, sharded across Par workers
+	Par      int           // shard count of the parallel sweep
+	Total    time.Duration // IGBuild + Eigen + SweepPar
 	RatioCut float64
+}
+
+// Speedup is the serial-over-parallel sweep time ratio.
+func (r ScalingRow) Speedup() float64 {
+	if r.SweepPar <= 0 {
+		return 0
+	}
+	return float64(r.Sweep) / float64(r.SweepPar)
 }
 
 // ScalingTable runs IG-Match on the Prim2-class circuit at multiples of
@@ -61,12 +72,28 @@ func (s Suite) ScalingTable(scales []float64) ([]ScalingRow, error) {
 
 		order := core.SortNetsByVector(fied.Vector)
 		t0 = time.Now()
-		res, err := core.PartitionWithOrder(h, order, core.Options{})
+		res, err := core.PartitionWithOrder(h, order, core.Options{Parallelism: 1})
 		if err != nil {
 			return nil, fmt.Errorf("bench: scaling sweep at %.2gx: %w", f, err)
 		}
 		row.Sweep = time.Since(t0)
-		row.Total = row.IGBuild + row.Eigen + row.Sweep
+
+		row.Par = runtime.GOMAXPROCS(0)
+		if s.Parallelism > 0 {
+			row.Par = s.Parallelism
+		}
+		t0 = time.Now()
+		resP, err := core.PartitionWithOrder(h, order, core.Options{Parallelism: row.Par})
+		if err != nil {
+			return nil, fmt.Errorf("bench: scaling parallel sweep at %.2gx: %w", f, err)
+		}
+		row.SweepPar = time.Since(t0)
+		if resP.Metrics != res.Metrics || resP.BestRank != res.BestRank {
+			return nil, fmt.Errorf("bench: parallel sweep diverged from serial at %.2gx: %+v (rank %d) vs %+v (rank %d)",
+				f, resP.Metrics, resP.BestRank, res.Metrics, res.BestRank)
+		}
+
+		row.Total = row.IGBuild + row.Eigen + row.SweepPar
 		row.RatioCut = res.Metrics.RatioCut
 		rows = append(rows, row)
 	}
@@ -78,12 +105,13 @@ func FormatScaling(rows []ScalingRow) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Scaling (§5 claim): IG-Match pipeline cost vs circuit size (Prim2 class)")
 	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "scale\tmodules\tnets\tpins\tIG build\teigen\tsweep\ttotal\tratio\t")
+	fmt.Fprintln(w, "scale\tmodules\tnets\tpins\tIG build\teigen\tsweep P=1\tsweep P=n\tspeedup\ttotal\tratio\t")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%.2gx\t%d\t%d\t%d\t%v\t%v\t%v\t%v\t%s\t\n",
+		fmt.Fprintf(w, "%.2gx\t%d\t%d\t%d\t%v\t%v\t%v\t%v (P=%d)\t%.2fx\t%v\t%s\t\n",
 			r.Scale, r.Modules, r.Nets, r.Pins,
 			r.IGBuild.Round(time.Millisecond), r.Eigen.Round(time.Millisecond),
-			r.Sweep.Round(time.Millisecond), r.Total.Round(time.Millisecond),
+			r.Sweep.Round(time.Millisecond), r.SweepPar.Round(time.Millisecond), r.Par,
+			r.Speedup(), r.Total.Round(time.Millisecond),
 			ratioStr(r.RatioCut))
 	}
 	w.Flush()

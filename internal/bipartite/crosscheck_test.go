@@ -1,0 +1,104 @@
+package bipartite
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestIncrementalVsHopcroftKarp1000Moves is the shard-bootstrap seam test:
+// the parallel sweep seeds each shard's matcher with a from-scratch
+// Hopcroft–Karp build (NewMatcherAt) and then maintains it incrementally, so
+// the two engines must agree at every split. After each of 1000 random
+// single-net moves we check that the incremental matching size equals the
+// from-scratch HK size, and periodically that a NewMatcherAt bootstrapped at
+// the current split is internally consistent and classifies the exact same
+// Even/Odd/Core sets (the Dulmage–Mendelsohn canonicality the parallel
+// engine's bit-parity rests on).
+func TestIncrementalVsHopcroftKarp1000Moves(t *testing.T) {
+	const n = 1100
+	rng := rand.New(rand.NewSource(42))
+	adj := randomGraph(rng, n, 5*n)
+	m := NewMatcher(adj)
+
+	perm := rng.Perm(n)
+	for step := 0; step < 1000; step++ {
+		m.MoveToR(perm[step])
+		if err := m.CheckMatching(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		inL := make([]bool, n)
+		for v := 0; v < n; v++ {
+			inL[v] = m.InL(v)
+		}
+		oracle, _ := HopcroftKarp(adj, inL)
+		if got := m.MatchingSize(); got != oracle {
+			t.Fatalf("step %d: incremental matching %d, Hopcroft–Karp %d", step, got, oracle)
+		}
+
+		if step%100 == 99 {
+			inR := make([]bool, n)
+			for v := 0; v < n; v++ {
+				inR[v] = !inL[v]
+			}
+			boot := NewMatcherAt(adj, inR)
+			if err := boot.CheckMatching(); err != nil {
+				t.Fatalf("step %d: bootstrapped matcher: %v", step, err)
+			}
+			if boot.MatchingSize() != oracle {
+				t.Fatalf("step %d: bootstrapped matching %d, want %d", step, boot.MatchingSize(), oracle)
+			}
+			if !sameSets(m.Winners(), boot.Winners()) {
+				t.Fatalf("step %d: bootstrapped Even/Odd/Core classification differs from incremental", step)
+			}
+		}
+	}
+}
+
+// sameSets compares two winner classifications as unordered sets.
+func sameSets(a, b Sets) bool {
+	eq := func(x, y []int) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		xs := append([]int(nil), x...)
+		ys := append([]int(nil), y...)
+		sort.Ints(xs)
+		sort.Ints(ys)
+		for i := range xs {
+			if xs[i] != ys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(a.EvenL, b.EvenL) && eq(a.OddL, b.OddL) &&
+		eq(a.EvenR, b.EvenR) && eq(a.OddR, b.OddR) &&
+		eq(a.CoreL, b.CoreL) && eq(a.CoreR, b.CoreR)
+}
+
+// TestNewMatcherAtEmptySplitEqualsNewMatcher pins the degenerate boundary:
+// bootstrapping with nothing in R is the NewMatcher starting state.
+func TestNewMatcherAtEmptySplitEqualsNewMatcher(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	adj := randomGraph(rng, 40, 120)
+	boot := NewMatcherAt(adj, make([]bool, 40))
+	if boot.MatchingSize() != 0 {
+		t.Errorf("empty split has matching size %d, want 0", boot.MatchingSize())
+	}
+	for v := 0; v < 40; v++ {
+		if !boot.InL(v) {
+			t.Fatalf("vertex %d not on L after empty-split bootstrap", v)
+		}
+	}
+}
+
+// TestNewMatcherAtLengthMismatchPanics pins the argument check.
+func TestNewMatcherAtLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatcherAt accepted a mismatched split slice")
+		}
+	}()
+	NewMatcherAt(make([][]int, 3), make([]bool, 2))
+}

@@ -46,6 +46,32 @@ func NewMatcher(adj [][]int) *Matcher {
 	return m
 }
 
+// NewMatcherAt creates a Matcher over the host graph with vertices already
+// split: inR[v] true places v on side R. The matching is seeded from scratch
+// with Hopcroft–Karp, so it is maximum for the initial bipartite graph and
+// the incremental MoveToR invariant holds from there. This is the shard
+// bootstrap of the parallel sweep: a NewMatcherAt at rank k is equivalent to
+// a NewMatcher after k MoveToR calls — same matching size and, because the
+// Dulmage–Mendelsohn decomposition is canonical over maximum matchings, the
+// same Even/Odd/Core classification.
+func NewMatcherAt(adj [][]int, inR []bool) *Matcher {
+	if len(inR) != len(adj) {
+		panic("bipartite: NewMatcherAt split length mismatch")
+	}
+	n := len(adj)
+	m := &Matcher{
+		adj:     adj,
+		inL:     make([]bool, n),
+		visited: make([]int, n),
+		parent:  make([]int, n),
+	}
+	for i := range m.inL {
+		m.inL[i] = !inR[i]
+	}
+	_, m.match = HopcroftKarp(adj, m.inL)
+	return m
+}
+
 // N returns the number of vertices in the host graph.
 func (m *Matcher) N() int { return len(m.adj) }
 

@@ -51,6 +51,14 @@ type Options struct {
 	RecursionDepth int
 	// Trace, when non-nil, receives one record per sweep split.
 	Trace *[]SplitRecord
+	// Parallelism bounds the number of concurrent sweep shards: the rank
+	// range 1..m−1 is cut into that many contiguous pieces, each swept by
+	// its own incrementally-maintained matcher bootstrapped from scratch
+	// (Hopcroft–Karp) at the shard boundary. 0 uses GOMAXPROCS; 1 forces
+	// the serial engine. The result is bit-identical for every value: the
+	// shard reduction breaks metric ties by lowest rank, exactly the order
+	// the serial sweep encounters splits in.
+	Parallelism int
 }
 
 // SplitRecord captures the state of one sweep split for analysis. Splits
@@ -155,52 +163,48 @@ func IGAdjacency(h *hypergraph.Hypergraph) [][]int {
 	return adj
 }
 
-// sweep runs the incremental IG-Match main loop over the given net order.
-// Each split is evaluated with a single pass over the pins: both Phase II
-// bulk options are scored simultaneously from the winner assignment, and a
-// concrete partition is only materialized when the split improves on the
-// best seen so far.
+// sweep runs the IG-Match main loop over the given net order, dispatching
+// between the serial engine (one incremental matcher walking every split)
+// and the parallel sharded engine of parallel.go. Each split is evaluated
+// with a single pass over the pins: both Phase II bulk options are scored
+// simultaneously from the winner assignment, and a concrete partition is
+// only materialized when the split improves on the shard's best so far.
 func sweep(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) {
 	m := h.NumNets()
 	adj := IGAdjacency(h)
-	matcher := bipartite.NewMatcher(adj)
-	comp := newCompleter(h)
+	nSplits := m - 1
 
+	// Pre-sized trace indexed by rank−1 so parallel workers write their
+	// shard's slots without locks; appended to opts.Trace at the end, which
+	// keeps the serial append semantics bit-identical.
+	var trace []SplitRecord
+	if opts.Trace != nil {
+		trace = make([]SplitRecord, nSplits)
+	}
+
+	shards := runShards(h, adj, order, nSplits, shardCount(opts.Parallelism, nSplits), trace)
+
+	// Deterministic reduction: shards cover ascending rank ranges, and a
+	// later shard only displaces the incumbent on a strict metric
+	// improvement — so metric ties resolve to the lowest rank, exactly the
+	// split the serial sweep would have kept.
 	best := Result{NetOrder: order}
 	bestCost := partition.Metrics{RatioCut: inf()}
 	var bestSets bipartite.Sets
 	haveBest := false
-
-	var sets bipartite.Sets
-	for rank := 1; rank < m; rank++ {
-		matcher.MoveToR(order[rank-1])
-		matcher.WinnersInto(&sets)
-		met, vnSide, ok := comp.evaluate(sets)
-		if opts.Trace != nil {
-			rec := SplitRecord{
-				Rank:         rank,
-				MatchingSize: matcher.MatchingSize(),
-				CutNets:      met.CutNets,
-				RatioCut:     met.RatioCut,
-			}
-			if !ok {
-				rec.CutNets = -1
-				rec.RatioCut = math.Inf(1)
-			}
-			*opts.Trace = append(*opts.Trace, rec)
-		}
-		if !ok {
-			continue
-		}
-		if better(met, bestCost) {
-			bestCost = met
-			best.Partition = comp.materialize(vnSide)
-			best.Metrics = met
-			best.BestRank = rank
-			best.BestMatching = matcher.MatchingSize()
-			bestSets = copySets(sets) // sets storage is reused next split
+	for _, sb := range shards {
+		if sb.have && better(sb.met, bestCost) {
+			bestCost = sb.met
+			best.Partition = sb.part
+			best.Metrics = sb.met
+			best.BestRank = sb.rank
+			best.BestMatching = sb.matching
+			bestSets = sb.sets
 			haveBest = true
 		}
+	}
+	if opts.Trace != nil {
+		*opts.Trace = append(*opts.Trace, trace...)
 	}
 	if !haveBest {
 		return Result{}, errors.New("core: no proper completion found (every split left one side empty)")
@@ -214,6 +218,73 @@ func sweep(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) 
 		}
 	}
 	return best, nil
+}
+
+// shardBest is one shard's winning split, ready for the cross-shard
+// reduction.
+type shardBest struct {
+	have     bool
+	met      partition.Metrics
+	part     *partition.Bipartition
+	rank     int
+	matching int
+	sets     bipartite.Sets
+}
+
+// sweepShard sweeps the contiguous rank range [lo, hi) with its own
+// incremental matcher and completer. A shard starting past rank 1 is
+// bootstrapped with a from-scratch Hopcroft–Karp matching at its boundary
+// split; from there every split is handled exactly as in the serial sweep,
+// so per-split trace records and the shard-local best are identical to the
+// serial engine's view of the same ranks. When trace is non-nil the shard
+// writes records at trace[rank−1] — disjoint slots across shards.
+func sweepShard(h *hypergraph.Hypergraph, adj [][]int, order []int, lo, hi int, trace []SplitRecord) shardBest {
+	var matcher *bipartite.Matcher
+	if lo == 1 {
+		matcher = bipartite.NewMatcher(adj)
+	} else {
+		inR := make([]bool, len(adj))
+		for i := 0; i < lo-1; i++ {
+			inR[order[i]] = true
+		}
+		matcher = bipartite.NewMatcherAt(adj, inR)
+	}
+	comp := newCompleter(h)
+
+	var sb shardBest
+	bestCost := partition.Metrics{RatioCut: inf()}
+	var sets bipartite.Sets
+	for rank := lo; rank < hi; rank++ {
+		matcher.MoveToR(order[rank-1])
+		matcher.WinnersInto(&sets)
+		met, vnSide, ok := comp.evaluate(sets)
+		if trace != nil {
+			rec := SplitRecord{
+				Rank:         rank,
+				MatchingSize: matcher.MatchingSize(),
+				CutNets:      met.CutNets,
+				RatioCut:     met.RatioCut,
+			}
+			if !ok {
+				rec.CutNets = -1
+				rec.RatioCut = math.Inf(1)
+			}
+			trace[rank-1] = rec
+		}
+		if !ok {
+			continue
+		}
+		if better(met, bestCost) {
+			bestCost = met
+			sb.have = true
+			sb.met = met
+			sb.part = comp.materialize(vnSide)
+			sb.rank = rank
+			sb.matching = matcher.MatchingSize()
+			sb.sets = copySets(sets) // sets storage is reused next split
+		}
+	}
+	return sb
 }
 
 // copySets deep-copies a winner classification whose storage is reused.

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"igpart/internal/bipartite"
+	"igpart/internal/hypergraph"
+	"igpart/internal/netgen"
+)
+
+// randomCircuit draws a small randomized netlist from the synthetic
+// generator (the hierarchical structure the sweep is designed for).
+func randomCircuit(t testing.TB, seed int64) *hypergraph.Hypergraph {
+	t.Helper()
+	h, err := netgen.Generate(netgen.Config{
+		Name:    fmt.Sprintf("rand%d", seed),
+		Modules: 120 + int(seed%5)*30,
+		Nets:    140 + int(seed%7)*25,
+		Seed:    900 + seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// sweepTwice runs PartitionWithOrder at the two parallelism levels over the
+// eigen ordering of h and returns both results plus their traces.
+func sweepTwice(t testing.TB, h *hypergraph.Hypergraph, p1, p2 int) (a, b Result, ta, tb []SplitRecord) {
+	t.Helper()
+	base, err := Partition(h, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err = PartitionWithOrder(h, base.NetOrder, Options{Parallelism: p1, Trace: &ta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = PartitionWithOrder(h, base.NetOrder, Options{Parallelism: p2, Trace: &tb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b, ta, tb
+}
+
+// TestPropertyTheorem5EverySplit asserts the paper's matching bound at
+// every sweep split — completed cut ≤ |MM(B)| — for both the serial and the
+// parallel engine, on randomized generator netlists.
+func TestPropertyTheorem5EverySplit(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		h := randomCircuit(t, seed)
+		for _, p := range []int{1, 4} {
+			var trace []SplitRecord
+			if _, err := Partition(h, Options{Parallelism: p, Trace: &trace}); err != nil {
+				t.Fatalf("seed %d P=%d: %v", seed, p, err)
+			}
+			if len(trace) != h.NumNets()-1 {
+				t.Fatalf("seed %d P=%d: %d trace records, want %d",
+					seed, p, len(trace), h.NumNets()-1)
+			}
+			for _, rec := range trace {
+				if rec.CutNets < 0 {
+					continue // no proper completion at this split
+				}
+				if rec.CutNets > rec.MatchingSize {
+					t.Errorf("seed %d P=%d rank %d: cut %d exceeds matching bound %d",
+						seed, p, rec.Rank, rec.CutNets, rec.MatchingSize)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyWinnersIndependent asserts that at every split the Phase I
+// winner set Even(L) ∪ Even(R) is an independent set in the conflict
+// bipartite graph B: no L-winner shares a module with an R-winner. This is
+// what lets Phase II assign winner modules to sides without cutting a
+// winner net, and it must hold identically for the shard-bootstrapped
+// matcher state (NewMatcherAt) that the parallel engine relies on.
+func TestPropertyWinnersIndependent(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		h := randomCircuit(t, seed)
+		base, err := Partition(h, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		adj := IGAdjacency(h)
+		order := base.NetOrder
+		m := h.NumNets()
+		matcher := bipartite.NewMatcher(adj)
+		inEvenL := make([]bool, m)
+		var sets bipartite.Sets
+		for rank := 1; rank < m; rank++ {
+			matcher.MoveToR(order[rank-1])
+
+			// Cross-check: a matcher bootstrapped from scratch at this split
+			// must agree with the incrementally maintained one.
+			if rank%16 == 0 || rank == m-1 {
+				inR := make([]bool, m)
+				for i := 0; i < rank; i++ {
+					inR[order[i]] = true
+				}
+				boot := bipartite.NewMatcherAt(adj, inR)
+				if boot.MatchingSize() != matcher.MatchingSize() {
+					t.Fatalf("seed %d rank %d: bootstrap matching %d != incremental %d",
+						seed, rank, boot.MatchingSize(), matcher.MatchingSize())
+				}
+			}
+
+			matcher.WinnersInto(&sets)
+			for _, e := range sets.EvenL {
+				inEvenL[e] = true
+			}
+			for _, f := range sets.EvenR {
+				for _, g := range adj[f] {
+					if inEvenL[g] {
+						t.Fatalf("seed %d rank %d: winners %d (R) and %d (L) share a module",
+							seed, rank, f, g)
+					}
+				}
+			}
+			for _, e := range sets.EvenL {
+				inEvenL[e] = false
+			}
+		}
+	}
+}
+
+// TestParallelParity pins bit-identical serial/parallel behavior: identical
+// BestRank, Metrics, module assignment, and full trace on 20 seeded random
+// netlists plus every benchmark preset (reduced scale).
+func TestParallelParity(t *testing.T) {
+	check := func(name string, h *hypergraph.Hypergraph) {
+		t.Helper()
+		a, b, ta, tb := sweepTwice(t, h, 1, 4)
+		if a.BestRank != b.BestRank || a.Metrics != b.Metrics || a.BestMatching != b.BestMatching {
+			t.Fatalf("%s: serial best (rank %d, %+v, mm %d) != parallel best (rank %d, %+v, mm %d)",
+				name, a.BestRank, a.Metrics, a.BestMatching, b.BestRank, b.Metrics, b.BestMatching)
+		}
+		for v := 0; v < h.NumModules(); v++ {
+			if a.Partition.Side(v) != b.Partition.Side(v) {
+				t.Fatalf("%s: module %d on different sides", name, v)
+			}
+		}
+		if len(ta) != len(tb) {
+			t.Fatalf("%s: trace lengths %d vs %d", name, len(ta), len(tb))
+		}
+		for i := range ta {
+			x, y := ta[i], tb[i]
+			same := x.Rank == y.Rank && x.MatchingSize == y.MatchingSize &&
+				x.CutNets == y.CutNets &&
+				(x.RatioCut == y.RatioCut || (math.IsInf(x.RatioCut, 1) && math.IsInf(y.RatioCut, 1)))
+			if !same {
+				t.Fatalf("%s: trace diverges at rank %d: %+v vs %+v", name, x.Rank, x, y)
+			}
+		}
+	}
+
+	for seed := int64(0); seed < 20; seed++ {
+		check(fmt.Sprintf("rand%d", seed), randomCircuit(t, seed))
+	}
+	for _, name := range netgen.Names() {
+		cfg, _ := netgen.ByName(name)
+		h, err := netgen.Generate(cfg.Scaled(0.15))
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(name, h)
+	}
+}
+
+// TestParallelSweepRace drives the parallel path under real concurrency so
+// `go test -race` can observe the shard workers: several parallel sweeps of
+// the same netlist run simultaneously, sharing nothing but the (read-only)
+// hypergraph.
+func TestParallelSweepRace(t *testing.T) {
+	h := randomCircuit(t, 3)
+	base, err := Partition(h, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var trace []SplitRecord
+			res, err := PartitionWithOrder(h, base.NetOrder, Options{Parallelism: 4, Trace: &trace})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Metrics != base.Metrics || res.BestRank != base.BestRank {
+				t.Errorf("concurrent parallel sweep diverged: %+v vs %+v", res.Metrics, base.Metrics)
+			}
+		}()
+	}
+	wg.Wait()
+}
