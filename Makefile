@@ -10,12 +10,14 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Tier-1 chain: vet, full test run, then a race pass over the concurrent
-# packages (the parallel sweep engine and its matching substrate).
+# Tier-1 chain: vet, full test run, a race pass over the concurrent
+# packages (the parallel sweep engine and its matching substrate), and a
+# 10-second fuzz smoke of the Bookshelf writer round trip.
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/core ./internal/bipartite
+	$(GO) test ./internal/hypergraph -run '^$$' -fuzz '^FuzzBookshelfRoundTrip$$' -fuzztime 10s
 
 race:
 	$(GO) test -race ./...
@@ -23,19 +25,34 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzzing pass over every parser.
+# Short fuzzing pass over every parser and the Bookshelf writer.
 fuzz:
 	$(GO) test ./internal/hypergraph -fuzz FuzzReadHGR -fuzztime 30s
 	$(GO) test ./internal/hypergraph -fuzz FuzzReadNetlist -fuzztime 30s
 	$(GO) test ./internal/hypergraph -fuzz FuzzReadBookshelf -fuzztime 30s
+	$(GO) test ./internal/hypergraph -fuzz FuzzBookshelfRoundTrip -fuzztime 30s
 
 # Regenerate every paper table at full size.
 experiments:
 	$(GO) run igpart/cmd/experiments
 
+# COVER_PKGS must each stay at or above COVER_MIN% statement coverage:
+# the pipeline core, the observability layer, and the matching substrate.
+COVER_PKGS = igpart/internal/core igpart/internal/obs igpart/internal/bipartite
+COVER_MIN  = 70
+
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
+	@for pkg in $(COVER_PKGS); do \
+		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage figure for $$pkg"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" -v m="$(COVER_MIN)" 'BEGIN { print (p >= m) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then \
+			echo "cover: $$pkg at $$pct% is below the $(COVER_MIN)% floor"; exit 1; \
+		fi; \
+		echo "cover: $$pkg $$pct% (floor $(COVER_MIN)%)"; \
+	done
 
 clean:
 	rm -f cover.out

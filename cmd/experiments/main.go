@@ -11,6 +11,8 @@
 //	                               # scaling, trace
 //	experiments -scale 0.25        # smaller circuits for a quick pass
 //	experiments -csv results/      # also write machine-readable CSVs
+//	experiments -report nightly    # write results/BENCH_nightly.json
+//	experiments -trace -table 2    # per-stage timing tree after the tables
 package main
 
 import (
@@ -18,25 +20,83 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 
 	"igpart/internal/bench"
+	"igpart/internal/obs"
 )
 
 func main() {
 	var (
-		table  = flag.String("table", "all", "which table to regenerate")
-		scale  = flag.Float64("scale", 1.0, "benchmark scale factor")
-		starts = flag.Int("starts", 10, "RCut random starts")
-		seeds  = flag.Int("seeds", 5, "seeds for the stability table")
-		par    = flag.Int("p", 0, "IG-Match sweep parallelism (0 = GOMAXPROCS, 1 = serial; results identical)")
-		csvDir = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		table      = flag.String("table", "all", "which table to regenerate")
+		scale      = flag.Float64("scale", 1.0, "benchmark scale factor")
+		starts     = flag.Int("starts", 10, "RCut random starts")
+		seeds      = flag.Int("seeds", 5, "seeds for the stability table")
+		par        = flag.Int("p", 0, "IG-Match sweep parallelism (0 = GOMAXPROCS, 1 = serial; results identical)")
+		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		report     = flag.String("report", "", "write a JSON run report named BENCH_<name>.json instead of tables")
+		resultsDir = flag.String("results", "results", "directory for -report output")
+		trace      = flag.Bool("trace", false, "print the per-stage timing tree after the run")
+		metrics    = flag.Bool("metrics", false, "print the run's metrics registry (counters/gauges/timers)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	s := bench.Suite{Scale: *scale, RCutStarts: *starts, Parallelism: *par}
+
+	var tr *obs.Trace
+	if *trace || *metrics {
+		tr = obs.NewTrace("experiments")
+		s.Rec = tr
+	}
+	defer func() {
+		if tr == nil {
+			return
+		}
+		tr.End()
+		if *trace {
+			fmt.Print(tr.String())
+		}
+		if *metrics {
+			fmt.Print(tr.Metrics().Snapshot().String())
+		}
+	}()
+
+	if *report != "" {
+		rep, err := s.Report(*report, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: report:", err)
+			os.Exit(1)
+		}
+		path, err := rep.WriteFile(*resultsDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d circuits × %d algorithms)\n",
+			path, len(rep.Circuits), len(rep.Algorithms))
+		return
+	}
 
 	writeCSV := func(name string, emit func(w *os.File) error) {
 		if *csvDir == "" {
 			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: csv dir: %v\n", err)
+			os.Exit(1)
 		}
 		f, err := os.Create(filepath.Join(*csvDir, name))
 		if err != nil {

@@ -5,15 +5,24 @@
 //
 //	igpart -in design.hgr [-algo igmatch|igvote|eig1|rcut|kl|refined|condensed]
 //	       [-starts 10] [-seed 1] [-p 0] [-assign] [-stats]
+//	       [-trace] [-metrics] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The input format is selected by extension: ".hgr" for the hMETIS-style
 // format, anything else for the named module/net format.
+//
+// -trace prints the per-stage timing tree of the run (for igmatch, the
+// full pipeline breakdown: IG build, Laplacian assembly, eigensolve
+// cycles, sweep shards). -metrics dumps the run's counter/gauge/timer
+// registry. -cpuprofile / -memprofile write pprof profiles for
+// `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"igpart"
 	"igpart/internal/fm"
@@ -22,19 +31,68 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input netlist path (.hgr or named format)")
-		nodes  = flag.String("nodes", "", "Bookshelf .nodes path (use with -nets instead of -in)")
-		nets   = flag.String("nets", "", "Bookshelf .nets path (use with -nodes instead of -in)")
-		algo   = flag.String("algo", "igmatch", "algorithm: igmatch, igvote, eig1, rcut, kl, refined, condensed, multiway")
-		k      = flag.Int("k", 4, "part count for -algo multiway")
-		starts = flag.Int("starts", 10, "random starts for rcut")
-		par    = flag.Int("p", 0, "igmatch sweep parallelism: shards swept concurrently (0 = GOMAXPROCS, 1 = serial; results identical)")
-		seed   = flag.Int64("seed", 1, "seed for randomized algorithms")
-		assign = flag.Bool("assign", false, "print the per-module side assignment")
-		stats  = flag.Bool("stats", false, "print netlist statistics before partitioning")
-		fixIn  = flag.String("fix", "", "hMETIS .fix file pinning modules to sides; applied with FM refinement after the chosen algorithm")
+		in      = flag.String("in", "", "input netlist path (.hgr or named format)")
+		nodes   = flag.String("nodes", "", "Bookshelf .nodes path (use with -nets instead of -in)")
+		nets    = flag.String("nets", "", "Bookshelf .nets path (use with -nodes instead of -in)")
+		algo    = flag.String("algo", "igmatch", "algorithm: igmatch, igvote, eig1, rcut, kl, refined, condensed, multiway")
+		k       = flag.Int("k", 4, "part count for -algo multiway")
+		starts  = flag.Int("starts", 10, "random starts for rcut")
+		par     = flag.Int("p", 0, "igmatch sweep parallelism: shards swept concurrently (0 = GOMAXPROCS, 1 = serial; results identical)")
+		seed    = flag.Int64("seed", 1, "seed for randomized algorithms")
+		assign  = flag.Bool("assign", false, "print the per-module side assignment")
+		stats   = flag.Bool("stats", false, "print netlist statistics before partitioning")
+		fixIn   = flag.String("fix", "", "hMETIS .fix file pinning modules to sides; applied with FM refinement after the chosen algorithm")
+		trace   = flag.Bool("trace", false, "print the per-stage timing tree after the run")
+		metrics = flag.Bool("metrics", false, "print the run's metrics registry (counters/gauges/timers)")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	var tr *igpart.Trace
+	var rec igpart.Recorder // nil when tracing is off
+	if *trace || *metrics {
+		tr = igpart.NewTrace("igpart")
+		rec = tr
+	}
+	// report prints whatever -trace/-metrics asked for; deferred calls
+	// run before the profile writers above.
+	report := func() {
+		if tr == nil {
+			return
+		}
+		tr.End()
+		if *trace {
+			fmt.Print(tr.String())
+		}
+		if *metrics {
+			fmt.Print(tr.Metrics().Snapshot().String())
+		}
+	}
+	defer report()
 	var h *igpart.Netlist
 	var err error
 	switch {
@@ -54,10 +112,20 @@ func main() {
 		fmt.Println(hypergraph.ComputeStats(h))
 	}
 
+	// For igmatch the recorder threads through the whole pipeline; the
+	// other algorithms get a single span covering their run.
+	span := func(name string) func() {
+		if rec == nil {
+			return func() {}
+		}
+		sp := rec.StartSpan(name)
+		return sp.End
+	}
+
 	var res igpart.Result
 	switch *algo {
 	case "igmatch":
-		r, err := igpart.IGMatch(h, igpart.IGMatchOptions{Parallelism: *par})
+		r, err := igpart.IGMatch(h, igpart.IGMatchOptions{Parallelism: *par, Rec: rec})
 		if err != nil {
 			fatal(err)
 		}
@@ -65,19 +133,33 @@ func main() {
 		fmt.Printf("lambda2=%.6g split=%d/%d matching-bound=%d\n",
 			r.Lambda2, r.BestRank, h.NumNets(), r.MatchingBound)
 	case "igvote":
+		end := span("igvote")
 		res, err = igpart.IGVote(h)
+		end()
 	case "eig1":
+		end := span("eig1")
 		res, err = igpart.EIG1(h)
+		end()
 	case "rcut":
+		end := span("rcut")
 		res, err = igpart.RCut(h, *starts, *seed)
+		end()
 	case "kl":
+		end := span("kl")
 		res, err = igpart.KL(h, *seed)
+		end()
 	case "refined":
+		end := span("refined")
 		res, err = igpart.Refined(h)
+		end()
 	case "condensed":
+		end := span("condensed")
 		res, err = igpart.Condensed(h)
+		end()
 	case "multiway":
+		end := span("multiway")
 		mw, err := igpart.Multiway(h, *k)
+		end()
 		if err != nil {
 			fatal(err)
 		}

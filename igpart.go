@@ -48,6 +48,7 @@ import (
 	"igpart/internal/multiway"
 	"igpart/internal/netgen"
 	"igpart/internal/netmodel"
+	"igpart/internal/obs"
 	"igpart/internal/partition"
 	"igpart/internal/place"
 	"igpart/internal/refine"
@@ -151,6 +152,10 @@ type IGMatchOptions struct {
 	// every value: shards reduce deterministically with metric ties broken
 	// by lowest split rank, matching the serial sweep order.
 	Parallelism int
+	// Rec, when non-nil, records per-stage timing spans and counters for
+	// the run (see NewTrace). Tracing never changes the result; leaving
+	// it nil costs nothing on the hot path.
+	Rec Recorder
 }
 
 // IGMatchResult extends Result with IG-Match-specific detail.
@@ -179,6 +184,7 @@ func IGMatch(h *Netlist, opts ...IGMatchOptions) (IGMatchResult, error) {
 		Eigen:          eigen.Options{Seed: o.Seed, BlockSize: o.BlockSize},
 		RecursionDepth: o.RecursionDepth,
 		Parallelism:    o.Parallelism,
+		Rec:            o.Rec,
 	})
 	if err != nil {
 		return IGMatchResult{}, err
@@ -297,6 +303,23 @@ func Condensed(h *Netlist) (Result, error) {
 	}
 	return Result{Partition: res.Partition, Metrics: res.Metrics}, nil
 }
+
+// Recorder is the pipeline observability hook: a hierarchical stage-span
+// handle with counters plus a run-wide metrics registry. Pass a Recorder
+// in IGMatchOptions.Rec to capture where an IG-Match run spends its time
+// (intersection-graph build, Laplacian assembly, eigensolve cycles,
+// sweep shards). A nil Recorder disables tracing at near-zero cost.
+type Recorder = obs.Recorder
+
+// Trace is the concrete Recorder: it records a stage tree with wall
+// times and counters. Trace.String renders the per-stage timing tree,
+// Trace.Finish returns the machine-readable report, and Trace.Metrics
+// exposes the counters/gauges/timers registry.
+type Trace = obs.Trace
+
+// NewTrace returns a recording Trace whose root span bears the given
+// name.
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
 
 // Sparsity compares the clique-model and intersection-graph representation
 // sizes of h (stored off-diagonal nonzeros).

@@ -16,6 +16,7 @@ import (
 	"igpart/internal/igdiam"
 	"igpart/internal/igvote"
 	"igpart/internal/netgen"
+	"igpart/internal/obs"
 	"igpart/internal/partition"
 	"igpart/internal/spectral"
 )
@@ -35,6 +36,11 @@ type Suite struct {
 	// 1 = serial). Results are identical for every value; only wall-clock
 	// changes, which the scaling table reports.
 	Parallelism int
+	// Rec, when non-nil, receives one stage span per algorithm run; the
+	// IG-Match spans carry the full pipeline breakdown (IG build,
+	// eigensolve, sweep shards). Run reports (report.go) thread their
+	// own Trace here.
+	Rec obs.Recorder
 }
 
 // DefaultSuite is the full-size configuration used by cmd/experiments.
@@ -80,13 +86,15 @@ const (
 // wall-clock time.
 func (s Suite) Run(alg string, h *hypergraph.Hypergraph) (partition.Metrics, time.Duration, error) {
 	s = s.withDefaults()
+	sp := obs.OrNop(s.Rec).StartSpan(alg)
+	defer sp.End()
 	t0 := time.Now()
 	var met partition.Metrics
 	var err error
 	switch alg {
 	case AlgIGMatch:
 		var r core.Result
-		r, err = core.Partition(h, core.Options{Parallelism: s.Parallelism})
+		r, err = core.Partition(h, core.Options{Parallelism: s.Parallelism, Rec: sp})
 		met = r.Metrics
 	case AlgIGVote:
 		var r igvote.Result

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"igpart/internal/obs"
+	"igpart/internal/partition"
+)
+
+// This file produces the machine-readable run report behind
+// results/BENCH_<name>.json: every algorithm of interest run over the
+// whole benchmark suite with full stage tracing, so the perf trajectory
+// of the pipeline (and each of its stages) can be tracked across
+// commits by diffing reports instead of eyeballing table text.
+
+// DefaultReportAlgs is the algorithm set a run report covers unless the
+// caller narrows it: the paper's comparison column plus IG-Match itself.
+func DefaultReportAlgs() []string {
+	return []string{AlgIGMatch, AlgIGVote, AlgEIG1, AlgRCut, AlgIGDiam}
+}
+
+// SuiteConfig is the JSON form of the Suite knobs a report ran under.
+type SuiteConfig struct {
+	Scale       float64 `json:"scale"`
+	RCutStarts  int     `json:"rcut_starts"`
+	Seed        int64   `json:"seed"`
+	Parallelism int     `json:"parallelism"`
+}
+
+// AlgRun is one algorithm's outcome on one circuit.
+type AlgRun struct {
+	Alg      string            `json:"alg"`
+	Metrics  partition.Metrics `json:"metrics"`
+	WallNS   int64             `json:"wall_ns"`
+	RatioCut float64           `json:"ratio_cut"` // duplicated for flat queries
+}
+
+// CircuitReport is one benchmark circuit's slice of a run report. Stages
+// holds the circuit's stage span subtree: one child per algorithm, and
+// under the IG-Match child the full pipeline breakdown (ig-build,
+// laplacian, eigensolve cycles, sweep shards).
+type CircuitReport struct {
+	Name    string    `json:"name"`
+	Modules int       `json:"modules"`
+	Nets    int       `json:"nets"`
+	Pins    int       `json:"pins"`
+	Runs    []AlgRun  `json:"runs"`
+	Stages  obs.Stage `json:"stages"`
+}
+
+// RunReport is the top-level BENCH_<name>.json document.
+type RunReport struct {
+	Name       string              `json:"name"`
+	CreatedAt  time.Time           `json:"created_at"`
+	GoVersion  string              `json:"go_version"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Suite      SuiteConfig         `json:"suite"`
+	Algorithms []string            `json:"algorithms"`
+	Circuits   []CircuitReport     `json:"circuits"`
+	Metrics    obs.MetricsSnapshot `json:"metrics"`
+	TotalNS    int64               `json:"total_ns"`
+}
+
+// Report runs each named algorithm (DefaultReportAlgs when algs is nil)
+// on every circuit of the benchmark suite under a fresh Trace and
+// assembles the run report with per-stage breakdowns.
+func (s Suite) Report(name string, algs []string) (*RunReport, error) {
+	s = s.withDefaults()
+	if len(algs) == 0 {
+		algs = DefaultReportAlgs()
+	}
+	cfgs, hs, err := s.circuits()
+	if err != nil {
+		return nil, err
+	}
+	tr := obs.NewTrace("bench:" + name)
+	rep := &RunReport{
+		Name:       name,
+		CreatedAt:  time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Suite: SuiteConfig{
+			Scale:       s.Scale,
+			RCutStarts:  s.RCutStarts,
+			Seed:        s.Seed,
+			Parallelism: s.Parallelism,
+		},
+		Algorithms: algs,
+	}
+	for i, h := range hs {
+		csp := tr.StartSpan(cfgs[i].Name)
+		cr := CircuitReport{
+			Name:    cfgs[i].Name,
+			Modules: h.NumModules(),
+			Nets:    h.NumNets(),
+			Pins:    h.NumPins(),
+		}
+		traced := s
+		traced.Rec = csp
+		for _, alg := range algs {
+			met, wall, err := traced.Run(alg, h)
+			if err != nil {
+				return nil, fmt.Errorf("bench: report %s on %s: %w", alg, cr.Name, err)
+			}
+			cr.Runs = append(cr.Runs, AlgRun{
+				Alg:      alg,
+				Metrics:  met,
+				WallNS:   int64(wall),
+				RatioCut: met.RatioCut,
+			})
+		}
+		csp.End()
+		rep.Circuits = append(rep.Circuits, cr)
+	}
+	root := tr.Finish()
+	for i := range rep.Circuits {
+		rep.Circuits[i].Stages = root.Children[i]
+	}
+	rep.Metrics = tr.Metrics().Snapshot()
+	rep.TotalNS = root.DurationNS
+	return rep, nil
+}
+
+// WriteFile writes the report as <dir>/BENCH_<name>.json, creating the
+// directory (and any parents) if missing — a fresh checkout or a wiped
+// results/ must never fail the first write. It returns the path written.
+func (r *RunReport) WriteFile(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("bench: creating report dir: %w", err)
+	}
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("bench: encoding report: %w", err)
+	}
+	path := filepath.Join(dir, "BENCH_"+r.Name+".json")
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

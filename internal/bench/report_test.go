@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReportStagesAndCounters runs a small report and cross-checks the
+// embedded stage tree against the run outcomes: every circuit appears,
+// every requested algorithm has both an AlgRun and a stage span, and the
+// IG-Match subtree's splits counter equals nets−1 for its circuit.
+func TestReportStagesAndCounters(t *testing.T) {
+	s := Suite{Scale: 0.1, RCutStarts: 2}
+	rep, err := s.Report("test", []string{AlgIGMatch, AlgIGVote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Circuits) == 0 {
+		t.Fatal("no circuits in report")
+	}
+	if rep.TotalNS <= 0 {
+		t.Errorf("total duration %d", rep.TotalNS)
+	}
+	for _, cr := range rep.Circuits {
+		if len(cr.Runs) != 2 {
+			t.Fatalf("%s: %d runs, want 2", cr.Name, len(cr.Runs))
+		}
+		if cr.Stages.Name != cr.Name {
+			t.Errorf("stage root %q for circuit %q", cr.Stages.Name, cr.Name)
+		}
+		ig := cr.Stages.Find(AlgIGMatch)
+		if ig == nil {
+			t.Fatalf("%s: no IG-Match stage span", cr.Name)
+		}
+		if got := ig.Sum("splits"); got != int64(cr.Nets-1) {
+			t.Errorf("%s: IG-Match splits = %d, want %d", cr.Name, got, cr.Nets-1)
+		}
+		if cr.Stages.Find(AlgIGVote) == nil {
+			t.Errorf("%s: no IG-Vote stage span", cr.Name)
+		}
+		for _, run := range cr.Runs {
+			if run.RatioCut != run.Metrics.RatioCut {
+				t.Errorf("%s/%s: flat ratio_cut %g != metrics %g",
+					cr.Name, run.Alg, run.RatioCut, run.Metrics.RatioCut)
+			}
+		}
+	}
+	if rep.Metrics.Counters["sweep.splits"] == 0 {
+		t.Error("registry snapshot missing sweep.splits")
+	}
+}
+
+// TestWriteFileCreatesMissingDir is the regression test for report (and
+// CSV) output into a results directory that does not exist yet: WriteFile
+// must create it rather than fail the first write of a fresh checkout.
+func TestWriteFileCreatesMissingDir(t *testing.T) {
+	rep := &RunReport{Name: "mkdir-check"}
+	dir := filepath.Join(t.TempDir(), "deep", "results")
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("precondition: %s should not exist", dir)
+	}
+	path, err := rep.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_mkdir-check.json"); path != want {
+		t.Errorf("path %q, want %q", path, want)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("written report is not valid JSON: %v", err)
+	}
+	if back.Name != "mkdir-check" {
+		t.Errorf("round-tripped name %q", back.Name)
+	}
+}

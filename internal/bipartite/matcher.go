@@ -18,6 +18,7 @@ type Matcher struct {
 	adj   [][]int // static host-graph adjacency
 	inL   []bool
 	match []int // match[v] = current partner, or -1
+	augs  int   // augmenting paths applied over the matcher's lifetime
 
 	// scratch for searches
 	visited []int
@@ -68,9 +69,16 @@ func NewMatcherAt(adj [][]int, inR []bool) *Matcher {
 	for i := range m.inL {
 		m.inL[i] = !inR[i]
 	}
-	_, m.match = HopcroftKarp(adj, m.inL)
+	m.augs, m.match = HopcroftKarp(adj, m.inL)
 	return m
 }
+
+// Augmentations returns the number of augmenting paths applied over the
+// matcher's lifetime — the work metric of the incremental maintenance.
+// A Hopcroft–Karp bootstrap (NewMatcherAt) counts one per seeded
+// matching edge, so the value is comparable across the serial and
+// sharded sweep engines.
+func (m *Matcher) Augmentations() int { return m.augs }
 
 // N returns the number of vertices in the host graph.
 func (m *Matcher) N() int { return len(m.adj) }
@@ -135,6 +143,7 @@ func (m *Matcher) augmentFromR(r int) bool {
 			m.parent[x] = y
 			if m.match[x] < 0 {
 				// Augment: flip the path back to r.
+				m.augs++
 				for {
 					py := m.parent[x]
 					next := m.match[py]

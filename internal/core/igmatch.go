@@ -30,7 +30,9 @@ import (
 	"igpart/internal/eigen"
 	"igpart/internal/hypergraph"
 	"igpart/internal/netmodel"
+	"igpart/internal/obs"
 	"igpart/internal/partition"
+	"igpart/internal/sparse"
 )
 
 // Options configures an IG-Match run. The zero value reproduces the paper's
@@ -59,6 +61,11 @@ type Options struct {
 	// shard reduction breaks metric ties by lowest rank, exactly the order
 	// the serial sweep encounters splits in.
 	Parallelism int
+	// Rec, when non-nil, receives hierarchical stage spans (IG build,
+	// Laplacian assembly, eigensolve cycles, sweep shards) with wall
+	// times and counters, plus run-level metrics. Tracing never changes
+	// the result; nil means off and costs nothing on the hot path.
+	Rec obs.Recorder
 }
 
 // SplitRecord captures the state of one sweep split for analysis. Splits
@@ -101,12 +108,31 @@ func Partition(h *hypergraph.Hypergraph, opts Options) (Result, error) {
 		return Result{}, errors.New("core: IG-Match needs at least 2 modules")
 	}
 
-	// Step 1–2: net ordering from the IG Fiedler vector.
-	q := netmodel.IGLaplacian(h, opts.IG)
-	fied, err := eigen.Fiedler(q, opts.Eigen)
+	// Step 1–2: net ordering from the IG Fiedler vector. Each pipeline
+	// stage gets its own span; the eigensolve span doubles as the
+	// recorder for the solver's per-cycle detail.
+	rec := obs.OrNop(opts.Rec)
+	sp := rec.StartSpan("ig-build")
+	g := netmodel.IntersectionGraph(h, opts.IG)
+	sp.Count("nets", int64(m))
+	sp.Count("ig-edges", int64(g.OffDiagNNZ()/2))
+	sp.End()
+
+	sp = rec.StartSpan("laplacian")
+	q := sparse.Laplacian(g)
+	sp.End()
+
+	esp := rec.StartSpan("eigensolve")
+	eo := opts.Eigen
+	if eo.Rec == nil {
+		eo.Rec = esp
+	}
+	fied, err := eigen.Fiedler(q, eo)
+	esp.End()
 	if err != nil {
 		return Result{}, fmt.Errorf("core: eigensolve failed: %w", err)
 	}
+	rec.Metrics().Gauge("eigen.lambda2").Set(fied.Lambda2)
 	order := SortNetsByVector(fied.Vector)
 
 	res, err := sweep(h, order, opts)
@@ -171,7 +197,10 @@ func IGAdjacency(h *hypergraph.Hypergraph) [][]int {
 // only materialized when the split improves on the shard's best so far.
 func sweep(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) {
 	m := h.NumNets()
+	rec := obs.OrNop(opts.Rec)
+	sp := rec.StartSpan("conflict-adjacency")
 	adj := IGAdjacency(h)
+	sp.End()
 	nSplits := m - 1
 
 	// Pre-sized trace indexed by rank−1 so parallel workers write their
@@ -182,7 +211,8 @@ func sweep(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) 
 		trace = make([]SplitRecord, nSplits)
 	}
 
-	shards := runShards(h, adj, order, nSplits, shardCount(opts.Parallelism, nSplits), trace)
+	sw := rec.StartSpan("sweep")
+	shards := runShards(h, adj, order, nSplits, shardCount(opts.Parallelism, nSplits), trace, sw)
 
 	// Deterministic reduction: shards cover ascending rank ranges, and a
 	// later shard only displaces the incumbent on a strict metric
@@ -203,12 +233,16 @@ func sweep(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) 
 			haveBest = true
 		}
 	}
+	sw.Count("shards", int64(len(shards)))
+	sw.End()
 	if opts.Trace != nil {
 		*opts.Trace = append(*opts.Trace, trace...)
 	}
 	if !haveBest {
 		return Result{}, errors.New("core: no proper completion found (every split left one side empty)")
 	}
+	rec.Metrics().Gauge("sweep.best_rank").Set(float64(best.BestRank))
+	rec.Metrics().Gauge("sweep.best_ratio").Set(best.Metrics.RatioCut)
 
 	if opts.RecursionDepth > 0 {
 		if p2, met2, ok := completeRecursive(h, bestSets, opts); ok && better(met2, best.Metrics) {
@@ -238,7 +272,12 @@ type shardBest struct {
 // so per-split trace records and the shard-local best are identical to the
 // serial engine's view of the same ranks. When trace is non-nil the shard
 // writes records at trace[rank−1] — disjoint slots across shards.
-func sweepShard(h *hypergraph.Hypergraph, adj [][]int, order []int, lo, hi int, trace []SplitRecord) shardBest {
+//
+// sp is the shard's stage span. Per-split tallies stay in local integers
+// regardless of tracing and are flushed to the span (and the run-wide
+// registry) once at shard exit, so the traced and untraced loops execute
+// the same per-split instructions.
+func sweepShard(h *hypergraph.Hypergraph, adj [][]int, order []int, lo, hi int, trace []SplitRecord, sp obs.Recorder) shardBest {
 	var matcher *bipartite.Matcher
 	if lo == 1 {
 		matcher = bipartite.NewMatcher(adj)
@@ -254,9 +293,11 @@ func sweepShard(h *hypergraph.Hypergraph, adj [][]int, order []int, lo, hi int, 
 	var sb shardBest
 	bestCost := partition.Metrics{RatioCut: inf()}
 	var sets bipartite.Sets
+	var winners, improved, infeasible int64
 	for rank := lo; rank < hi; rank++ {
 		matcher.MoveToR(order[rank-1])
 		matcher.WinnersInto(&sets)
+		winners += int64(len(sets.EvenL) + len(sets.EvenR))
 		met, vnSide, ok := comp.evaluate(sets)
 		if trace != nil {
 			rec := SplitRecord{
@@ -272,10 +313,12 @@ func sweepShard(h *hypergraph.Hypergraph, adj [][]int, order []int, lo, hi int, 
 			trace[rank-1] = rec
 		}
 		if !ok {
+			infeasible++
 			continue
 		}
 		if better(met, bestCost) {
 			bestCost = met
+			improved++
 			sb.have = true
 			sb.met = met
 			sb.part = comp.materialize(vnSide)
@@ -284,6 +327,18 @@ func sweepShard(h *hypergraph.Hypergraph, adj [][]int, order []int, lo, hi int, 
 			sb.sets = copySets(sets) // sets storage is reused next split
 		}
 	}
+	splits := int64(hi - lo)
+	sp.Count("splits", splits)
+	sp.Count("phase1-winners", winners)
+	sp.Count("phase2-evals", splits-infeasible)
+	sp.Count("infeasible", infeasible)
+	sp.Count("improved", improved)
+	sp.Count("augmentations", int64(matcher.Augmentations()))
+	reg := sp.Metrics()
+	reg.Counter("sweep.splits").Add(splits)
+	reg.Counter("sweep.augmentations").Add(int64(matcher.Augmentations()))
+	reg.Counter("sweep.phase1_winners").Add(winners)
+	sp.End()
 	return sb
 }
 
@@ -512,9 +567,12 @@ func completeRecursive(h *hypergraph.Hypergraph, sets bipartite.Sets, opts Optio
 	if sub.NumNets() < 2 {
 		return nil, partition.Metrics{}, false
 	}
+	rsp := obs.OrNop(opts.Rec).StartSpan("recursive-completion")
+	defer rsp.End()
 	subOpts := opts
 	subOpts.RecursionDepth--
 	subOpts.Trace = nil
+	subOpts.Rec = rsp
 	subRes, err := Partition(sub, subOpts)
 	if err != nil {
 		return nil, partition.Metrics{}, false

@@ -13,10 +13,12 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
 	"igpart/internal/hypergraph"
+	"igpart/internal/obs"
 )
 
 // shardCount resolves the Parallelism option against the number of splits:
@@ -38,21 +40,36 @@ func shardCount(parallelism, nSplits int) int {
 // runShards executes the sweep over p contiguous shards and returns the
 // per-shard winners in ascending rank order. p == 1 stays on the calling
 // goroutine — the serial engine, with zero synchronization overhead.
-func runShards(h *hypergraph.Hypergraph, adj [][]int, order []int, nSplits, p int, trace []SplitRecord) []shardBest {
+//
+// sw is the sweep stage span; each shard records under its own child
+// span. Child spans are opened before the workers launch so the stage
+// tree lists shards in ascending rank order regardless of scheduling.
+func runShards(h *hypergraph.Hypergraph, adj [][]int, order []int, nSplits, p int, trace []SplitRecord, sw obs.Recorder) []shardBest {
 	if p <= 1 {
-		return []shardBest{sweepShard(h, adj, order, 1, nSplits+1, trace)}
+		return []shardBest{sweepShard(h, adj, order, 1, nSplits+1, trace, shardSpan(sw, 1, nSplits+1))}
 	}
 	shards := make([]shardBest, p)
+	spans := make([]obs.Recorder, p)
 	var wg sync.WaitGroup
 	for i := 0; i < p; i++ {
 		lo := 1 + i*nSplits/p
 		hi := 1 + (i+1)*nSplits/p
+		spans[i] = shardSpan(sw, lo, hi)
 		wg.Add(1)
 		go func(i, lo, hi int) {
 			defer wg.Done()
-			shards[i] = sweepShard(h, adj, order, lo, hi, trace)
+			shards[i] = sweepShard(h, adj, order, lo, hi, trace, spans[i])
 		}(i, lo, hi)
 	}
 	wg.Wait()
 	return shards
+}
+
+// shardSpan opens the stage span for one shard's rank range. The label
+// is only built when a real recorder listens.
+func shardSpan(sw obs.Recorder, lo, hi int) obs.Recorder {
+	if !sw.Enabled() {
+		return obs.Nop
+	}
+	return sw.StartSpan(fmt.Sprintf("shard[%d:%d)", lo, hi))
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"igpart/internal/obs"
 	"igpart/internal/sparse"
 )
 
@@ -120,6 +121,12 @@ func largestDeflatedBlock(op Operator, deflate [][]float64, opts Options) (float
 			sparse.Axpy(-sparse.Dot(d, x), d, x)
 		}
 	}
+	rec := obs.OrNop(opts.Rec)
+	cycles := 0
+	defer func() {
+		rec.Count("restarts", int64(cycles-1))
+		rec.Metrics().Counter("eigen.restarts").Add(int64(cycles - 1))
+	}()
 	var (
 		theta    float64
 		ritz     []float64
@@ -127,7 +134,11 @@ func largestDeflatedBlock(op Operator, deflate [][]float64, opts Options) (float
 	)
 	var start []float64
 	for cycle := 0; cycle < opts.MaxRestarts; cycle++ {
+		cycles++
+		csp := rec.StartSpan("block-lanczos-cycle")
+		csp.Count("block", int64(opts.BlockSize))
 		th, v, res, err := blockCycle(op, start, project, opts, rng)
+		csp.End()
 		if err != nil {
 			return 0, nil, err
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"igpart/internal/obs"
 	"igpart/internal/sparse"
 )
 
@@ -75,7 +76,10 @@ func Fiedler(q *sparse.SymCSR, opts Options) (FiedlerResult, error) {
 		return FiedlerResult{}, errors.New("eigen: Fiedler vector needs at least 2 vertices")
 	}
 	if n <= denseCutoff {
+		sp := obs.OrNop(opts.Rec).StartSpan("jacobi-dense")
 		vals, vecs, err := Jacobi(sparse.FromCSR(q), 0)
+		sp.Count("dim", int64(n))
+		sp.End()
 		if err != nil {
 			return FiedlerResult{}, err
 		}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"igpart/internal/obs"
 	"igpart/internal/sparse"
 )
 
@@ -33,6 +34,10 @@ type Options struct {
 	// (the solver family of the paper's reference [12]); ≤ 1 selects the
 	// simple single-vector iteration.
 	BlockSize int
+	// Rec, when non-nil, receives one stage span per restart cycle
+	// (Krylov steps, matrix–vector products) plus restart counters.
+	// Recording never changes the iteration.
+	Rec obs.Recorder
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -92,6 +97,15 @@ func LargestDeflated(op Operator, deflate [][]float64, opts Options) (float64, [
 		}
 	}
 
+	rec := obs.OrNop(opts.Rec)
+	cycles := 0
+	defer func() {
+		// Cycles beyond the first are restarts (the paper's solver
+		// rarely needs any on netlist-sized Laplacians).
+		rec.Count("restarts", int64(cycles-1))
+		rec.Metrics().Counter("eigen.restarts").Add(int64(cycles - 1))
+	}()
+
 	var (
 		theta    float64
 		ritz     []float64
@@ -99,7 +113,13 @@ func LargestDeflated(op Operator, deflate [][]float64, opts Options) (float64, [
 	)
 	x := start
 	for cycle := 0; cycle < opts.MaxRestarts; cycle++ {
-		th, v, res, err := lanczosCycle(op, x, project, opts, rng)
+		cycles++
+		csp := rec.StartSpan("lanczos-cycle")
+		th, v, res, steps, err := lanczosCycle(op, x, project, opts, rng)
+		csp.Count("steps", int64(steps))
+		csp.Count("matvecs", int64(steps+1))
+		csp.End()
+		rec.Metrics().Counter("eigen.matvecs").Add(int64(steps + 1))
 		if err != nil {
 			return 0, nil, err
 		}
@@ -118,8 +138,9 @@ func LargestDeflated(op Operator, deflate [][]float64, opts Options) (float64, [
 }
 
 // lanczosCycle runs one restart cycle from the given starting vector and
-// returns the best Ritz pair and its residual norm.
-func lanczosCycle(op Operator, start []float64, project func([]float64), opts Options, rng *rand.Rand) (float64, []float64, float64, error) {
+// returns the best Ritz pair, its residual norm, and the number of
+// Krylov steps taken.
+func lanczosCycle(op Operator, start []float64, project func([]float64), opts Options, rng *rand.Rand) (float64, []float64, float64, int, error) {
 	n := op.N()
 	basis := make([][]float64, 0, opts.MaxSteps)
 	alpha := make([]float64, 0, opts.MaxSteps)
@@ -134,7 +155,7 @@ func lanczosCycle(op Operator, start []float64, project func([]float64), opts Op
 		}
 		project(v)
 		if sparse.Normalize(v) == 0 {
-			return 0, nil, 0, errors.New("eigen: cannot find a starting vector outside the deflation space")
+			return 0, nil, 0, 0, errors.New("eigen: cannot find a starting vector outside the deflation space")
 		}
 	}
 	basis = append(basis, v)
@@ -171,7 +192,7 @@ func lanczosCycle(op Operator, start []float64, project func([]float64), opts Op
 	m := len(alpha)
 	vals, z, err := SymTridiagonal(alpha[:m], beta[:min(len(beta), m-1)], true)
 	if err != nil {
-		return 0, nil, 0, err
+		return 0, nil, 0, m, err
 	}
 	// Largest Ritz value is the last (ascending order).
 	k := m - 1
@@ -186,7 +207,7 @@ func lanczosCycle(op Operator, start []float64, project func([]float64), opts Op
 	op.MulVec(w, ritz)
 	project(w)
 	sparse.Axpy(-theta, ritz, w)
-	return theta, ritz, sparse.Norm2(w), nil
+	return theta, ritz, sparse.Norm2(w), m, nil
 }
 
 func min(a, b int) int {

@@ -53,6 +53,74 @@ func FuzzReadNetlist(f *testing.F) {
 	})
 }
 
+// FuzzBookshelfRoundTrip drives the writer side: arbitrary
+// builder-constructed netlists must survive WriteBookshelf→ReadBookshelf
+// exactly — same shape, same pins per net, same names and weights. The
+// builder sorts and dedups pins and the writer names unnamed entities
+// "m<v>"/"n<e>", so equality is strict, not merely size-preserving.
+func FuzzBookshelfRoundTrip(f *testing.F) {
+	f.Add(uint8(3), []byte{2, 0, 1, 3, 0, 1, 2})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(7), []byte{5, 6, 6, 1, 2, 3, 0, 2, 4, 5})
+	f.Fuzz(func(t *testing.T, nMod uint8, data []byte) {
+		n := int(nMod)%24 + 1
+		b := NewBuilder().SetNumModules(n)
+		// Decode data as a stream of nets: one size byte, then that many
+		// pin bytes (each mod n). Degenerate nets are fine — the builder
+		// dedups pins and the format allows single-pin nets.
+		for i := 0; i < len(data); {
+			size := int(data[i])%6 + 1
+			i++
+			pins := make([]int, 0, size)
+			for j := 0; j < size && i < len(data); j++ {
+				pins = append(pins, int(data[i])%n)
+				i++
+			}
+			if len(pins) == 0 {
+				break
+			}
+			b.AddNet(pins...)
+		}
+		h := b.Build()
+
+		var nb, eb bytes.Buffer
+		if err := WriteBookshelf(&nb, &eb, h); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		h2, err := ReadBookshelf(&nb, &eb)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if h2.NumModules() != h.NumModules() || h2.NumNets() != h.NumNets() || h2.NumPins() != h.NumPins() {
+			t.Fatalf("shape changed: %d/%d/%d -> %d/%d/%d",
+				h.NumModules(), h.NumNets(), h.NumPins(),
+				h2.NumModules(), h2.NumNets(), h2.NumPins())
+		}
+		for v := 0; v < h.NumModules(); v++ {
+			if h2.ModuleName(v) != h.ModuleName(v) {
+				t.Fatalf("module %d name %q -> %q", v, h.ModuleName(v), h2.ModuleName(v))
+			}
+			if h2.ModuleWeight(v) != h.ModuleWeight(v) {
+				t.Fatalf("module %d weight %d -> %d", v, h.ModuleWeight(v), h2.ModuleWeight(v))
+			}
+		}
+		for e := 0; e < h.NumNets(); e++ {
+			if h2.NetName(e) != h.NetName(e) {
+				t.Fatalf("net %d name %q -> %q", e, h.NetName(e), h2.NetName(e))
+			}
+			p1, p2 := h.Pins(e), h2.Pins(e)
+			if len(p1) != len(p2) {
+				t.Fatalf("net %d degree %d -> %d", e, len(p1), len(p2))
+			}
+			for k := range p1 {
+				if p1[k] != p2[k] {
+					t.Fatalf("net %d pins %v -> %v", e, p1, p2)
+				}
+			}
+		}
+	})
+}
+
 func FuzzReadBookshelf(f *testing.F) {
 	f.Add("UCLA nodes 1.0\nNumNodes : 2\na 1 1\nb 2 2\n",
 		"UCLA nets 1.0\nNumNets : 1\nNetDegree : 2 n\n a I\n b O\n")

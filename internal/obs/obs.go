@@ -1,0 +1,62 @@
+// Package obs is the pipeline observability layer: hierarchical stage
+// spans carrying wall time and counters, plus a lightweight metrics
+// registry of counters, gauges, and timers. It depends only on the
+// standard library.
+//
+// A Recorder is both a span handle and a span factory: StartSpan opens a
+// nested child stage, Count attaches a named counter to the stage, End
+// closes it. The two implementations are
+//
+//   - Trace (trace.go): records everything, safe for concurrent use —
+//     the parallel sweep shards open sibling spans side by side; and
+//   - Nop: discards everything at near-zero cost.
+//
+// The disabled path is a hard requirement: every pipeline Options struct
+// carries a Recorder that defaults to nil, call sites normalize with
+// OrNop, and the Nop methods are empty leaf calls the compiler can see
+// through. Hot loops additionally keep per-iteration tallies in local
+// integers and flush them to a span once per stage, so a traced run and
+// an untraced run execute the same per-split instructions.
+package obs
+
+// Recorder receives pipeline instrumentation. It is the handle of the
+// currently open stage: StartSpan opens a child stage (returning its
+// handle), Count accumulates a named counter on this stage, and End
+// closes it. Metrics returns the run-wide registry shared by every span
+// of the same Trace (nil for Nop — the *Registry accessors are nil-safe,
+// so `r.Metrics().Counter("x").Add(1)` is always a legal no-op chain).
+type Recorder interface {
+	// StartSpan opens a child stage span and returns its handle.
+	StartSpan(name string) Recorder
+	// Count adds delta to the named counter of this stage.
+	Count(name string, delta int64)
+	// End closes the stage, freezing its wall time. Ending a span twice
+	// is a no-op; spans left open report elapsed-so-far time.
+	End()
+	// Metrics returns the run-wide metrics registry (nil for Nop).
+	Metrics() *Registry
+	// Enabled reports whether this recorder actually records, letting
+	// callers skip expensive label construction on the disabled path.
+	Enabled() bool
+}
+
+// Nop is the default recorder: it discards everything.
+var Nop Recorder = nop{}
+
+// OrNop normalizes an optional recorder: nil becomes Nop, anything else
+// passes through. Pipeline entry points call this once so inner stages
+// never need nil checks.
+func OrNop(r Recorder) Recorder {
+	if r == nil {
+		return Nop
+	}
+	return r
+}
+
+type nop struct{}
+
+func (nop) StartSpan(string) Recorder { return Nop }
+func (nop) Count(string, int64)       {}
+func (nop) End()                      {}
+func (nop) Metrics() *Registry        { return nil }
+func (nop) Enabled() bool             { return false }

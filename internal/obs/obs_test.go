@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOrNop(t *testing.T) {
+	if OrNop(nil) != Nop {
+		t.Error("OrNop(nil) should be Nop")
+	}
+	tr := NewTrace("x")
+	if OrNop(tr) != Recorder(tr) {
+		t.Error("OrNop should pass a real recorder through")
+	}
+}
+
+func TestNopIsInert(t *testing.T) {
+	r := OrNop(nil)
+	if r.Enabled() {
+		t.Error("Nop must report disabled")
+	}
+	sp := r.StartSpan("stage")
+	sp.Count("n", 5)
+	sp.End()
+	if sp.Enabled() {
+		t.Error("Nop child must report disabled")
+	}
+	if r.Metrics() != nil {
+		t.Error("Nop registry must be nil")
+	}
+	// The nil-safe registry chain must be a legal no-op.
+	r.Metrics().Counter("c").Add(1)
+	r.Metrics().Gauge("g").Set(2)
+	r.Metrics().Timer("t").Observe(time.Second)
+	if r.Metrics().Counter("c").Value() != 0 || r.Metrics().Gauge("g").Value() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	if r.Metrics().Timer("t").Count() != 0 || r.Metrics().Timer("t").Mean() != 0 {
+		t.Error("nil timer must read as zero")
+	}
+	if s := r.Metrics().Snapshot(); len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Timers) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("run")
+	if !tr.Enabled() {
+		t.Fatal("trace must be enabled")
+	}
+	a := tr.StartSpan("a")
+	a.Count("hits", 2)
+	a.Count("hits", 3)
+	aa := a.StartSpan("aa")
+	aa.End()
+	a.End()
+	b := tr.StartSpan("b")
+	b.End()
+	tr.Count("root-counter", 7)
+	root := tr.Finish()
+
+	if root.Name != "run" || len(root.Children) != 2 {
+		t.Fatalf("root = %q with %d children", root.Name, len(root.Children))
+	}
+	if root.Counters["root-counter"] != 7 {
+		t.Errorf("root counter = %v", root.Counters)
+	}
+	if root.Children[0].Name != "a" || root.Children[1].Name != "b" {
+		t.Errorf("child order: %q, %q", root.Children[0].Name, root.Children[1].Name)
+	}
+	if root.Children[0].Counters["hits"] != 5 {
+		t.Errorf("counter accumulation: %v", root.Children[0].Counters)
+	}
+	if got := root.Find("aa"); got == nil {
+		t.Error("Find failed to locate nested stage")
+	}
+	if got := root.Find("missing"); got != nil {
+		t.Error("Find invented a stage")
+	}
+	if root.Duration() <= 0 || root.Children[0].Duration() < 0 {
+		t.Error("durations must be recorded")
+	}
+}
+
+func TestTraceDoubleEndAndOpenReport(t *testing.T) {
+	tr := NewTrace("run")
+	sp := tr.StartSpan("stage")
+	sp.End()
+	first := tr.Report().Children[0].DurationNS
+	time.Sleep(time.Millisecond)
+	sp.End() // idempotent
+	if again := tr.Report().Children[0].DurationNS; again != first {
+		t.Errorf("double End changed duration: %d vs %d", again, first)
+	}
+	// Open spans report elapsed-so-far time.
+	open := tr.StartSpan("open")
+	time.Sleep(time.Millisecond)
+	if d := tr.Report().Children[1].Duration(); d <= 0 {
+		t.Errorf("open span duration = %v", d)
+	}
+	open.End()
+}
+
+func TestSpanConcurrency(t *testing.T) {
+	tr := NewTrace("run")
+	sw := tr.StartSpan("sweep")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := sw.StartSpan("shard")
+			for j := 0; j < 100; j++ {
+				sp.Count("splits", 1)
+				sp.Metrics().Counter("total.splits").Add(1)
+			}
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	sw.End()
+	root := tr.Finish()
+	sweep := root.Find("sweep")
+	if sweep == nil || len(sweep.Children) != 8 {
+		t.Fatalf("sweep children = %+v", sweep)
+	}
+	if got := sweep.Sum("splits"); got != 800 {
+		t.Errorf("Sum(splits) = %d, want 800", got)
+	}
+	if got := tr.Metrics().Counter("total.splits").Value(); got != 800 {
+		t.Errorf("registry total = %d, want 800", got)
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	var reg Registry
+	reg.Counter("c").Add(2)
+	reg.Counter("c").Add(3)
+	if got := reg.Counter("c").Value(); got != 5 {
+		t.Errorf("counter = %d", got)
+	}
+	reg.Gauge("g").Set(1.5)
+	reg.Gauge("g").Set(2.5)
+	if got := reg.Gauge("g").Value(); got != 2.5 {
+		t.Errorf("gauge = %g", got)
+	}
+	reg.Timer("t").Observe(10 * time.Millisecond)
+	stop := reg.Timer("t").Start()
+	stop()
+	tm := reg.Timer("t")
+	if tm.Count() != 2 || tm.Total() < 10*time.Millisecond || tm.Mean() <= 0 {
+		t.Errorf("timer = %d obs, total %v", tm.Count(), tm.Total())
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["c"] != 5 || snap.Gauges["g"] != 2.5 || snap.Timers["t"].Count != 2 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	out := snap.String()
+	for _, want := range []string{"counter c = 5", "gauge   g = 2.5", "timer   t ="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot dump missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatTree(t *testing.T) {
+	tr := NewTrace("igpart")
+	sp := tr.StartSpan("eigensolve")
+	sp.Count("restarts", 1)
+	sp.Count("matvecs", 42)
+	sp.End()
+	out := FormatTree(tr.Finish())
+	if !strings.Contains(out, "igpart") || !strings.Contains(out, "eigensolve") {
+		t.Errorf("tree missing stages:\n%s", out)
+	}
+	if !strings.Contains(out, "matvecs=42 restarts=1") {
+		t.Errorf("counters must be sorted k=v pairs:\n%s", out)
+	}
+	if tr.String() == "" {
+		t.Error("Trace.String must render")
+	}
+}
+
+func TestStageJSONRoundTrip(t *testing.T) {
+	tr := NewTrace("run")
+	sp := tr.StartSpan("stage")
+	sp.Count("k", 9)
+	sp.End()
+	root := tr.Finish()
+	raw, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stage
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "run" || len(back.Children) != 1 || back.Children[0].Counters["k"] != 9 {
+		t.Errorf("round trip = %+v", back)
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Stage is the machine-readable form of one recorded span: its wall
+// time, counters, and child stages. Trace.Report returns the root Stage;
+// the JSON encoding is the per-stage breakdown embedded in the bench
+// suite's BENCH_<name>.json run reports.
+type Stage struct {
+	Name       string           `json:"name"`
+	DurationNS int64            `json:"duration_ns"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+	Children   []Stage          `json:"children,omitempty"`
+}
+
+// Duration returns the stage's wall time.
+func (s Stage) Duration() time.Duration { return time.Duration(s.DurationNS) }
+
+// Find returns the first stage named name in a depth-first walk of the
+// subtree rooted at s (including s itself), or nil.
+func (s *Stage) Find(name string) *Stage {
+	if s.Name == name {
+		return s
+	}
+	for i := range s.Children {
+		if hit := s.Children[i].Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// Sum totals the named counter over the whole subtree rooted at s. The
+// cross-shard totals of the sweep (splits evaluated, augmentations, …)
+// are Sums over the sweep stage.
+func (s Stage) Sum(counter string) int64 {
+	total := s.Counters[counter]
+	for _, c := range s.Children {
+		total += c.Sum(counter)
+	}
+	return total
+}
+
+// FormatTree renders a stage tree as an indented timing table, one stage
+// per line with its wall time and sorted counters:
+//
+//	igpart                 523ms
+//	  eigensolve           211ms  matvecs=412 restarts=1
+//	  sweep                302ms
+//	    shard[1:450)       298ms  augmentations=1208 splits=449
+func FormatTree(root Stage) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	var walk func(s Stage, depth int)
+	walk = func(s Stage, depth int) {
+		fmt.Fprintf(w, "%s%s\t%v\t%s\n",
+			strings.Repeat("  ", depth), s.Name,
+			s.Duration().Round(10*time.Microsecond), formatCounters(s.Counters))
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	w.Flush()
+	return b.String()
+}
+
+// formatCounters renders counters as sorted space-separated k=v pairs.
+func formatCounters(c map[string]int64) string {
+	if len(c) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, c[k])
+	}
+	return strings.Join(parts, " ")
+}

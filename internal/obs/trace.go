@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace is the concrete Recorder: it captures a tree of stage spans with
+// wall times and counters plus a metrics registry, and renders both as a
+// timing tree (String/FormatTree) or a machine-readable report (Report).
+// All methods are safe for concurrent use; sibling spans may be opened
+// and ended from different goroutines.
+type Trace struct {
+	reg  Registry
+	root span
+}
+
+// NewTrace returns a Trace whose root span bears the given name. The
+// root opens immediately; Finish (or End) closes it.
+func NewTrace(name string) *Trace {
+	t := &Trace{}
+	t.root.t = t
+	t.root.name = name
+	t.root.start = time.Now()
+	return t
+}
+
+// StartSpan opens a top-level stage under the root.
+func (t *Trace) StartSpan(name string) Recorder { return t.root.StartSpan(name) }
+
+// Count adds delta to a root-level counter.
+func (t *Trace) Count(name string, delta int64) { t.root.Count(name, delta) }
+
+// End closes the root span.
+func (t *Trace) End() { t.root.End() }
+
+// Metrics returns the trace's metrics registry.
+func (t *Trace) Metrics() *Registry { return &t.reg }
+
+// Enabled reports that the trace records.
+func (t *Trace) Enabled() bool { return true }
+
+// Finish ends the root span (idempotent) and returns the stage tree.
+func (t *Trace) Finish() Stage {
+	t.root.End()
+	return t.Report()
+}
+
+// Report snapshots the stage tree. Spans still open report their elapsed
+// time so far, so Report is usable mid-run.
+func (t *Trace) Report() Stage { return t.root.report() }
+
+// String renders the stage tree as an indented per-stage timing table.
+func (t *Trace) String() string { return FormatTree(t.Report()) }
+
+// span is one node of the stage tree.
+type span struct {
+	t     *Trace
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	ended    bool
+	dur      time.Duration
+	counters map[string]int64
+	children []*span
+}
+
+func (s *span) StartSpan(name string) Recorder {
+	c := &span{t: s.t, name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+func (s *span) Count(name string, delta int64) {
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64)
+	}
+	s.counters[name] += delta
+	s.mu.Unlock()
+}
+
+func (s *span) End() {
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+func (s *span) Metrics() *Registry { return &s.t.reg }
+
+func (s *span) Enabled() bool { return true }
+
+func (s *span) report() Stage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.dur
+	if !s.ended {
+		d = time.Since(s.start)
+	}
+	st := Stage{Name: s.name, DurationNS: int64(d)}
+	if len(s.counters) > 0 {
+		st.Counters = make(map[string]int64, len(s.counters))
+		for k, v := range s.counters {
+			st.Counters[k] = v
+		}
+	}
+	if len(s.children) > 0 {
+		st.Children = make([]Stage, 0, len(s.children))
+		for _, c := range s.children {
+			st.Children = append(st.Children, c.report())
+		}
+	}
+	return st
+}
