@@ -1,14 +1,27 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz experiments cover clean
+.PHONY: all build vet lint test race bench fuzz fuzz-smoke bench-sanity experiments cover clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Style gate: gofmt must be clean, and staticcheck runs when installed
+# (CI installs it; locally it is optional so a bare toolchain still
+# passes `make all`).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; \
+	fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # Tier-1 chain: vet, full test run, a race pass over the concurrent
 # packages (the parallel sweep engine and its matching substrate), and a
@@ -19,26 +32,41 @@ test:
 	$(GO) test -race ./internal/core ./internal/bipartite
 	$(GO) test ./internal/hypergraph -run '^$$' -fuzz '^FuzzBookshelfRoundTrip$$' -fuzztime 10s
 
+# CI fuzz smoke: 10 seconds on the Bookshelf writer round trip and on the
+# multilevel V-cycle invariants.
+fuzz-smoke:
+	$(GO) test ./internal/hypergraph -run '^$$' -fuzz '^FuzzBookshelfRoundTrip$$' -fuzztime 10s
+	$(GO) test ./internal/multilevel -run '^$$' -fuzz '^FuzzVCycle$$' -fuzztime 10s
+
+# CI bench sanity: regenerate the small-circuit report and fail on any
+# ratio-cut regression beyond 10% of the checked-in baseline.
+bench-sanity:
+	$(GO) run igpart/cmd/experiments -report ci -scale 0.25 -p 1 \
+		-baseline results/BENCH_baseline.json -tolerance 0.10
+
 race:
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzzing pass over every parser and the Bookshelf writer.
+# Short fuzzing pass over every parser, the Bookshelf writer, and the
+# multilevel V-cycle.
 fuzz:
 	$(GO) test ./internal/hypergraph -fuzz FuzzReadHGR -fuzztime 30s
 	$(GO) test ./internal/hypergraph -fuzz FuzzReadNetlist -fuzztime 30s
 	$(GO) test ./internal/hypergraph -fuzz FuzzReadBookshelf -fuzztime 30s
 	$(GO) test ./internal/hypergraph -fuzz FuzzBookshelfRoundTrip -fuzztime 30s
+	$(GO) test ./internal/multilevel -fuzz FuzzVCycle -fuzztime 30s
 
 # Regenerate every paper table at full size.
 experiments:
 	$(GO) run igpart/cmd/experiments
 
 # COVER_PKGS must each stay at or above COVER_MIN% statement coverage:
-# the pipeline core, the observability layer, and the matching substrate.
-COVER_PKGS = igpart/internal/core igpart/internal/obs igpart/internal/bipartite
+# the pipeline core, the multilevel engine, the observability layer, and
+# the matching substrate.
+COVER_PKGS = igpart/internal/core igpart/internal/multilevel igpart/internal/obs igpart/internal/bipartite
 COVER_MIN  = 70
 
 cover:

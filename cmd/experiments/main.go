@@ -7,11 +7,14 @@
 //	experiments -table 2           # one table: 1, 2, 3, eig1, igdiam,
 //	                               # sparsity, timing, stability, weights,
 //	                               # netmodel, threshold, recursive, refine,
-//	                               # cluster, taxonomy, ordering, lanczos,
-//	                               # scaling, trace
+//	                               # cluster, multilevel, taxonomy, ordering,
+//	                               # lanczos, scaling, trace
 //	experiments -scale 0.25        # smaller circuits for a quick pass
 //	experiments -csv results/      # also write machine-readable CSVs
 //	experiments -report nightly    # write results/BENCH_nightly.json
+//	experiments -report ci -baseline results/BENCH_baseline.json
+//	                               # CI bench-sanity: fail on ratio-cut
+//	                               # regressions beyond -tolerance
 //	experiments -trace -table 2    # per-stage timing tree after the tables
 package main
 
@@ -33,9 +36,12 @@ func main() {
 		starts     = flag.Int("starts", 10, "RCut random starts")
 		seeds      = flag.Int("seeds", 5, "seeds for the stability table")
 		par        = flag.Int("p", 0, "IG-Match sweep parallelism (0 = GOMAXPROCS, 1 = serial; results identical)")
+		levels     = flag.Int("levels", 0, "multilevel V-cycle depth (0 = package default, 1 = flat)")
 		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		report     = flag.String("report", "", "write a JSON run report named BENCH_<name>.json instead of tables")
 		resultsDir = flag.String("results", "results", "directory for -report output")
+		baseline   = flag.String("baseline", "", "with -report: diff the fresh report against this BENCH_*.json and fail on ratio-cut regressions")
+		tolerance  = flag.Float64("tolerance", 0.10, "relative ratio-cut tolerance for -baseline comparisons")
 		trace      = flag.Bool("trace", false, "print the per-stage timing tree after the run")
 		metrics    = flag.Bool("metrics", false, "print the run's metrics registry (counters/gauges/timers)")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -54,7 +60,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	s := bench.Suite{Scale: *scale, RCutStarts: *starts, Parallelism: *par}
+	s := bench.Suite{Scale: *scale, RCutStarts: *starts, Parallelism: *par, Levels: *levels}
 
 	var tr *obs.Trace
 	if *trace || *metrics {
@@ -87,6 +93,24 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d circuits × %d algorithms)\n",
 			path, len(rep.Circuits), len(rep.Algorithms))
+		if *baseline != "" {
+			base, err := bench.ReadReportFile(*baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: baseline:", err)
+				os.Exit(1)
+			}
+			regressions := bench.CompareReports(base, rep, *tolerance)
+			if len(regressions) > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: %d ratio-cut regression(s) vs %s (tolerance %.0f%%):\n",
+					len(regressions), *baseline, *tolerance*100)
+				for _, r := range regressions {
+					fmt.Fprintln(os.Stderr, "  ", r)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("bench-sanity: no ratio-cut regressions vs %s (tolerance %.0f%%)\n",
+				*baseline, *tolerance*100)
+		}
 		return
 	}
 
@@ -231,6 +255,16 @@ func main() {
 			return "", err
 		}
 		return bench.FormatCluster(rows), nil
+	})
+	run("multilevel", func() (string, error) {
+		rows, err := s.MultilevelTable()
+		if err != nil {
+			return "", err
+		}
+		writeCSV("multilevel.csv", func(w *os.File) error {
+			return bench.WriteMultilevelCSV(w, rows)
+		})
+		return bench.FormatMultilevel(rows), nil
 	})
 	run("taxonomy", func() (string, error) {
 		rows, err := s.TaxonomyTable()

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	igpart -in design.hgr [-algo igmatch|igvote|eig1|rcut|kl|refined|condensed]
-//	       [-starts 10] [-seed 1] [-p 0] [-assign] [-stats]
+//	igpart -in design.hgr [-algo igmatch|multilevel|igvote|eig1|rcut|kl|refined|condensed]
+//	       [-levels 3] [-cratio 0.9] [-starts 10] [-seed 1] [-p 0] [-assign] [-stats]
 //	       [-trace] [-metrics] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The input format is selected by extension: ".hgr" for the hMETIS-style
@@ -34,8 +34,10 @@ func main() {
 		in      = flag.String("in", "", "input netlist path (.hgr or named format)")
 		nodes   = flag.String("nodes", "", "Bookshelf .nodes path (use with -nets instead of -in)")
 		nets    = flag.String("nets", "", "Bookshelf .nets path (use with -nodes instead of -in)")
-		algo    = flag.String("algo", "igmatch", "algorithm: igmatch, igvote, eig1, rcut, kl, refined, condensed, multiway")
+		algo    = flag.String("algo", "igmatch", "algorithm: igmatch, multilevel, igvote, eig1, rcut, kl, refined, condensed, multiway")
 		k       = flag.Int("k", 4, "part count for -algo multiway")
+		levels  = flag.Int("levels", 3, "V-cycle depth for -algo multilevel (1 = flat igmatch)")
+		cratio  = flag.Float64("cratio", 0.9, "largest acceptable per-round net shrink factor for -algo multilevel")
 		starts  = flag.Int("starts", 10, "random starts for rcut")
 		par     = flag.Int("p", 0, "igmatch sweep parallelism: shards swept concurrently (0 = GOMAXPROCS, 1 = serial; results identical)")
 		seed    = flag.Int64("seed", 1, "seed for randomized algorithms")
@@ -132,6 +134,16 @@ func main() {
 		res = r.Result
 		fmt.Printf("lambda2=%.6g split=%d/%d matching-bound=%d\n",
 			r.Lambda2, r.BestRank, h.NumNets(), r.MatchingBound)
+	case "multilevel":
+		r, err := igpart.MultilevelIGMatch(h, igpart.MultilevelOptions{
+			Levels: *levels, CoarseningRatio: *cratio, Parallelism: *par, Rec: rec,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		res = r.Result
+		fmt.Printf("levels=%d coarsest-nets=%d/%d coarsest-on-input=%v\n",
+			r.Levels, r.CoarsestNets, h.NumNets(), r.CoarsestOnInput)
 	case "igvote":
 		end := span("igvote")
 		res, err = igpart.IGVote(h)

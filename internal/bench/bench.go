@@ -15,6 +15,7 @@ import (
 	"igpart/internal/hypergraph"
 	"igpart/internal/igdiam"
 	"igpart/internal/igvote"
+	"igpart/internal/multilevel"
 	"igpart/internal/netgen"
 	"igpart/internal/obs"
 	"igpart/internal/partition"
@@ -36,6 +37,9 @@ type Suite struct {
 	// 1 = serial). Results are identical for every value; only wall-clock
 	// changes, which the scaling table reports.
 	Parallelism int
+	// Levels is the V-cycle depth for the multilevel IG-Match runs
+	// (0 uses the multilevel default of 3; 1 degenerates to flat).
+	Levels int
 	// Rec, when non-nil, receives one stage span per algorithm run; the
 	// IG-Match spans carry the full pipeline breakdown (IG build,
 	// eigensolve, sweep shards). Run reports (report.go) thread their
@@ -75,11 +79,12 @@ func (s Suite) circuits() ([]netgen.Config, []*hypergraph.Hypergraph, error) {
 
 // Algorithm names used across tables.
 const (
-	AlgIGMatch = "IG-Match"
-	AlgIGVote  = "IG-Vote"
-	AlgEIG1    = "EIG1"
-	AlgRCut    = "RCut"
-	AlgIGDiam  = "IG-Diam"
+	AlgIGMatch    = "IG-Match"
+	AlgMultilevel = "ML-IGMatch"
+	AlgIGVote     = "IG-Vote"
+	AlgEIG1       = "EIG1"
+	AlgRCut       = "RCut"
+	AlgIGDiam     = "IG-Diam"
 )
 
 // Run executes one named algorithm on a circuit, returning its metrics and
@@ -95,6 +100,14 @@ func (s Suite) Run(alg string, h *hypergraph.Hypergraph) (partition.Metrics, tim
 	case AlgIGMatch:
 		var r core.Result
 		r, err = core.Partition(h, core.Options{Parallelism: s.Parallelism, Rec: sp})
+		met = r.Metrics
+	case AlgMultilevel:
+		var r multilevel.Result
+		r, err = multilevel.Partition(h, multilevel.Options{
+			Levels: s.Levels,
+			Core:   core.Options{Parallelism: s.Parallelism},
+			Rec:    sp,
+		})
 		met = r.Metrics
 	case AlgIGVote:
 		var r igvote.Result

@@ -107,3 +107,33 @@ func (s Suite) SweepTrace(benchName string) ([]core.SplitRecord, error) {
 	}
 	return nil, fmt.Errorf("bench: unknown benchmark %q", benchName)
 }
+
+// WriteMultilevelCSV emits the V-cycle comparison rows.
+func WriteMultilevelCSV(w io.Writer, rows []MultilevelRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"test", "nets", "flat_cut", "flat_ratio", "flat_ns", "flat_sweep_ns",
+		"ml_cut", "ml_ratio", "ml_ns", "ml_sweep_ns",
+		"levels", "coarsest_nets", "sweep_speedup", "quality_pct",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Name, strconv.Itoa(r.Nets),
+			strconv.Itoa(r.Flat.CutNets), formatRatio(r.Flat.RatioCut),
+			strconv.FormatInt(int64(r.FlatTime), 10), strconv.FormatInt(int64(r.FlatSweep), 10),
+			strconv.Itoa(r.ML.CutNets), formatRatio(r.ML.RatioCut),
+			strconv.FormatInt(int64(r.MLTime), 10), strconv.FormatInt(int64(r.MLSweep), 10),
+			strconv.Itoa(r.Levels), strconv.Itoa(r.CoarsestNets),
+			strconv.FormatFloat(r.SweepSpeedup, 'f', 2, 64),
+			strconv.FormatFloat(r.QualityPct, 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

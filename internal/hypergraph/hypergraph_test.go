@@ -325,3 +325,58 @@ func TestNegativePinPanics(t *testing.T) {
 	}()
 	NewBuilder().AddNet(-1, 2)
 }
+
+func TestContractNets(t *testing.T) {
+	b := NewBuilder()
+	b.SetWeight(0, 3)
+	b.AddNet(0, 1)
+	b.AddNet(1, 2)
+	b.AddNet(2, 3)
+	b.AddNet(3, 4)
+	h := b.Build()
+	// Merge nets {0,1} and {2,3}.
+	coarse, err := ContractNets(h, []int{0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coarse.Validate(); err != nil {
+		t.Fatalf("coarse hypergraph inconsistent: %v", err)
+	}
+	if coarse.NumModules() != h.NumModules() {
+		t.Fatalf("modules changed: %d -> %d", h.NumModules(), coarse.NumModules())
+	}
+	if coarse.NumNets() != 2 {
+		t.Fatalf("want 2 coarse nets, got %d", coarse.NumNets())
+	}
+	wantPins := [][]int{{0, 1, 2}, {2, 3, 4}}
+	for e, want := range wantPins {
+		got := coarse.Pins(e)
+		if len(got) != len(want) {
+			t.Fatalf("coarse net %d: pins %v, want %v", e, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("coarse net %d: pins %v, want %v", e, got, want)
+			}
+		}
+	}
+	if coarse.ModuleWeight(0) != 3 {
+		t.Errorf("module weight lost: got %d, want 3", coarse.ModuleWeight(0))
+	}
+}
+
+func TestContractNetsErrors(t *testing.T) {
+	b := NewBuilder()
+	b.AddNet(0, 1)
+	b.AddNet(1, 2)
+	h := b.Build()
+	if _, err := ContractNets(h, []int{0}, 1); err == nil {
+		t.Error("short net map accepted")
+	}
+	if _, err := ContractNets(h, []int{0, 2}, 2); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+	if _, err := ContractNets(h, []int{0, 0}, 2); err == nil {
+		t.Error("empty coarse net accepted")
+	}
+}

@@ -206,3 +206,46 @@ func Contract(h *Hypergraph, cluster []int, numClusters int) (*Hypergraph, error
 	}
 	return coarse, nil
 }
+
+// ContractNets builds the coarse hypergraph obtained by merging nets into
+// groups, leaving the modules untouched — the dual of Contract, and the
+// coarsening step of the multilevel V-cycle over the net-intersection
+// formulation. netMap[e] gives the coarse net index of fine net e; coarse
+// indices must be dense in [0, numCoarse) and every coarse net must absorb
+// at least one fine net, so netMap remains a total projection the V-cycle
+// can push net bipartitions back through. Each coarse net's pin set is the
+// union of its fine nets' pins. Module names and area weights carry over;
+// net names do not survive merging.
+func ContractNets(h *Hypergraph, netMap []int, numCoarse int) (*Hypergraph, error) {
+	if len(netMap) != h.NumNets() {
+		return nil, fmt.Errorf("hypergraph: net map has %d entries, want %d", len(netMap), h.NumNets())
+	}
+	groups := make([][]int, numCoarse)
+	for e, c := range netMap {
+		if c < 0 || c >= numCoarse {
+			return nil, fmt.Errorf("hypergraph: net %d has group %d outside [0,%d)", e, c, numCoarse)
+		}
+		groups[c] = append(groups[c], e)
+	}
+	b := NewBuilder()
+	b.SetNumModules(h.NumModules())
+	var buf []int
+	for c, group := range groups {
+		if len(group) == 0 {
+			return nil, fmt.Errorf("hypergraph: coarse net %d absorbed no fine net", c)
+		}
+		buf = buf[:0]
+		for _, e := range group {
+			buf = append(buf, h.Pins(e)...)
+		}
+		b.AddNet(buf...) // AddNet sorts and dedups the union
+	}
+	coarse := b.Build()
+	if h.moduleNames != nil {
+		coarse.moduleNames = append([]string(nil), h.moduleNames...)
+	}
+	if h.weights != nil {
+		coarse.weights = append([]int(nil), h.weights...)
+	}
+	return coarse, nil
+}

@@ -1,0 +1,56 @@
+package multilevel
+
+import (
+	"testing"
+
+	"igpart/internal/hypergraph"
+	"igpart/internal/partition"
+)
+
+// FuzzVCycle drives the whole V-cycle over arbitrary builder-constructed
+// netlists: any input the engine accepts must yield a proper, consistently
+// scored bipartition that is no worse than the coarsest-level solution —
+// the same invariants the deterministic tests pin, pushed into odd corners
+// (degenerate nets, disconnected modules, pathological overlaps).
+func FuzzVCycle(f *testing.F) {
+	f.Add(uint8(6), uint8(3), []byte{2, 0, 1, 2, 1, 2, 3, 0, 3, 2, 4, 5})
+	f.Add(uint8(9), uint8(2), []byte{3, 0, 1, 2, 3, 3, 4, 5, 2, 5, 6, 2, 7, 8, 2, 0, 8})
+	f.Add(uint8(4), uint8(4), []byte{1, 0, 1, 1, 2, 2, 3, 2, 0, 3})
+	f.Fuzz(func(t *testing.T, nMod, levels uint8, data []byte) {
+		n := int(nMod)%32 + 2
+		b := hypergraph.NewBuilder().SetNumModules(n)
+		// Decode data as a net stream: one size byte, then pins mod n.
+		for i := 0; i < len(data); {
+			size := int(data[i])%5 + 1
+			i++
+			pins := make([]int, 0, size)
+			for j := 0; j < size && i < len(data); j++ {
+				pins = append(pins, int(data[i])%n)
+				i++
+			}
+			if len(pins) == 0 {
+				break
+			}
+			b.AddNet(pins...)
+		}
+		h := b.Build()
+		res, err := Partition(h, Options{Levels: int(levels)%4 + 1, MinNets: 4})
+		if err != nil {
+			return // degenerate inputs may be rejected, never panic
+		}
+		if res.Metrics.SizeU <= 0 || res.Metrics.SizeW <= 0 {
+			t.Fatalf("infeasible result %v", res.Metrics)
+		}
+		if got := partition.Evaluate(h, res.Partition); got != res.Metrics {
+			t.Fatalf("metrics %v disagree with evaluation %v", res.Metrics, got)
+		}
+		if res.Metrics.RatioCut > res.CoarsestOnInput.RatioCut {
+			t.Fatalf("final ratio %v worse than coarsest-on-input %v",
+				res.Metrics.RatioCut, res.CoarsestOnInput.RatioCut)
+		}
+		if res.Levels < 1 || res.CoarsestNets < 2 || res.CoarsestNets > h.NumNets() {
+			t.Fatalf("implausible hierarchy: levels=%d coarsestNets=%d of %d",
+				res.Levels, res.CoarsestNets, h.NumNets())
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package multilevel
+
+import (
+	"math"
+	"testing"
+
+	"igpart/internal/core"
+	"igpart/internal/hypergraph"
+	"igpart/internal/netgen"
+	"igpart/internal/obs"
+	"igpart/internal/partition"
+)
+
+// circuit generates one benchmark preset at a reduced scale.
+func circuit(t *testing.T, name string, scale float64) *hypergraph.Hypergraph {
+	t.Helper()
+	cfg, ok := netgen.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	h, err := netgen.Generate(cfg.Scaled(scale))
+	if err != nil {
+		t.Fatalf("generating %s: %v", name, err)
+	}
+	return h
+}
+
+// TestLevels1BitIdentical is the degenerate-cycle contract: Levels=1 must
+// reproduce flat IG-Match bit for bit — same side per module, same winning
+// split, same eigenvalue — on every golden circuit.
+func TestLevels1BitIdentical(t *testing.T) {
+	for _, name := range []string{"bm1", "Prim1", "Test03"} {
+		h := circuit(t, name, 0.3)
+		flat, err := core.Partition(h, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: flat: %v", name, err)
+		}
+		ml, err := Partition(h, Options{Levels: 1})
+		if err != nil {
+			t.Fatalf("%s: multilevel: %v", name, err)
+		}
+		if ml.Levels != 1 || len(ml.LevelStats) != 0 {
+			t.Fatalf("%s: Levels=1 built %d levels, %d stats", name, ml.Levels, len(ml.LevelStats))
+		}
+		if ml.Metrics != flat.Metrics {
+			t.Fatalf("%s: metrics diverge: flat %v, multilevel %v", name, flat.Metrics, ml.Metrics)
+		}
+		if ml.Coarsest.BestRank != flat.BestRank || ml.Coarsest.BestMatching != flat.BestMatching {
+			t.Fatalf("%s: winning split diverges: flat rank=%d bound=%d, multilevel rank=%d bound=%d",
+				name, flat.BestRank, flat.BestMatching, ml.Coarsest.BestRank, ml.Coarsest.BestMatching)
+		}
+		if ml.Coarsest.Lambda2 != flat.Lambda2 {
+			t.Fatalf("%s: lambda2 diverges: %v vs %v", name, flat.Lambda2, ml.Coarsest.Lambda2)
+		}
+		for v := 0; v < h.NumModules(); v++ {
+			if ml.Partition.Side(v) != flat.Partition.Side(v) {
+				t.Fatalf("%s: module %d on side %v, flat has %v", name, v, ml.Partition.Side(v), flat.Partition.Side(v))
+			}
+		}
+	}
+}
+
+// TestProjectionFeasibility asserts every uncoarsening level produced a
+// proper bipartition: both sides populated, sizes summing to the module
+// count, and the reported metrics consistent.
+func TestProjectionFeasibility(t *testing.T) {
+	h := circuit(t, "Prim2", 0.3)
+	res, err := Partition(h, Options{Levels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels < 2 {
+		t.Fatalf("coarsening produced only %d level(s)", res.Levels)
+	}
+	if len(res.LevelStats) != res.Levels-1 {
+		t.Fatalf("want %d level stats, got %d", res.Levels-1, len(res.LevelStats))
+	}
+	n := h.NumModules()
+	for i, st := range res.LevelStats {
+		if st.Refined.SizeU <= 0 || st.Refined.SizeW <= 0 {
+			t.Fatalf("level stat %d: infeasible refined partition %v", i, st.Refined)
+		}
+		if st.Refined.SizeU+st.Refined.SizeW != n {
+			t.Fatalf("level stat %d: sizes %d+%d do not cover %d modules",
+				i, st.Refined.SizeU, st.Refined.SizeW, n)
+		}
+		if st.CompletionOK && (st.Completion.SizeU <= 0 || st.Completion.SizeW <= 0) {
+			t.Fatalf("level stat %d: completion marked ok but infeasible: %v", i, st.Completion)
+		}
+		if math.IsInf(st.Refined.RatioCut, 1) {
+			t.Fatalf("level stat %d: infinite ratio cut", i)
+		}
+	}
+	if got := partition.Evaluate(h, res.Partition); got != res.Metrics {
+		t.Fatalf("reported metrics %v disagree with evaluation %v", res.Metrics, got)
+	}
+	if res.Metrics.SizeU == 0 || res.Metrics.SizeW == 0 {
+		t.Fatalf("final partition infeasible: %v", res.Metrics)
+	}
+}
+
+// TestVCycleNotWorseThanCoarsest is the monotonicity contract: after
+// refinement, the finest-level result is never worse (by ratio cut) than
+// the coarsest-level solution evaluated on the input netlist.
+func TestVCycleNotWorseThanCoarsest(t *testing.T) {
+	for _, name := range []string{"bm1", "19ks", "Test02", "Test04"} {
+		for _, levels := range []int{2, 3, 4} {
+			h := circuit(t, name, 0.25)
+			res, err := Partition(h, Options{Levels: levels})
+			if err != nil {
+				t.Fatalf("%s levels=%d: %v", name, levels, err)
+			}
+			if res.Metrics.RatioCut > res.CoarsestOnInput.RatioCut {
+				t.Fatalf("%s levels=%d: final ratio %v worse than coarsest-on-input %v",
+					name, levels, res.Metrics.RatioCut, res.CoarsestOnInput.RatioCut)
+			}
+		}
+	}
+}
+
+// TestDeterminism asserts the V-cycle is reproducible and independent of
+// the coarsest-level sweep parallelism (the PR 1 guarantee must survive
+// the multilevel wrapper).
+func TestDeterminism(t *testing.T) {
+	h := circuit(t, "Test05", 0.25)
+	base, err := Partition(h, Options{Levels: 3, Core: core.Options{Parallelism: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 2, 4} {
+		res, err := Partition(h, Options{Levels: 3, Core: core.Options{Parallelism: par}})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if res.Metrics != base.Metrics {
+			t.Fatalf("parallelism %d: metrics %v diverge from serial %v", par, res.Metrics, base.Metrics)
+		}
+		for v := 0; v < h.NumModules(); v++ {
+			if res.Partition.Side(v) != base.Partition.Side(v) {
+				t.Fatalf("parallelism %d: module %d side diverges", par, v)
+			}
+		}
+	}
+}
+
+// TestCoarseningGuards exercises the stop conditions: an over-deep request
+// stalls at MinNets (or when matching stops shrinking) instead of erroring,
+// and the coarsest level always keeps enough nets to solve.
+func TestCoarseningGuards(t *testing.T) {
+	h := circuit(t, "Prim1", 0.2)
+	res, err := Partition(h, Options{Levels: 50, MinNets: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels >= 50 {
+		t.Fatalf("coarsening never stalled: built %d levels", res.Levels)
+	}
+	if res.CoarsestNets < 2 {
+		t.Fatalf("coarsest level unsolvable with %d nets", res.CoarsestNets)
+	}
+	// MinNets bounds the *input* to a coarsening round, so only the last
+	// level may dip below it — and never to a degenerate size.
+	if res.CoarsestNets > h.NumNets() {
+		t.Fatalf("coarsest level grew: %d > %d nets", res.CoarsestNets, h.NumNets())
+	}
+}
+
+// TestTracingChangesNothing runs the same cycle with and without a
+// recorder and demands identical output, plus the expected stage spans.
+func TestTracingChangesNothing(t *testing.T) {
+	h := circuit(t, "Test06", 0.25)
+	plain, err := Partition(h, Options{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace("vcycle")
+	traced, err := Partition(h, Options{Levels: 3, Rec: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.End()
+	if plain.Metrics != traced.Metrics {
+		t.Fatalf("tracing changed the result: %v vs %v", plain.Metrics, traced.Metrics)
+	}
+	root := tr.Finish()
+	for _, stage := range []string{"coarsen", "coarsest-solve", "sweep", "uncoarsen-L0"} {
+		if root.Find(stage) == nil {
+			t.Errorf("stage %q missing from the trace", stage)
+		}
+	}
+	if got := root.Find("coarsen").Counters["levels"]; got != int64(traced.Levels) {
+		t.Errorf("coarsen span reports %d levels, result has %d", got, traced.Levels)
+	}
+}
+
+// TestErrors covers the degenerate inputs.
+func TestErrors(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddNet(0, 1)
+	if _, err := Partition(b.Build(), Options{}); err == nil {
+		t.Error("single-net netlist must be rejected")
+	}
+	b2 := hypergraph.NewBuilder()
+	b2.AddNet(0)
+	b2.AddNet(0)
+	if _, err := Partition(b2.Build(), Options{}); err == nil {
+		t.Error("single-module netlist must be rejected")
+	}
+}
+
+// TestNetSides pins the net-side derivation rule: strict pin majority
+// moves a net to R, ties and pinless nets stay on L.
+func TestNetSides(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(4)
+	b.AddNet(0, 1)    // both on U -> L
+	b.AddNet(2, 3)    // both on W -> R
+	b.AddNet(0, 2)    // tie -> L
+	b.AddNet(1, 2, 3) // majority W -> R
+	h := b.Build()
+	p := partition.New(4)
+	p.Set(2, partition.W)
+	p.Set(3, partition.W)
+	got := netSides(h, p)
+	want := []bool{false, true, false, true}
+	for e := range want {
+		if got[e] != want[e] {
+			t.Errorf("net %d: inR=%v, want %v", e, got[e], want[e])
+		}
+	}
+}
