@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz fuzz-smoke bench-sanity experiments cover clean
+.PHONY: all build vet lint test race bench fuzz fuzz-smoke bench-sanity experiments cover serve smoke clean
 
 all: build vet lint test
 
@@ -24,12 +24,13 @@ lint:
 	fi
 
 # Tier-1 chain: vet, full test run, a race pass over the concurrent
-# packages (the parallel sweep engine and its matching substrate), and a
-# 10-second fuzz smoke of the Bookshelf writer round trip.
+# packages (the parallel sweep engine, its matching substrate, the job
+# engine, and the HTTP daemon), and a 10-second fuzz smoke of the
+# Bookshelf writer round trip.
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core ./internal/bipartite
+	$(GO) test -race ./internal/core ./internal/bipartite ./internal/service ./cmd/igpartd
 	$(GO) test ./internal/hypergraph -run '^$$' -fuzz '^FuzzBookshelfRoundTrip$$' -fuzztime 10s
 
 # CI fuzz smoke: 10 seconds on the Bookshelf writer round trip and on the
@@ -64,9 +65,9 @@ experiments:
 	$(GO) run igpart/cmd/experiments
 
 # COVER_PKGS must each stay at or above COVER_MIN% statement coverage:
-# the pipeline core, the multilevel engine, the observability layer, and
-# the matching substrate.
-COVER_PKGS = igpart/internal/core igpart/internal/multilevel igpart/internal/obs igpart/internal/bipartite
+# the pipeline core, the multilevel engine, the observability layer, the
+# matching substrate, and the partition-service job engine.
+COVER_PKGS = igpart/internal/core igpart/internal/multilevel igpart/internal/obs igpart/internal/bipartite igpart/internal/service
 COVER_MIN  = 70
 
 cover:
@@ -81,6 +82,17 @@ cover:
 		fi; \
 		echo "cover: $$pkg $$pct% (floor $(COVER_MIN)%)"; \
 	done
+
+# Run the partitioning daemon locally, serving netlists from the repo
+# root (submit e.g. {"path": "circuits/bm1.hgr"} after netgen -out).
+serve:
+	$(GO) run igpart/cmd/igpartd -addr 127.0.0.1:8080 -data .
+
+# End-to-end daemon smoke: boot igpartd on a random port, submit a
+# generated benchmark, poll to completion, assert a sane result, and
+# verify SIGTERM drains cleanly.
+smoke:
+	./scripts/smoke.sh
 
 clean:
 	rm -f cover.out

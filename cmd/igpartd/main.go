@@ -1,0 +1,99 @@
+// Command igpartd serves the igpart pipeline over HTTP: submit
+// partitioning jobs, poll for results, cancel, and scrape metrics.
+//
+//	igpartd -addr 127.0.0.1:8080 -data ./benchmarks
+//
+// The daemon is bounded at every layer: a worker pool sized to the
+// machine, a fixed-depth queue that rejects overflow with 429, a
+// request body size cap, and per-job deadlines. SIGTERM/SIGINT starts
+// a graceful drain — intake stops, queued and running jobs finish (up
+// to -shutdown-grace), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"igpart/internal/service"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		workers       = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+		queue         = flag.Int("queue", 64, "queued-job bound; submissions beyond it get 429")
+		cacheEntries  = flag.Int("cache", 128, "result cache entries (negative disables)")
+		maxBody       = flag.Int64("max-body", 32<<20, "request body size limit in bytes")
+		dataDir       = flag.String("data", "", "directory for server-side netlist paths (empty disables \"path\" submissions)")
+		jobTimeout    = flag.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
+		maxJobTimeout = flag.Duration("max-job-timeout", 0, "cap on per-request deadlines (0 = uncapped)")
+		shutdownGrace = flag.Duration("shutdown-grace", 30*time.Second, "drain budget after SIGTERM before cancelling jobs")
+		readTimeout   = flag.Duration("read-timeout", 30*time.Second, "per-request read timeout")
+		writeTimeout  = flag.Duration("write-timeout", 30*time.Second, "per-request write timeout")
+	)
+	flag.Parse()
+	if err := run(*addr, *dataDir, *maxBody, *shutdownGrace, *readTimeout, *writeTimeout, service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *jobTimeout,
+		MaxTimeout:     *maxJobTimeout,
+	}); err != nil {
+		log.Fatalf("igpartd: %v", err)
+	}
+}
+
+func run(addr, dataDir string, maxBody int64, grace, readTO, writeTO time.Duration, cfg service.Config) error {
+	// Listen before building the engine so "port in use" fails fast, and
+	// so -addr :0 can report the chosen port (the smoke script and tests
+	// parse this line).
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	engine := service.New(cfg)
+	srv := &http.Server{
+		Handler:           newServer(engine, serverConfig{dataDir: dataDir, maxBody: maxBody}),
+		ReadTimeout:       readTO,
+		WriteTimeout:      writeTO,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("igpartd: listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	// Drain order matters: first stop accepting HTTP (so no new Submit
+	// can race past the engine close), then drain the engine.
+	log.Printf("igpartd: shutting down, draining for up to %v", grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("igpartd: http shutdown: %v", err)
+	}
+	if err := engine.Shutdown(shutdownCtx); err != nil {
+		log.Printf("igpartd: engine drain incomplete, jobs cancelled: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	log.Printf("igpartd: shutdown complete")
+	return nil
+}

@@ -1,0 +1,264 @@
+// igpartd's HTTP layer: a thin JSON façade over internal/service.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs      submit a partitioning job (202 + job id)
+//	GET    /v1/jobs/{id} poll status; terminal jobs carry the result
+//	DELETE /v1/jobs/{id} request cooperative cancellation
+//	GET    /healthz      liveness probe
+//	GET    /metrics      JSON dump of the obs metrics registry
+//
+// Submission is non-blocking end to end: a full queue answers 429
+// immediately (the engine's explicit-rejection backpressure), so the
+// daemon never accumulates hidden in-flight work beyond its bounds.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"igpart"
+	"igpart/internal/service"
+)
+
+// serverConfig carries the HTTP-layer knobs (the engine has its own).
+type serverConfig struct {
+	// dataDir is the root for server-side netlist paths in submissions;
+	// empty disables the "path" field entirely.
+	dataDir string
+	// maxBody bounds the request body size in bytes.
+	maxBody int64
+}
+
+// server routes HTTP requests onto a service.Engine.
+type server struct {
+	engine *service.Engine
+	cfg    serverConfig
+	mux    *http.ServeMux
+}
+
+func newServer(engine *service.Engine, cfg serverConfig) *server {
+	if cfg.maxBody <= 0 {
+		cfg.maxBody = 32 << 20
+	}
+	s := &server{engine: engine, cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// submitRequest is the POST /v1/jobs payload. Exactly one netlist
+// source must be set: an inline Bookshelf pair or a server-side path
+// (relative to the daemon's -data directory).
+type submitRequest struct {
+	Path      string `json:"path,omitempty"`
+	Bookshelf *struct {
+		Nodes string `json:"nodes"`
+		Nets  string `json:"nets"`
+	} `json:"bookshelf,omitempty"`
+
+	Algo            string  `json:"algo,omitempty"`
+	Scheme          string  `json:"scheme,omitempty"`
+	Threshold       int     `json:"threshold,omitempty"`
+	Seed            int64   `json:"seed,omitempty"`
+	BlockSize       int     `json:"block_size,omitempty"`
+	Parallelism     int     `json:"parallelism,omitempty"`
+	Levels          int     `json:"levels,omitempty"`
+	CoarseningRatio float64 `json:"coarsening_ratio,omitempty"`
+	TimeoutMS       int64   `json:"timeout_ms,omitempty"`
+}
+
+// jobJSON is the wire form of a job snapshot.
+type jobJSON struct {
+	ID        string      `json:"id"`
+	State     string      `json:"state"`
+	Cached    bool        `json:"cached,omitempty"`
+	Error     string      `json:"error,omitempty"`
+	Submitted time.Time   `json:"submitted"`
+	Started   *time.Time  `json:"started,omitempty"`
+	Finished  *time.Time  `json:"finished,omitempty"`
+	Result    *resultJSON `json:"result,omitempty"`
+}
+
+type resultJSON struct {
+	Algo         string  `json:"algo"`
+	CutNets      int     `json:"cut_nets"`
+	SizeU        int     `json:"size_u"`
+	SizeW        int     `json:"size_w"`
+	RatioCut     float64 `json:"ratio_cut"`
+	Lambda2      float64 `json:"lambda2,omitempty"`
+	BestRank     int     `json:"best_rank,omitempty"`
+	Levels       int     `json:"levels,omitempty"`
+	CoarsestNets int     `json:"coarsest_nets,omitempty"`
+	// Sides is per-module 0/1; an explicit int array rather than
+	// []igpart.Side, which (being a byte slice) would marshal as base64.
+	Sides  []int         `json:"sides"`
+	Stages *igpart.Stage `json:"stages,omitempty"`
+}
+
+func snapshotJSON(snap service.Snapshot) jobJSON {
+	j := jobJSON{
+		ID:        snap.ID,
+		State:     string(snap.State),
+		Cached:    snap.Cached,
+		Submitted: snap.Submitted,
+	}
+	if snap.Err != nil {
+		j.Error = snap.Err.Error()
+	}
+	if !snap.Started.IsZero() {
+		t := snap.Started
+		j.Started = &t
+	}
+	if !snap.Finished.IsZero() {
+		t := snap.Finished
+		j.Finished = &t
+	}
+	if res := snap.Result; res != nil {
+		stages := res.Stages
+		sides := make([]int, len(res.Sides))
+		for i, s := range res.Sides {
+			sides[i] = int(s)
+		}
+		j.Result = &resultJSON{
+			Algo:         res.Algo,
+			CutNets:      res.Metrics.CutNets,
+			SizeU:        res.Metrics.SizeU,
+			SizeW:        res.Metrics.SizeW,
+			RatioCut:     res.Metrics.RatioCut,
+			Lambda2:      res.Lambda2,
+			BestRank:     res.BestRank,
+			Levels:       res.Levels,
+			CoarsestNets: res.CoarsestNets,
+			Sides:        sides,
+			Stages:       &stages,
+		}
+	}
+	return j
+}
+
+// loadNetlist resolves the submission's netlist source.
+func (s *server) loadNetlist(req *submitRequest) (*igpart.Netlist, error) {
+	switch {
+	case req.Path != "" && req.Bookshelf != nil:
+		return nil, errors.New("set exactly one of \"path\" and \"bookshelf\"")
+	case req.Bookshelf != nil:
+		return igpart.ReadBookshelf(
+			strings.NewReader(req.Bookshelf.Nodes),
+			strings.NewReader(req.Bookshelf.Nets))
+	case req.Path != "":
+		if s.cfg.dataDir == "" {
+			return nil, errors.New("server-side paths are disabled (daemon started without -data)")
+		}
+		// filepath.IsLocal rejects absolute paths and any ".." escape, so
+		// a request cannot read outside the data directory.
+		if !filepath.IsLocal(req.Path) {
+			return nil, fmt.Errorf("path %q is not local to the data directory", req.Path)
+		}
+		return igpart.Load(filepath.Join(s.cfg.dataDir, req.Path))
+	default:
+		return nil, errors.New("request carries no netlist: set \"path\" or \"bookshelf\"")
+	}
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBody)
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	h, err := s.loadNetlist(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	job, err := s.engine.Submit(service.Request{
+		Netlist: h,
+		Options: service.Options{
+			Algo:            req.Algo,
+			Scheme:          req.Scheme,
+			Threshold:       req.Threshold,
+			Seed:            req.Seed,
+			BlockSize:       req.BlockSize,
+			Parallelism:     req.Parallelism,
+			Levels:          req.Levels,
+			CoarseningRatio: req.CoarseningRatio,
+			Timeout:         time.Duration(req.TimeoutMS) * time.Millisecond,
+		},
+	})
+	switch {
+	case errors.Is(err, service.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, service.ErrShutdown):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	writeJSON(w, http.StatusAccepted, snapshotJSON(job.Snapshot()))
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.engine.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotJSON(job.Snapshot()))
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.engine.Cancel(id) {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	job, _ := s.engine.Get(id)
+	writeJSON(w, http.StatusOK, snapshotJSON(job.Snapshot()))
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Metrics().Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("igpartd: encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

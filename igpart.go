@@ -35,6 +35,9 @@
 package igpart
 
 import (
+	"context"
+	"io"
+
 	"igpart/internal/anneal"
 	"igpart/internal/cluster"
 	"igpart/internal/core"
@@ -157,6 +160,13 @@ type IGMatchOptions struct {
 	// the run (see NewTrace). Tracing never changes the result; leaving
 	// it nil costs nothing on the hot path.
 	Rec Recorder
+	// Ctx, when non-nil, enables cooperative cancellation: the pipeline
+	// polls it at sweep-split and Lanczos-cycle granularity and returns
+	// an error wrapping ctx.Err() promptly once it fires (use
+	// errors.Is(err, context.Canceled) / context.DeadlineExceeded to
+	// detect it). A nil or background context changes nothing — results
+	// stay bit-identical.
+	Ctx context.Context
 }
 
 // IGMatchResult extends Result with IG-Match-specific detail.
@@ -186,6 +196,7 @@ func IGMatch(h *Netlist, opts ...IGMatchOptions) (IGMatchResult, error) {
 		RecursionDepth: o.RecursionDepth,
 		Parallelism:    o.Parallelism,
 		Rec:            o.Rec,
+		Ctx:            o.Ctx,
 	})
 	if err != nil {
 		return IGMatchResult{}, err
@@ -229,6 +240,11 @@ type MultilevelOptions struct {
 	// Rec, when non-nil, records the V-cycle stage spans (coarsening
 	// rounds, coarsest-solve pipeline breakdown, per-level uncoarsening).
 	Rec Recorder
+	// Ctx, when non-nil, enables cooperative cancellation of the V-cycle:
+	// polled at every coarsening round and uncoarsening level and
+	// threaded into the coarsest-level solve. A nil or background context
+	// changes nothing.
+	Ctx context.Context
 }
 
 // MultilevelResult extends Result with V-cycle detail.
@@ -262,6 +278,7 @@ func MultilevelIGMatch(h *Netlist, opts ...MultilevelOptions) (MultilevelResult,
 			IG:          netmodel.IGOptions{Scheme: o.Scheme, Threshold: o.Threshold},
 			Eigen:       eigen.Options{Seed: o.Seed, BlockSize: o.BlockSize},
 			Parallelism: o.Parallelism,
+			Ctx:         o.Ctx,
 		},
 		SkipRefine: o.SkipRefine,
 		Rec:        o.Rec,
@@ -400,6 +417,10 @@ type Trace = obs.Trace
 // name.
 func NewTrace(name string) *Trace { return obs.NewTrace(name) }
 
+// Stage is one node of the stage-span tree a Trace records: name, wall
+// time, counters, and child stages. Trace.Finish returns the root Stage.
+type Stage = obs.Stage
+
 // Sparsity compares the clique-model and intersection-graph representation
 // sizes of h (stored off-diagonal nonzeros).
 type Sparsity = netmodel.Sparsity
@@ -451,6 +472,18 @@ func HPWL(h *Netlist, p Placement) float64 { return place.HPWL(h, p) }
 // LoadBookshelf reads a UCLA Bookshelf .nodes/.nets file pair.
 func LoadBookshelf(nodesPath, netsPath string) (*Netlist, error) {
 	return hypergraph.LoadBookshelf(nodesPath, netsPath)
+}
+
+// ReadBookshelf parses a UCLA Bookshelf .nodes/.nets stream pair, e.g.
+// an in-memory payload received by cmd/igpartd.
+func ReadBookshelf(nodes, nets io.Reader) (*Netlist, error) {
+	return hypergraph.ReadBookshelf(nodes, nets)
+}
+
+// WriteBookshelf serializes a netlist as a UCLA Bookshelf .nodes/.nets
+// stream pair, the inverse of ReadBookshelf.
+func WriteBookshelf(nodes, nets io.Writer, h *Netlist) error {
+	return hypergraph.WriteBookshelf(nodes, nets, h)
 }
 
 // SaveBookshelf writes a UCLA Bookshelf .nodes/.nets file pair.

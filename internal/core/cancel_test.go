@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"igpart/internal/netgen"
+)
+
+func TestPartitionBackgroundContextBitIdentical(t *testing.T) {
+	cfg, _ := netgen.ByName("bm1")
+	h, err := netgen.Generate(cfg.Scaled(0.25))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	plain, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	for _, p := range []int{1, 4} {
+		withCtx, err := Partition(h, Options{Ctx: context.Background(), Parallelism: p})
+		if err != nil {
+			t.Fatalf("ctx run (p=%d): %v", p, err)
+		}
+		if withCtx.Metrics != plain.Metrics || withCtx.BestRank != plain.BestRank ||
+			!reflect.DeepEqual(withCtx.Partition.Sides(), plain.Partition.Sides()) {
+			t.Fatalf("p=%d: background context changed the result", p)
+		}
+	}
+}
+
+func TestPartitionCancelled(t *testing.T) {
+	cfg, _ := netgen.ByName("bm1")
+	h, err := netgen.Generate(cfg.Scaled(0.5))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	// A pre-cancelled context stops the pipeline in the eigensolve.
+	if _, err := Partition(h, Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Partition = %v, want wrapped context.Canceled", err)
+	}
+
+	// PartitionWithOrder skips the eigensolve, exercising the sweep-shard
+	// cancellation path — serial and sharded.
+	order := make([]int, h.NumNets())
+	for i := range order {
+		order[i] = i
+	}
+	for _, p := range []int{1, 4} {
+		_, err := PartitionWithOrder(h, order, Options{Ctx: ctx, Parallelism: p})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("sweep p=%d: err = %v, want wrapped context.Canceled", p, err)
+		}
+	}
+}

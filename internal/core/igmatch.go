@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -66,6 +67,21 @@ type Options struct {
 	// times and counters, plus run-level metrics. Tracing never changes
 	// the result; nil means off and costs nothing on the hot path.
 	Rec obs.Recorder
+	// Ctx, when non-nil, enables cooperative cancellation: every sweep
+	// shard polls it at split granularity and the eigensolver inherits it
+	// (polled per Lanczos cycle and every few Krylov steps), so a
+	// cancelled run returns promptly with an error wrapping ctx.Err(). A
+	// nil or background context changes nothing — results stay
+	// bit-identical.
+	Ctx context.Context
+}
+
+// ctxErr polls an optional context: nil contexts never cancel.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // SplitRecord captures the state of one sweep split for analysis. Splits
@@ -126,6 +142,9 @@ func Partition(h *hypergraph.Hypergraph, opts Options) (Result, error) {
 	eo := opts.Eigen
 	if eo.Rec == nil {
 		eo.Rec = esp
+	}
+	if eo.Ctx == nil {
+		eo.Ctx = opts.Ctx
 	}
 	fied, err := eigen.Fiedler(q, eo)
 	esp.End()
@@ -212,7 +231,7 @@ func sweep(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) 
 	}
 
 	sw := rec.StartSpan("sweep")
-	shards := runShards(h, adj, order, nSplits, shardCount(opts.Parallelism, nSplits), trace, sw)
+	shards := runShards(opts.Ctx, h, adj, order, nSplits, shardCount(opts.Parallelism, nSplits), trace, sw)
 
 	// Deterministic reduction: shards cover ascending rank ranges, and a
 	// later shard only displaces the incumbent on a strict metric
@@ -223,6 +242,10 @@ func sweep(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) 
 	var bestSets bipartite.Sets
 	haveBest := false
 	for _, sb := range shards {
+		if sb.err != nil {
+			sw.End()
+			return Result{}, fmt.Errorf("core: sweep cancelled: %w", sb.err)
+		}
 		if sb.have && better(sb.met, bestCost) {
 			bestCost = sb.met
 			best.Partition = sb.part
@@ -255,7 +278,8 @@ func sweep(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) 
 }
 
 // shardBest is one shard's winning split, ready for the cross-shard
-// reduction.
+// reduction. err is non-nil only when the shard was cancelled mid-sweep,
+// in which case the whole sweep result is discarded.
 type shardBest struct {
 	have     bool
 	met      partition.Metrics
@@ -263,6 +287,7 @@ type shardBest struct {
 	rank     int
 	matching int
 	sets     bipartite.Sets
+	err      error
 }
 
 // sweepShard sweeps the contiguous rank range [lo, hi) with its own
@@ -277,7 +302,7 @@ type shardBest struct {
 // regardless of tracing and are flushed to the span (and the run-wide
 // registry) once at shard exit, so the traced and untraced loops execute
 // the same per-split instructions.
-func sweepShard(h *hypergraph.Hypergraph, adj [][]int, order []int, lo, hi int, trace []SplitRecord, sp obs.Recorder) shardBest {
+func sweepShard(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, order []int, lo, hi int, trace []SplitRecord, sp obs.Recorder) shardBest {
 	var matcher *bipartite.Matcher
 	if lo == 1 {
 		matcher = bipartite.NewMatcher(adj)
@@ -295,6 +320,15 @@ func sweepShard(h *hypergraph.Hypergraph, adj [][]int, order []int, lo, hi int, 
 	var sets bipartite.Sets
 	var winners, improved, infeasible int64
 	for rank := lo; rank < hi; rank++ {
+		// Cooperative cancellation at split granularity: each split does
+		// O(m+e) completion work, so one context poll per split is
+		// negligible and keeps cancellation latency to a single split.
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				sb.err = err
+				break
+			}
+		}
 		matcher.MoveToR(order[rank-1])
 		matcher.WinnersInto(&sets)
 		winners += int64(len(sets.EvenL) + len(sets.EvenR))

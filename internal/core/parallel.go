@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -44,9 +45,9 @@ func shardCount(parallelism, nSplits int) int {
 // sw is the sweep stage span; each shard records under its own child
 // span. Child spans are opened before the workers launch so the stage
 // tree lists shards in ascending rank order regardless of scheduling.
-func runShards(h *hypergraph.Hypergraph, adj [][]int, order []int, nSplits, p int, trace []SplitRecord, sw obs.Recorder) []shardBest {
+func runShards(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, order []int, nSplits, p int, trace []SplitRecord, sw obs.Recorder) []shardBest {
 	if p <= 1 {
-		return []shardBest{sweepShard(h, adj, order, 1, nSplits+1, trace, shardSpan(sw, 1, nSplits+1))}
+		return []shardBest{sweepShard(ctx, h, adj, order, 1, nSplits+1, trace, shardSpan(sw, 1, nSplits+1))}
 	}
 	shards := make([]shardBest, p)
 	spans := make([]obs.Recorder, p)
@@ -58,7 +59,7 @@ func runShards(h *hypergraph.Hypergraph, adj [][]int, order []int, nSplits, p in
 		wg.Add(1)
 		go func(i, lo, hi int) {
 			defer wg.Done()
-			shards[i] = sweepShard(h, adj, order, lo, hi, trace, spans[i])
+			shards[i] = sweepShard(ctx, h, adj, order, lo, hi, trace, spans[i])
 		}(i, lo, hi)
 	}
 	wg.Wait()

@@ -63,6 +63,9 @@ func blockCycle(op Operator, start []float64, project func([]float64), opts Opti
 	// images, stop at an invariant subspace or the step budget.
 	blockLo := 0
 	for len(basis) < opts.MaxSteps {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return 0, nil, 0, err
+		}
 		hi := len(basis)
 		grew := false
 		w := make([]float64, n)
@@ -134,6 +137,9 @@ func largestDeflatedBlock(op Operator, deflate [][]float64, opts Options) (float
 	)
 	var start []float64
 	for cycle := 0; cycle < opts.MaxRestarts; cycle++ {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return 0, nil, err
+		}
 		cycles++
 		csp := rec.StartSpan("block-lanczos-cycle")
 		csp.Count("block", int64(opts.BlockSize))

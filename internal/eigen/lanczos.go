@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -38,7 +39,25 @@ type Options struct {
 	// (Krylov steps, matrix–vector products) plus restart counters.
 	// Recording never changes the iteration.
 	Rec obs.Recorder
+	// Ctx, when non-nil, enables cooperative cancellation: the solver
+	// polls it at the start of every restart cycle and every few Krylov
+	// steps within a cycle, returning ctx.Err() once it fires. A nil or
+	// background context changes nothing — the iteration (and therefore
+	// every eigenpair) is bit-identical with or without one.
+	Ctx context.Context
 }
+
+// ctxErr polls an optional context: nil contexts never cancel.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// cancelCheckSteps is how many Krylov steps (one matvec each) may elapse
+// between context polls inside a cycle.
+const cancelCheckSteps = 16
 
 func (o Options) withDefaults(n int) Options {
 	if o.MaxSteps <= 0 {
@@ -113,6 +132,9 @@ func LargestDeflated(op Operator, deflate [][]float64, opts Options) (float64, [
 	)
 	x := start
 	for cycle := 0; cycle < opts.MaxRestarts; cycle++ {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return 0, nil, err
+		}
 		cycles++
 		csp := rec.StartSpan("lanczos-cycle")
 		th, v, res, steps, err := lanczosCycle(op, x, project, opts, rng)
@@ -162,6 +184,11 @@ func lanczosCycle(op Operator, start []float64, project func([]float64), opts Op
 
 	w := make([]float64, n)
 	for j := 0; j < opts.MaxSteps; j++ {
+		if opts.Ctx != nil && j%cancelCheckSteps == cancelCheckSteps-1 {
+			if err := opts.Ctx.Err(); err != nil {
+				return 0, nil, 0, j, err
+			}
+		}
 		vj := basis[j]
 		op.MulVec(w, vj)
 		project(w)

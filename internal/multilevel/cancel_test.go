@@ -1,0 +1,34 @@
+package multilevel
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"igpart/internal/core"
+)
+
+func TestVCycleCancelled(t *testing.T) {
+	h := circuit(t, "bm1", 0.5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Partition(h, Options{Levels: 3, Core: core.Options{Ctx: ctx}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Partition = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestVCycleBackgroundContextHarmless(t *testing.T) {
+	h := circuit(t, "bm1", 0.3)
+	plain, err := Partition(h, Options{Levels: 2})
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	withCtx, err := Partition(h, Options{Levels: 2, Core: core.Options{Ctx: context.Background()}})
+	if err != nil {
+		t.Fatalf("with ctx: %v", err)
+	}
+	if plain.Metrics != withCtx.Metrics {
+		t.Fatalf("background context changed the V-cycle result: %+v vs %+v", plain.Metrics, withCtx.Metrics)
+	}
+}

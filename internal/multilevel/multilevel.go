@@ -33,6 +33,7 @@
 package multilevel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -65,7 +66,10 @@ type Options struct {
 	MinNets int
 	// Core configures the coarsest-level IG-Match solve (weight scheme,
 	// eigensolver, sweep parallelism). Its IG options also drive the
-	// heavy-edge affinity weights used for net matching at every level.
+	// heavy-edge affinity weights used for net matching at every level,
+	// and its Ctx (when non-nil) is additionally polled by the V-cycle at
+	// every coarsening round and uncoarsening level for cooperative
+	// cancellation.
 	Core core.Options
 	// Refine configures the per-level FM polish.
 	Refine fm.Options
@@ -154,6 +158,10 @@ func Partition(h *hypergraph.Hypergraph, opts Options) (Result, error) {
 	var maps [][]int
 	csp := rec.StartSpan("coarsen")
 	for len(levels) < opts.Levels {
+		if err := ctxErr(opts.Core.Ctx); err != nil {
+			csp.End()
+			return Result{}, fmt.Errorf("multilevel: cancelled during coarsening: %w", err)
+		}
 		cur := levels[len(levels)-1]
 		if cur.NumNets() <= opts.MinNets {
 			break
@@ -221,6 +229,9 @@ func Partition(h *hypergraph.Hypergraph, opts Options) (Result, error) {
 	// levels, so the carried partition is directly valid one level down.
 	p := coarseRes.Partition.Clone()
 	for k := nLevels - 2; k >= 0; k-- {
+		if err := ctxErr(opts.Core.Ctx); err != nil {
+			return Result{}, fmt.Errorf("multilevel: cancelled during uncoarsening: %w", err)
+		}
 		lh := levels[k]
 		usp := rec.StartSpan(fmt.Sprintf("uncoarsen-L%d", k))
 		st := LevelStat{Nets: lh.NumNets(), Chosen: "carried"}
@@ -318,6 +329,14 @@ func netSides(h *hypergraph.Hypergraph, p *partition.Bipartition) []bool {
 		inR[e] = 2*onW > h.NetSize(e)
 	}
 	return inR
+}
+
+// ctxErr polls an optional context: nil contexts never cancel.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // ratioBetter orders candidate partitions the way the sweep does:

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"igpart/internal/obs"
+)
+
+// lru is the content-addressed result cache: a fixed-capacity,
+// mutex-guarded LRU keyed by the SHA-256 content address of
+// (canonical netlist, normalized options). Hit/miss/eviction counts
+// feed the engine's obs registry (service.cache_hits, …_misses,
+// …_evictions), so /metrics exposes cache effectiveness directly.
+//
+// Values are *Result pointers shared between the cache and every job
+// served from it; results are treated as immutable after publication.
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry
+	byKey map[string]*list.Element
+	reg   *obs.Registry
+}
+
+type lruEntry struct {
+	key string
+	res *Result
+}
+
+// newLRU returns a cache holding up to capacity entries, or nil (a
+// disabled cache — every lookup misses, stores are dropped) when
+// capacity <= 0. The registry may be nil.
+func newLRU(capacity int, reg *obs.Registry) *lru {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lru{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+		reg:   reg,
+	}
+}
+
+// get returns the cached result for key, counting the hit or miss.
+func (c *lru) get(key string) (*Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.reg.Counter("service.cache_misses").Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.reg.Counter("service.cache_hits").Add(1)
+	return el.Value.(*lruEntry).res, true
+}
+
+// put stores res under key, evicting the least-recently-used entry when
+// the cache is full. Storing an existing key refreshes its recency.
+func (c *lru) put(key string, res *Result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*lruEntry).key)
+		c.reg.Counter("service.cache_evictions").Add(1)
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+}
+
+// len returns the number of cached entries.
+func (c *lru) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

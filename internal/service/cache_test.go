@@ -1,0 +1,76 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"igpart/internal/obs"
+)
+
+func TestLRUEviction(t *testing.T) {
+	reg := new(obs.Registry)
+	c := newLRU(2, reg)
+	r1, r2, r3 := &Result{}, &Result{}, &Result{}
+
+	c.put("a", r1)
+	c.put("b", r2)
+	if _, ok := c.get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", r3) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if got, ok := c.get("a"); !ok || got != r1 {
+		t.Fatal("a evicted or swapped")
+	}
+	if got, ok := c.get("c"); !ok || got != r3 {
+		t.Fatal("c missing")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+
+	// Overwriting an existing key refreshes, not grows.
+	c.put("c", r2)
+	if got, _ := c.get("c"); got != r2 {
+		t.Fatal("overwrite did not replace the value")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len after overwrite = %d, want 2", c.len())
+	}
+
+	s := reg.Snapshot()
+	if s.Counters["service.cache_evictions"] != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Counters["service.cache_evictions"])
+	}
+	// 4 hits (a, a, c, c), 1 miss (b after eviction).
+	if s.Counters["service.cache_hits"] != 4 || s.Counters["service.cache_misses"] != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 4/1",
+			s.Counters["service.cache_hits"], s.Counters["service.cache_misses"])
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	var c *lru // capacity <= 0 yields nil; all methods must be nil-safe
+	if newLRU(0, nil) != nil {
+		t.Fatal("capacity 0 should disable the cache")
+	}
+	c.put("k", &Result{})
+	if _, ok := c.get("k"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Fatal("disabled cache has nonzero length")
+	}
+}
+
+func TestLRUCapacityStress(t *testing.T) {
+	c := newLRU(8, nil)
+	for i := 0; i < 100; i++ {
+		c.put(fmt.Sprintf("k%d", i), &Result{})
+	}
+	if c.len() != 8 {
+		t.Fatalf("len = %d, want capacity 8", c.len())
+	}
+}

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"time"
+
+	"igpart"
+)
+
+// The algorithms the engine serves. Only the deterministic pipeline
+// entry points are exposed: a job is a pure function of (netlist,
+// normalized options), which is what makes results content-addressable.
+const (
+	AlgoIGMatch    = "igmatch"
+	AlgoMultilevel = "multilevel"
+)
+
+// Options are the solver knobs a job may set. The zero value runs flat
+// IG-Match with the paper's configuration.
+type Options struct {
+	// Algo selects the pipeline: AlgoIGMatch (default) or AlgoMultilevel.
+	Algo string
+	// Scheme names the intersection-graph edge weighting: "paper"
+	// (default), "unit", "overlap", or "minsize".
+	Scheme string
+	// Threshold excludes nets above this size from the eigensolve IG.
+	Threshold int
+	// Seed seeds the Lanczos starting vector.
+	Seed int64
+	// BlockSize selects block Lanczos when > 1.
+	BlockSize int
+	// Parallelism bounds the sweep shard count (0 = GOMAXPROCS). Results
+	// are bit-identical at every value, so it is NOT part of the cache
+	// key: a cached result satisfies any parallelism.
+	Parallelism int
+	// Levels is the V-cycle depth for AlgoMultilevel (default 3).
+	Levels int
+	// CoarseningRatio is the V-cycle stall threshold (default 0.9).
+	CoarseningRatio float64
+	// Timeout is the per-job deadline, measured from submission so that
+	// queue wait counts against it. 0 uses the engine default; the
+	// engine's MaxTimeout caps it. Not part of the cache key.
+	Timeout time.Duration
+}
+
+// Request is one partitioning job: a netlist plus solver options.
+type Request struct {
+	Netlist *igpart.Netlist
+	Options Options
+}
+
+// schemes maps the wire names onto the weight-scheme constants.
+var schemes = map[string]igpart.WeightScheme{
+	"":        igpart.SchemePaper,
+	"paper":   igpart.SchemePaper,
+	"unit":    igpart.SchemeUnit,
+	"overlap": igpart.SchemeOverlap,
+	"minsize": igpart.SchemeMinSize,
+}
+
+// normalize applies defaults and validates the options. Two option sets
+// that normalize equal always produce identical results.
+func (o Options) normalize() (Options, error) {
+	switch o.Algo {
+	case "", AlgoIGMatch:
+		o.Algo = AlgoIGMatch
+		o.Levels = 0
+		o.CoarseningRatio = 0
+	case AlgoMultilevel:
+		if o.Levels <= 0 {
+			o.Levels = 3
+		}
+		if o.CoarseningRatio <= 0 || o.CoarseningRatio > 1 {
+			o.CoarseningRatio = 0.9
+		}
+	default:
+		return o, fmt.Errorf("service: unknown algorithm %q", o.Algo)
+	}
+	if _, ok := schemes[o.Scheme]; !ok {
+		return o, fmt.Errorf("service: unknown weight scheme %q", o.Scheme)
+	}
+	if o.Scheme == "" {
+		o.Scheme = "paper"
+	}
+	if o.Threshold < 0 {
+		o.Threshold = 0
+	}
+	if o.BlockSize < 0 {
+		o.BlockSize = 0
+	}
+	return o, nil
+}
+
+// cacheKey content-addresses a request: SHA-256 over the canonicalized
+// netlist plus the normalized result-determining options. Parallelism
+// and Timeout are deliberately excluded — neither changes the result.
+// o must already be normalized.
+func cacheKey(h *igpart.Netlist, o Options) string {
+	sum := sha256.New()
+	sum.Write(h.CanonicalBytes())
+	fmt.Fprintf(sum, "|algo=%s|scheme=%s|thr=%d|seed=%d|block=%d",
+		o.Algo, o.Scheme, o.Threshold, o.Seed, o.BlockSize)
+	if o.Algo == AlgoMultilevel {
+		fmt.Fprintf(sum, "|levels=%d|cratio=%g", o.Levels, o.CoarseningRatio)
+	}
+	return fmt.Sprintf("%x", sum.Sum(nil))
+}

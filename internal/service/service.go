@@ -1,0 +1,537 @@
+// Package service turns the igpart pipeline into a long-running job
+// engine: partition-as-a-service. It provides
+//
+//   - a bounded worker pool (default GOMAXPROCS workers) fed by a
+//     bounded queue with explicit-rejection backpressure (Submit fails
+//     fast with ErrQueueFull instead of blocking — the caller, e.g.
+//     cmd/igpartd, maps that to HTTP 429);
+//   - a job lifecycle (queued → running → done/failed/cancelled) with
+//     per-job deadlines and cooperative cancellation, built on the
+//     context threading through igpart.IGMatch/MultilevelIGMatch down
+//     into the sweep shards and Lanczos cycles;
+//   - a content-addressed LRU result cache: the pipeline is a pure
+//     deterministic function of (netlist, options), so results are
+//     keyed by SHA-256 of the canonicalized netlist plus the normalized
+//     result-determining options, with hit/miss/eviction counters in
+//     the internal/obs registry;
+//   - graceful drain: Shutdown stops intake, lets queued and running
+//     jobs finish, and only cancels them if its own context expires.
+//
+// The engine is transport-agnostic; cmd/igpartd exposes it over HTTP.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"igpart"
+	"igpart/internal/obs"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// The job lifecycle. Queued and Running are transient; the other three
+// are terminal and frozen once reached.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Sentinel errors returned by the engine.
+var (
+	// ErrQueueFull is the backpressure signal: the queue is at capacity
+	// and the job was rejected, not enqueued.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrShutdown is returned by Submit after Shutdown has begun and is
+	// the cancel cause applied to jobs a timed-out drain abandons.
+	ErrShutdown = errors.New("service: engine shutting down")
+	// ErrCancelled is the cancel cause of a user-requested Cancel.
+	ErrCancelled = errors.New("service: job cancelled")
+)
+
+// Config sizes an Engine. The zero value is production-usable.
+type Config struct {
+	// Workers is the solver pool size. Default GOMAXPROCS. Each solve
+	// may itself shard its sweep (Options.Parallelism), so a loaded
+	// daemon typically wants Parallelism=1 jobs and Workers=GOMAXPROCS,
+	// or few workers and parallel sweeps — both are supported.
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs;
+	// submissions beyond it fail with ErrQueueFull. Default 64.
+	QueueDepth int
+	// CacheEntries sizes the content-addressed result cache. Default
+	// 128; negative disables caching.
+	CacheEntries int
+	// DefaultTimeout is the per-job deadline applied when a request
+	// carries none. 0 means no deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps per-request timeouts (and the default). 0 means
+	// uncapped.
+	MaxTimeout time.Duration
+	// MaxFinished bounds how many terminal jobs stay queryable; the
+	// oldest are forgotten first. Default 1024.
+	MaxFinished int
+	// Metrics receives the engine's counters and gauges (jobs by
+	// outcome, queue rejections, cache hits/misses/evictions). Nil gets
+	// a private registry, still reachable via Engine.Metrics.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.MaxFinished <= 0 {
+		c.MaxFinished = 1024
+	}
+	if c.Metrics == nil {
+		c.Metrics = new(obs.Registry)
+	}
+	return c
+}
+
+// Result is the output of a completed job.
+type Result struct {
+	// Algo is the normalized algorithm that produced the result.
+	Algo string
+	// Metrics is the partition quality (net cut, sides, ratio cut).
+	Metrics igpart.Metrics
+	// Sides is the per-module side assignment.
+	Sides []igpart.Side
+	// Lambda2 is the IG Laplacian's second eigenvalue (AlgoIGMatch).
+	Lambda2 float64
+	// BestRank is the winning sweep split (AlgoIGMatch).
+	BestRank int
+	// Levels and CoarsestNets describe the V-cycle actually built
+	// (AlgoMultilevel).
+	Levels       int
+	CoarsestNets int
+	// Stages is the solve's stage-span tree, recorded when the result
+	// was computed. Cache hits return the original tree — a cached job
+	// has no solve spans of its own.
+	Stages obs.Stage
+}
+
+// Snapshot is an immutable view of a job's externally visible state.
+type Snapshot struct {
+	ID        string
+	State     State
+	Cached    bool
+	Err       error
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	// Result is non-nil exactly when State == StateDone. It is shared
+	// with the cache and must be treated as read-only.
+	Result *Result
+}
+
+// Job is a submitted partitioning request tracked by the engine.
+type Job struct {
+	id  string
+	req Request
+
+	ctx       context.Context
+	cancel    context.CancelCauseFunc
+	stopTimer context.CancelFunc
+
+	done chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	cached    bool
+	res       *Result
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// ID returns the engine-assigned job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot returns the job's current externally visible state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID:        j.id,
+		State:     j.state,
+		Cached:    j.cached,
+		Err:       j.err,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		Result:    j.res,
+	}
+}
+
+// Wait blocks until the job is terminal or ctx fires, returning the
+// snapshot either way.
+func (j *Job) Wait(ctx context.Context) Snapshot {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+	}
+	return j.Snapshot()
+}
+
+// tryStart moves queued → running; it fails when the job was cancelled
+// (or deadline-expired) while still queued.
+func (j *Job) tryStart() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued || j.ctx.Err() != nil {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish freezes the job in a terminal state and reports whether this
+// call performed the transition. Later calls are no-ops, which makes
+// completion/cancellation races safe — whoever transitions first wins,
+// and only the winner updates the outcome counters.
+func (j *Job) finish(state State, res *Result, cached bool, err error) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.res = res
+	j.cached = cached
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.stopTimer()
+	j.cancel(nil)
+	close(j.done)
+	return true
+}
+
+// Engine is the partition job engine: worker pool, bounded queue,
+// result cache, and job registry.
+type Engine struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *lru
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	// solveFn computes a request's result; tests substitute a stub to
+	// exercise lifecycle paths deterministically.
+	solveFn func(ctx context.Context, req Request, o Options) (*Result, error)
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int64
+	jobs     map[string]*Job
+	finished []string // terminal job IDs, oldest first, for pruning
+}
+
+// New starts an engine with cfg's worker pool running.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		reg:     cfg.Metrics,
+		cache:   newLRU(cfg.CacheEntries, cfg.Metrics),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		solveFn: solve,
+		jobs:    make(map[string]*Job),
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Metrics returns the engine's metrics registry.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
+
+// CacheLen returns the number of cached results.
+func (e *Engine) CacheLen() int { return e.cache.len() }
+
+// Submit validates and enqueues a request. It never blocks: a full
+// queue rejects with ErrQueueFull (backpressure), an engine that began
+// shutting down rejects with ErrShutdown.
+func (e *Engine) Submit(req Request) (*Job, error) {
+	if req.Netlist == nil {
+		return nil, errors.New("service: request has no netlist")
+	}
+	norm, err := req.Options.normalize()
+	if err != nil {
+		return nil, err
+	}
+	req.Options = norm
+	timeout := norm.Timeout
+	if timeout <= 0 {
+		timeout = e.cfg.DefaultTimeout
+	}
+	if e.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > e.cfg.MaxTimeout) {
+		timeout = e.cfg.MaxTimeout
+	}
+
+	base, cancel := context.WithCancelCause(context.Background())
+	ctx := base
+	stopTimer := func() {}
+	if timeout > 0 {
+		// The deadline runs from submission: a job stuck behind a full
+		// queue burns its budget too, so callers get a bounded answer
+		// time no matter where the time goes.
+		ctx, stopTimer = context.WithTimeout(base, timeout)
+	}
+	job := &Job{
+		req:       req,
+		ctx:       ctx,
+		cancel:    cancel,
+		stopTimer: stopTimer,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		stopTimer()
+		cancel(ErrShutdown)
+		return nil, ErrShutdown
+	}
+	e.nextID++
+	job.id = fmt.Sprintf("job-%d", e.nextID)
+	select {
+	case e.queue <- job:
+		e.jobs[job.id] = job
+		e.pruneFinishedLocked()
+		e.mu.Unlock()
+		e.reg.Counter("service.jobs_submitted").Add(1)
+		e.reg.Gauge("service.queue_depth").Set(float64(len(e.queue)))
+		return job, nil
+	default:
+		e.mu.Unlock()
+		stopTimer()
+		cancel(ErrQueueFull)
+		e.reg.Counter("service.jobs_rejected").Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns the job with the given ID.
+func (e *Engine) Get(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cooperative cancellation of the job: a queued job is
+// finalized immediately, a running one stops at the next sweep-split or
+// Lanczos-cycle poll. It reports whether the ID was known.
+func (e *Engine) Cancel(id string) bool {
+	j, ok := e.Get(id)
+	if !ok {
+		return false
+	}
+	j.cancel(ErrCancelled)
+	j.mu.Lock()
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	if queued {
+		// Don't wait for a worker to drain it from the queue; when the
+		// worker does, tryStart sees the terminal state and moves on.
+		if j.finish(StateCancelled, nil, false, ErrCancelled) {
+			e.reg.Counter("service.jobs_cancelled").Add(1)
+			e.recordFinished(j)
+		}
+	}
+	return true
+}
+
+// Shutdown stops intake and drains: queued and running jobs keep
+// running to completion. If ctx fires first the remaining jobs are
+// cancelled (cause ErrShutdown) and — because cancellation is
+// cooperative down to split/cycle granularity — the workers still exit
+// promptly; the ctx error is returned. Safe to call more than once.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		e.mu.Lock()
+		for _, j := range e.jobs {
+			j.cancel(ErrShutdown)
+		}
+		e.mu.Unlock()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for job := range e.queue {
+		e.run(job)
+	}
+}
+
+// run executes one job: consult the cache, solve on a miss, classify
+// the outcome by the job context's cancel cause.
+func (e *Engine) run(job *Job) {
+	e.reg.Gauge("service.queue_depth").Set(float64(len(e.queue)))
+	if !job.tryStart() {
+		e.finalizeAborted(job)
+		return
+	}
+	key := cacheKey(job.req.Netlist, job.req.Options)
+	if res, ok := e.cache.get(key); ok {
+		if job.finish(StateDone, res, true, nil) {
+			e.reg.Counter("service.jobs_completed").Add(1)
+			e.recordFinished(job)
+		}
+		return
+	}
+	res, err := e.solveFn(job.ctx, job.req, job.req.Options)
+	switch {
+	case err == nil:
+		// Publish to the cache even if a racing Cancel beat us to the
+		// terminal transition: the result is valid and future identical
+		// submissions should hit.
+		e.cache.put(key, res)
+		if job.finish(StateDone, res, false, nil) {
+			e.reg.Counter("service.jobs_completed").Add(1)
+			e.recordFinished(job)
+		}
+	case job.ctx.Err() != nil:
+		e.finalizeAborted(job)
+	default:
+		if job.finish(StateFailed, nil, false, err) {
+			e.reg.Counter("service.jobs_failed").Add(1)
+			e.recordFinished(job)
+		}
+	}
+}
+
+// finalizeAborted finishes a job whose context fired, classifying by
+// cause: an explicit Cancel (or shutdown abandonment) is "cancelled", a
+// deadline expiry is "failed" with DeadlineExceeded.
+func (e *Engine) finalizeAborted(job *Job) {
+	cause := context.Cause(job.ctx)
+	if errors.Is(cause, context.DeadlineExceeded) {
+		if job.finish(StateFailed, nil, false, fmt.Errorf("service: job deadline exceeded: %w", context.DeadlineExceeded)) {
+			e.reg.Counter("service.jobs_failed").Add(1)
+			e.recordFinished(job)
+		}
+	} else if job.finish(StateCancelled, nil, false, cause) {
+		e.reg.Counter("service.jobs_cancelled").Add(1)
+		e.recordFinished(job)
+	}
+}
+
+// recordFinished appends the job to the terminal list for pruning.
+func (e *Engine) recordFinished(job *Job) {
+	e.mu.Lock()
+	e.finished = append(e.finished, job.id)
+	e.pruneFinishedLocked()
+	e.mu.Unlock()
+}
+
+// pruneFinishedLocked forgets the oldest terminal jobs beyond
+// MaxFinished so the registry cannot grow without bound.
+func (e *Engine) pruneFinishedLocked() {
+	for len(e.finished) > e.cfg.MaxFinished {
+		delete(e.jobs, e.finished[0])
+		e.finished = e.finished[1:]
+	}
+}
+
+// solve runs the real pipeline for a normalized request, recording the
+// stage-span tree into the result.
+func solve(ctx context.Context, req Request, o Options) (*Result, error) {
+	tr := igpart.NewTrace("solve")
+	scheme := schemes[o.Scheme]
+	switch o.Algo {
+	case AlgoMultilevel:
+		r, err := igpart.MultilevelIGMatch(req.Netlist, igpart.MultilevelOptions{
+			Levels:          o.Levels,
+			CoarseningRatio: o.CoarseningRatio,
+			Scheme:          scheme,
+			Threshold:       o.Threshold,
+			Seed:            o.Seed,
+			BlockSize:       o.BlockSize,
+			Parallelism:     o.Parallelism,
+			Rec:             tr,
+			Ctx:             ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Algo:         o.Algo,
+			Metrics:      r.Metrics,
+			Sides:        append([]igpart.Side(nil), r.Partition.Sides()...),
+			Levels:       r.Levels,
+			CoarsestNets: r.CoarsestNets,
+			Stages:       tr.Finish(),
+		}, nil
+	default: // AlgoIGMatch; Submit normalized and validated Algo already
+		r, err := igpart.IGMatch(req.Netlist, igpart.IGMatchOptions{
+			Scheme:      scheme,
+			Threshold:   o.Threshold,
+			Seed:        o.Seed,
+			BlockSize:   o.BlockSize,
+			Parallelism: o.Parallelism,
+			Rec:         tr,
+			Ctx:         ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Algo:     o.Algo,
+			Metrics:  r.Metrics,
+			Sides:    append([]igpart.Side(nil), r.Partition.Sides()...),
+			Lambda2:  r.Lambda2,
+			BestRank: r.BestRank,
+			Stages:   tr.Finish(),
+		}, nil
+	}
+}

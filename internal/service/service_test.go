@@ -1,0 +1,365 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"igpart"
+)
+
+// genNetlist builds a small synthetic circuit for engine tests.
+func genNetlist(t *testing.T, modules, nets int, seed int64) *igpart.Netlist {
+	t.Helper()
+	h, err := igpart.Generate(igpart.GenConfig{Name: "svc", Modules: modules, Nets: nets, Seed: seed})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return h
+}
+
+// waitState polls until the job reaches want (or any terminal state)
+// and returns the snapshot.
+func waitState(t *testing.T, j *Job, want State, timeout time.Duration) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		s := j.Snapshot()
+		if s.State == want || s.State.Terminal() {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s waiting for %s", s.ID, s.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func shutdownNow(t *testing.T, e *Engine) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestSolveMatchesDirectCall(t *testing.T) {
+	h := genNetlist(t, 120, 140, 7)
+	e := New(Config{Workers: 2})
+	defer shutdownNow(t, e)
+
+	job, err := e.Submit(Request{Netlist: h})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	s := job.Wait(context.Background())
+	if s.State != StateDone {
+		t.Fatalf("state = %s (err %v), want done", s.State, s.Err)
+	}
+	direct, err := igpart.IGMatch(h)
+	if err != nil {
+		t.Fatalf("direct IGMatch: %v", err)
+	}
+	if s.Result.Metrics != direct.Metrics {
+		t.Fatalf("engine metrics %+v != direct %+v", s.Result.Metrics, direct.Metrics)
+	}
+	if len(s.Result.Sides) != h.NumModules() {
+		t.Fatalf("sides has %d entries, want %d", len(s.Result.Sides), h.NumModules())
+	}
+	if s.Result.Stages.Find("sweep") == nil {
+		t.Fatal("result carries no sweep stage span")
+	}
+
+	// Multilevel through the same engine.
+	mj, err := e.Submit(Request{Netlist: h, Options: Options{Algo: AlgoMultilevel, Levels: 2}})
+	if err != nil {
+		t.Fatalf("submit multilevel: %v", err)
+	}
+	ms := mj.Wait(context.Background())
+	if ms.State != StateDone {
+		t.Fatalf("multilevel state = %s (err %v)", ms.State, ms.Err)
+	}
+	mdirect, err := igpart.MultilevelIGMatch(h, igpart.MultilevelOptions{Levels: 2})
+	if err != nil {
+		t.Fatalf("direct multilevel: %v", err)
+	}
+	if ms.Result.Metrics != mdirect.Metrics {
+		t.Fatalf("multilevel metrics %+v != direct %+v", ms.Result.Metrics, mdirect.Metrics)
+	}
+}
+
+func TestCacheHitOnIdenticalResubmit(t *testing.T) {
+	h := genNetlist(t, 100, 120, 11)
+	e := New(Config{Workers: 1})
+	defer shutdownNow(t, e)
+
+	var solves atomic.Int64
+	real := e.solveFn
+	e.solveFn = func(ctx context.Context, req Request, o Options) (*Result, error) {
+		solves.Add(1)
+		return real(ctx, req, o)
+	}
+
+	first := func() Snapshot {
+		j, err := e.Submit(Request{Netlist: h})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		return j.Wait(context.Background())
+	}
+	s1 := first()
+	if s1.State != StateDone || s1.Cached {
+		t.Fatalf("first run: state=%s cached=%v", s1.State, s1.Cached)
+	}
+
+	// Same netlist content under permuted net order: the canonical key
+	// must collapse the two.
+	perm := igpart.NewBuilder().SetNumModules(h.NumModules())
+	for e := h.NumNets() - 1; e >= 0; e-- {
+		perm.AddNet(h.Pins(e)...)
+	}
+	j2, err := e.Submit(Request{Netlist: perm.Build()})
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	s2 := j2.Wait(context.Background())
+	if s2.State != StateDone || !s2.Cached {
+		t.Fatalf("resubmit: state=%s cached=%v, want done from cache", s2.State, s2.Cached)
+	}
+	if got := solves.Load(); got != 1 {
+		t.Fatalf("solver ran %d times, want 1 (second run must be a pure cache hit)", got)
+	}
+	if s2.Result != s1.Result {
+		t.Fatal("cache hit returned a different result object")
+	}
+	reg := e.Metrics().Snapshot()
+	if reg.Counters["service.cache_hits"] != 1 || reg.Counters["service.cache_misses"] != 1 {
+		t.Fatalf("cache counters = %+v, want 1 hit / 1 miss", reg.Counters)
+	}
+
+	// Different options (seed) must miss.
+	j3, err := e.Submit(Request{Netlist: h, Options: Options{Seed: 99}})
+	if err != nil {
+		t.Fatalf("submit seed=99: %v", err)
+	}
+	if s3 := j3.Wait(context.Background()); s3.Cached {
+		t.Fatal("different seed was served from cache")
+	}
+
+	// Parallelism is not part of the key: results are bit-identical.
+	j4, err := e.Submit(Request{Netlist: h, Options: Options{Parallelism: 2}})
+	if err != nil {
+		t.Fatalf("submit p=2: %v", err)
+	}
+	if s4 := j4.Wait(context.Background()); !s4.Cached {
+		t.Fatal("parallelism-only change missed the cache")
+	}
+}
+
+// blockingEngine returns an engine whose solver blocks until release is
+// closed (or the job context fires), for deterministic lifecycle tests.
+func blockingEngine(cfg Config) (*Engine, chan struct{}) {
+	e := New(cfg)
+	release := make(chan struct{})
+	e.solveFn = func(ctx context.Context, req Request, o Options) (*Result, error) {
+		select {
+		case <-release:
+			return &Result{Algo: o.Algo, Sides: []igpart.Side{igpart.U, igpart.W}}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return e, release
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	h := genNetlist(t, 20, 24, 3)
+	e, release := blockingEngine(Config{Workers: 1, QueueDepth: 1})
+	defer shutdownNow(t, e)
+
+	j1, err := e.Submit(Request{Netlist: h})
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	waitState(t, j1, StateRunning, 5*time.Second) // worker occupied
+	if _, err := e.Submit(Request{Netlist: h}); err != nil {
+		t.Fatalf("submit 2 (fills queue): %v", err)
+	}
+	if _, err := e.Submit(Request{Netlist: h}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit 3 = %v, want ErrQueueFull", err)
+	}
+	if got := e.Metrics().Snapshot().Counters["service.jobs_rejected"]; got != 1 {
+		t.Fatalf("jobs_rejected = %d, want 1", got)
+	}
+	close(release)
+}
+
+func TestCancelQueuedJobIsImmediate(t *testing.T) {
+	h := genNetlist(t, 20, 24, 3)
+	e, release := blockingEngine(Config{Workers: 1, QueueDepth: 4})
+	defer shutdownNow(t, e)
+
+	j1, _ := e.Submit(Request{Netlist: h})
+	waitState(t, j1, StateRunning, 5*time.Second)
+	j2, err := e.Submit(Request{Netlist: h})
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	if !e.Cancel(j2.ID()) {
+		t.Fatal("cancel: unknown job")
+	}
+	s := j2.Snapshot() // no waiting: a queued cancel finalizes inline
+	if s.State != StateCancelled || !errors.Is(s.Err, ErrCancelled) {
+		t.Fatalf("queued cancel: state=%s err=%v", s.State, s.Err)
+	}
+	if e.Cancel("job-nope") {
+		t.Fatal("cancel of unknown ID reported success")
+	}
+	close(release)
+}
+
+func TestDeadlineFailsJob(t *testing.T) {
+	h := genNetlist(t, 20, 24, 3)
+	e, _ := blockingEngine(Config{Workers: 1})
+	defer shutdownNow(t, e)
+
+	j, err := e.Submit(Request{Netlist: h, Options: Options{Timeout: 20 * time.Millisecond}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	s := j.Wait(context.Background())
+	if s.State != StateFailed || !errors.Is(s.Err, context.DeadlineExceeded) {
+		t.Fatalf("deadline job: state=%s err=%v, want failed/DeadlineExceeded", s.State, s.Err)
+	}
+}
+
+func TestShutdownDrainsInFlight(t *testing.T) {
+	h := genNetlist(t, 20, 24, 3)
+	e, release := blockingEngine(Config{Workers: 1})
+
+	j, _ := e.Submit(Request{Netlist: h})
+	waitState(t, j, StateRunning, 5*time.Second)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if s := j.Snapshot(); s.State != StateDone {
+		t.Fatalf("in-flight job after drain: %s, want done", s.State)
+	}
+	if _, err := e.Submit(Request{Netlist: h}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("submit after shutdown = %v, want ErrShutdown", err)
+	}
+	// Shutdown is idempotent.
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+func TestShutdownDeadlineCancelsStragglers(t *testing.T) {
+	h := genNetlist(t, 20, 24, 3)
+	e, _ := blockingEngine(Config{Workers: 1}) // never released
+
+	j, _ := e.Submit(Request{Netlist: h})
+	waitState(t, j, StateRunning, 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := e.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown = %v, want DeadlineExceeded", err)
+	}
+	if s := j.Snapshot(); s.State != StateCancelled || !errors.Is(s.Err, ErrShutdown) {
+		t.Fatalf("straggler: state=%s err=%v, want cancelled/ErrShutdown", s.State, s.Err)
+	}
+}
+
+// TestCancelMidSweep is the headline cancellation test: a real IG-Match
+// job on the largest netgen fixture (Prim2) is cancelled while running,
+// must reach the cancelled state within 2 seconds, and the worker must
+// remain usable for the next job.
+func TestCancelMidSweep(t *testing.T) {
+	cfg, ok := igpart.Benchmark("Prim2")
+	if !ok {
+		t.Fatal("Prim2 preset missing")
+	}
+	h, err := igpart.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate Prim2: %v", err)
+	}
+	e := New(Config{Workers: 1})
+	defer shutdownNow(t, e)
+
+	// Serial sweep keeps the single worker busy longest.
+	j, err := e.Submit(Request{Netlist: h, Options: Options{Parallelism: 1}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitState(t, j, StateRunning, 10*time.Second)
+	time.Sleep(30 * time.Millisecond) // bite into eigensolve/sweep
+	t0 := time.Now()
+	if !e.Cancel(j.ID()) {
+		t.Fatal("cancel: unknown job")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	s := j.Wait(ctx)
+	if !s.State.Terminal() {
+		t.Fatalf("job not terminal %v after cancel", time.Since(t0))
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want < 2s", elapsed)
+	}
+	if s.State != StateCancelled {
+		t.Fatalf("state = %s (err %v), want cancelled", s.State, s.Err)
+	}
+	if got := e.Metrics().Snapshot().Counters["service.jobs_cancelled"]; got != 1 {
+		t.Fatalf("jobs_cancelled = %d, want 1", got)
+	}
+
+	// The worker survives and serves the next job.
+	small := genNetlist(t, 80, 90, 5)
+	j2, err := e.Submit(Request{Netlist: small})
+	if err != nil {
+		t.Fatalf("submit after cancel: %v", err)
+	}
+	if s2 := j2.Wait(context.Background()); s2.State != StateDone {
+		t.Fatalf("post-cancel job: state=%s err=%v", s2.State, s2.Err)
+	}
+}
+
+func TestOptionsNormalizeAndKey(t *testing.T) {
+	if _, err := (Options{Algo: "anneal"}).normalize(); err == nil {
+		t.Fatal("unknown algo accepted")
+	}
+	if _, err := (Options{Scheme: "bogus"}).normalize(); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := (&Engine{}).Submit(Request{}); err == nil {
+		t.Fatal("nil netlist accepted")
+	}
+
+	h := genNetlist(t, 30, 36, 2)
+	base, _ := Options{}.normalize()
+	k1 := cacheKey(h, base)
+	par, _ := Options{Parallelism: 8, Timeout: time.Minute}.normalize()
+	if cacheKey(h, par) != k1 {
+		t.Fatal("parallelism/timeout leaked into the cache key")
+	}
+	ml, _ := Options{Algo: AlgoMultilevel}.normalize()
+	if cacheKey(h, ml) == k1 {
+		t.Fatal("algo not part of the cache key")
+	}
+	ml2, _ := Options{Algo: AlgoMultilevel, Levels: 4}.normalize()
+	if cacheKey(h, ml2) == cacheKey(h, ml) {
+		t.Fatal("levels not part of the multilevel cache key")
+	}
+	// Levels is irrelevant (zeroed) for flat igmatch.
+	flatLv, _ := Options{Algo: AlgoIGMatch, Levels: 5}.normalize()
+	if cacheKey(h, flatLv) != k1 {
+		t.Fatal("levels leaked into the flat igmatch cache key")
+	}
+}

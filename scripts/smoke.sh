@@ -1,0 +1,126 @@
+#!/bin/sh
+# End-to-end smoke test of the igpartd daemon, suitable for CI:
+#
+#   1. build igpartd and netgen;
+#   2. generate a benchmark netlist into a scratch data directory;
+#   3. boot the daemon on a random port and parse the address it logs;
+#   4. submit the netlist by server-side path, poll until terminal;
+#   5. assert the job finished "done" with a positive ratio cut;
+#   6. SIGTERM the daemon and require a clean, prompt exit.
+#
+# Requires only the Go toolchain and POSIX sh + grep + sed.
+set -eu
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -9 "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "smoke: building binaries"
+go build -o "$workdir/igpartd" igpart/cmd/igpartd
+go build -o "$workdir/netgen" igpart/cmd/netgen
+
+mkdir "$workdir/data"
+"$workdir/netgen" -bench bm1 -out "$workdir/data/bm1.hgr"
+
+echo "smoke: starting igpartd"
+"$workdir/igpartd" -addr 127.0.0.1:0 -data "$workdir/data" >"$workdir/igpartd.log" 2>&1 &
+daemon_pid=$!
+
+# The daemon logs "igpartd: listening on HOST:PORT" once the socket is
+# bound; wait for that line and extract the address.
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/.*igpartd: listening on \([0-9.:]*\)$/\1/p' "$workdir/igpartd.log" | head -1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "smoke: daemon died during startup" >&2
+        cat "$workdir/igpartd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "smoke: daemon never logged its address" >&2
+    cat "$workdir/igpartd.log" >&2
+    exit 1
+fi
+echo "smoke: daemon up at $addr"
+
+# fetch METHOD PATH [BODY]: response body lands in $resp, HTTP status
+# in $status. Runs in the current shell (no command substitution) so
+# both variables survive the call.
+fetch() {
+    method=$1 path=$2 body=${3:-}
+    if [ -n "$body" ]; then
+        status=$(curl -sS -o "$workdir/resp" -w '%{http_code}' -X "$method" \
+            -H 'Content-Type: application/json' -d "$body" "http://$addr$path")
+    else
+        status=$(curl -sS -o "$workdir/resp" -w '%{http_code}' -X "$method" "http://$addr$path")
+    fi
+    resp=$(cat "$workdir/resp")
+}
+
+fetch GET /healthz
+[ "$status" = 200 ] || { echo "smoke: /healthz -> $status ($resp)" >&2; exit 1; }
+
+echo "smoke: submitting job"
+fetch POST /v1/jobs '{"path": "bm1.hgr"}'
+[ "$status" = 202 ] || { echo "smoke: submit -> $status ($resp)" >&2; exit 1; }
+job_id=$(printf '%s' "$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$job_id" ] || { echo "smoke: no job id in $resp" >&2; exit 1; }
+
+echo "smoke: polling $job_id"
+state=""
+i=0
+while [ $i -lt 300 ]; do
+    fetch GET "/v1/jobs/$job_id"
+    [ "$status" = 200 ] || { echo "smoke: poll -> $status ($resp)" >&2; exit 1; }
+    state=$(printf '%s' "$resp" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    case "$state" in
+        done) break ;;
+        failed|cancelled) echo "smoke: job ended $state: $resp" >&2; exit 1 ;;
+    esac
+    sleep 0.2
+    i=$((i + 1))
+done
+[ "$state" = done ] || { echo "smoke: job stuck in state '$state'" >&2; exit 1; }
+
+ratio=$(printf '%s' "$resp" | sed -n 's/.*"ratio_cut":\([0-9.e+-]*\).*/\1/p')
+[ -n "$ratio" ] || { echo "smoke: no ratio_cut in result: $resp" >&2; exit 1; }
+case "$ratio" in
+    0|0.0|-*) echo "smoke: implausible ratio cut $ratio" >&2; exit 1 ;;
+esac
+echo "smoke: job done, ratio cut $ratio"
+
+fetch GET /metrics
+printf '%s' "$resp" | grep -q '"service.jobs_completed":1' || {
+    echo "smoke: metrics missing completed job: $resp" >&2; exit 1; }
+
+echo "smoke: sending SIGTERM"
+kill -TERM "$daemon_pid"
+i=0
+while kill -0 "$daemon_pid" 2>/dev/null; do
+    if [ $i -ge 100 ]; then
+        echo "smoke: daemon did not exit within 10s of SIGTERM" >&2
+        cat "$workdir/igpartd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+grep -q 'shutdown complete' "$workdir/igpartd.log" || {
+    echo "smoke: no clean shutdown in log" >&2
+    cat "$workdir/igpartd.log" >&2
+    exit 1
+}
+echo "smoke: PASS"
