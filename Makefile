@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz fuzz-smoke bench-sanity experiments cover serve smoke clean
+.PHONY: all build vet lint test race bench fuzz fuzz-smoke bench-sanity experiments cover serve smoke chaos clean
 
 all: build vet lint test
 
@@ -33,11 +33,23 @@ test:
 	$(GO) test -race ./internal/core ./internal/bipartite ./internal/service ./cmd/igpartd
 	$(GO) test ./internal/hypergraph -run '^$$' -fuzz '^FuzzBookshelfRoundTrip$$' -fuzztime 10s
 
-# CI fuzz smoke: 10 seconds on the Bookshelf writer round trip and on the
-# multilevel V-cycle invariants.
+# CI fuzz smoke: 10 seconds each on the Bookshelf writer round trip, the
+# multilevel V-cycle invariants, and service request validation.
 fuzz-smoke:
 	$(GO) test ./internal/hypergraph -run '^$$' -fuzz '^FuzzBookshelfRoundTrip$$' -fuzztime 10s
 	$(GO) test ./internal/multilevel -run '^$$' -fuzz '^FuzzVCycle$$' -fuzztime 10s
+	$(GO) test ./internal/service -run '^$$' -fuzz '^FuzzRequestValidate$$' -fuzztime 10s
+
+# Chaos suite: the seeded fault-injection and panic-isolation tests —
+# injector determinism, shard panic barriers, eigen fallback rungs, the
+# 100-panicking-jobs survival run, and the daemon's degraded-readiness
+# probes — all under the race detector.
+chaos:
+	$(GO) test -race ./internal/fault
+	$(GO) test -race ./internal/core -run 'Panic|SlowShard|FaultThreaded'
+	$(GO) test -race ./internal/eigen -run 'Fallback|NoConverge|Rung|NonFinite'
+	$(GO) test -race ./internal/service -run 'Chaos|Retry|Backoff|Health|Validate|ShutdownRacingCancel'
+	$(GO) test -race ./cmd/igpartd -run 'Readyz|Liveness|IOReadErr|BadRequest'
 
 # CI bench sanity: regenerate the small-circuit report and fail on any
 # ratio-cut regression beyond 10% of the checked-in baseline.
@@ -59,6 +71,7 @@ fuzz:
 	$(GO) test ./internal/hypergraph -fuzz FuzzReadBookshelf -fuzztime 30s
 	$(GO) test ./internal/hypergraph -fuzz FuzzBookshelfRoundTrip -fuzztime 30s
 	$(GO) test ./internal/multilevel -fuzz FuzzVCycle -fuzztime 30s
+	$(GO) test ./internal/service -fuzz FuzzRequestValidate -fuzztime 30s
 
 # Regenerate every paper table at full size.
 experiments:

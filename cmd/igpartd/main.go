@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"igpart"
 	"igpart/internal/service"
 )
 
@@ -38,14 +39,28 @@ func main() {
 		shutdownGrace = flag.Duration("shutdown-grace", 30*time.Second, "drain budget after SIGTERM before cancelling jobs")
 		readTimeout   = flag.Duration("read-timeout", 30*time.Second, "per-request read timeout")
 		writeTimeout  = flag.Duration("write-timeout", 30*time.Second, "per-request write timeout")
+		retry         = flag.Int("retry", 0, "solve attempts per job (0 = default 2, negative disables retrying)")
+		inject        = flag.String("inject", "", "fault-injection spec, e.g. 'worker.panic:limit=1,eigen.noconverge:p=0.5' (empty = off)")
+		injectSeed    = flag.Int64("inject-seed", 1, "seed for the deterministic fault-injection streams")
 	)
 	flag.Parse()
+	reg := new(igpart.MetricsRegistry)
+	inj, err := igpart.ParseFaultSpec(*inject, *injectSeed, reg)
+	if err != nil {
+		log.Fatalf("igpartd: -inject: %v", err)
+	}
+	if inj != nil {
+		log.Printf("igpartd: FAULT INJECTION ARMED: %s", inj)
+	}
 	if err := run(*addr, *dataDir, *maxBody, *shutdownGrace, *readTimeout, *writeTimeout, service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxJobTimeout,
+		Metrics:        reg,
+		RetryAttempts:  *retry,
+		Fault:          inj,
 	}); err != nil {
 		log.Fatalf("igpartd: %v", err)
 	}
@@ -61,7 +76,7 @@ func run(addr, dataDir string, maxBody int64, grace, readTO, writeTO time.Durati
 	}
 	engine := service.New(cfg)
 	srv := &http.Server{
-		Handler:           newServer(engine, serverConfig{dataDir: dataDir, maxBody: maxBody}),
+		Handler:           newServer(engine, serverConfig{dataDir: dataDir, maxBody: maxBody, inj: cfg.Fault}),
 		ReadTimeout:       readTO,
 		WriteTimeout:      writeTO,
 		ReadHeaderTimeout: 10 * time.Second,

@@ -5,7 +5,10 @@
 //	POST   /v1/jobs      submit a partitioning job (202 + job id)
 //	GET    /v1/jobs/{id} poll status; terminal jobs carry the result
 //	DELETE /v1/jobs/{id} request cooperative cancellation
-//	GET    /healthz      liveness probe
+//	GET    /healthz      liveness probe (alias of /livez)
+//	GET    /livez        liveness probe: 200 while the process serves
+//	GET    /readyz       readiness probe: 503 while degraded (queue
+//	                     backlog or consecutive solve panics) or draining
 //	GET    /metrics      JSON dump of the obs metrics registry
 //
 // Submission is non-blocking end to end: a full queue answers 429
@@ -24,6 +27,7 @@ import (
 	"time"
 
 	"igpart"
+	"igpart/internal/fault"
 	"igpart/internal/service"
 )
 
@@ -34,6 +38,9 @@ type serverConfig struct {
 	dataDir string
 	// maxBody bounds the request body size in bytes.
 	maxBody int64
+	// inj arms the transport-layer fault points (io.read-err in netlist
+	// loading); nil disarms them.
+	inj *fault.Injector
 }
 
 // server routes HTTP requests onto a service.Engine.
@@ -51,7 +58,9 @@ func newServer(engine *service.Engine, cfg serverConfig) *server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /healthz", s.handleLive)
+	s.mux.HandleFunc("GET /livez", s.handleLive)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -83,10 +92,13 @@ type submitRequest struct {
 
 // jobJSON is the wire form of a job snapshot.
 type jobJSON struct {
-	ID        string      `json:"id"`
-	State     string      `json:"state"`
-	Cached    bool        `json:"cached,omitempty"`
-	Error     string      `json:"error,omitempty"`
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Stack carries the recovered panic stack when the job failed
+	// because a solve panicked; empty otherwise.
+	Stack     string      `json:"stack,omitempty"`
 	Submitted time.Time   `json:"submitted"`
 	Started   *time.Time  `json:"started,omitempty"`
 	Finished  *time.Time  `json:"finished,omitempty"`
@@ -118,6 +130,9 @@ func snapshotJSON(snap service.Snapshot) jobJSON {
 	}
 	if snap.Err != nil {
 		j.Error = snap.Err.Error()
+		if pe, ok := fault.AsPanic(snap.Err); ok {
+			j.Stack = string(pe.Stack)
+		}
 	}
 	if !snap.Started.IsZero() {
 		t := snap.Started
@@ -150,8 +165,16 @@ func snapshotJSON(snap service.Snapshot) jobJSON {
 	return j
 }
 
+// errTransientIO marks a netlist read that failed for reasons the
+// caller can retry (as opposed to a malformed request); handleSubmit
+// maps it to 503.
+var errTransientIO = errors.New("transient read error loading netlist")
+
 // loadNetlist resolves the submission's netlist source.
 func (s *server) loadNetlist(req *submitRequest) (*igpart.Netlist, error) {
+	if s.cfg.inj.Active(fault.IOReadErr) {
+		return nil, errTransientIO
+	}
 	switch {
 	case req.Path != "" && req.Bookshelf != nil:
 		return nil, errors.New("set exactly one of \"path\" and \"bookshelf\"")
@@ -190,6 +213,11 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h, err := s.loadNetlist(&req)
+	if errors.Is(err, errTransientIO) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -215,6 +243,9 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, service.ErrShutdown):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, service.ErrBadRequest):
+		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	case err != nil:
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -243,8 +274,39 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snapshotJSON(job.Snapshot()))
 }
 
-func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+// handleLive is the liveness probe: the process is up and serving, say
+// 200 — even when degraded, because restarting a degraded daemon loses
+// its queue for no gain. (/healthz is an alias so pre-split monitoring
+// keeps working.)
+func (s *server) handleLive(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// healthJSON is the /readyz payload.
+type healthJSON struct {
+	Status      string   `json:"status"`
+	Reasons     []string `json:"reasons,omitempty"`
+	QueueDepth  int      `json:"queue_depth"`
+	QueueCap    int      `json:"queue_cap"`
+	PanicStreak int      `json:"panic_streak,omitempty"`
+}
+
+// handleReady is the readiness probe: 503 tells the load balancer to
+// route new work elsewhere while the engine is backlogged, repeatedly
+// panicking, or draining — conditions that self-heal without a restart.
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	hl := s.engine.Health()
+	status := http.StatusOK
+	if !hl.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, healthJSON{
+		Status:      hl.Status,
+		Reasons:     hl.Reasons,
+		QueueDepth:  hl.QueueDepth,
+		QueueCap:    hl.QueueCap,
+		PanicStreak: hl.PanicStreak,
+	})
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

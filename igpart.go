@@ -42,6 +42,7 @@ import (
 	"igpart/internal/cluster"
 	"igpart/internal/core"
 	"igpart/internal/eigen"
+	"igpart/internal/fault"
 	"igpart/internal/flow"
 	"igpart/internal/fm"
 	"igpart/internal/hypergraph"
@@ -167,6 +168,10 @@ type IGMatchOptions struct {
 	// detect it). A nil or background context changes nothing — results
 	// stay bit-identical.
 	Ctx context.Context
+	// Fault, when non-nil, arms deterministic fault-injection points in
+	// the pipeline (see ParseFaultSpec). Nil — the production default —
+	// disarms every point at zero cost.
+	Fault *FaultInjector
 }
 
 // IGMatchResult extends Result with IG-Match-specific detail.
@@ -197,6 +202,7 @@ func IGMatch(h *Netlist, opts ...IGMatchOptions) (IGMatchResult, error) {
 		Parallelism:    o.Parallelism,
 		Rec:            o.Rec,
 		Ctx:            o.Ctx,
+		Fault:          o.Fault,
 	})
 	if err != nil {
 		return IGMatchResult{}, err
@@ -245,6 +251,9 @@ type MultilevelOptions struct {
 	// threaded into the coarsest-level solve. A nil or background context
 	// changes nothing.
 	Ctx context.Context
+	// Fault arms deterministic fault-injection points in the
+	// coarsest-level solve (see ParseFaultSpec). Nil disarms everything.
+	Fault *FaultInjector
 }
 
 // MultilevelResult extends Result with V-cycle detail.
@@ -279,6 +288,7 @@ func MultilevelIGMatch(h *Netlist, opts ...MultilevelOptions) (MultilevelResult,
 			Eigen:       eigen.Options{Seed: o.Seed, BlockSize: o.BlockSize},
 			Parallelism: o.Parallelism,
 			Ctx:         o.Ctx,
+			Fault:       o.Fault,
 		},
 		SkipRefine: o.SkipRefine,
 		Rec:        o.Rec,
@@ -420,6 +430,28 @@ func NewTrace(name string) *Trace { return obs.NewTrace(name) }
 // Stage is one node of the stage-span tree a Trace records: name, wall
 // time, counters, and child stages. Trace.Finish returns the root Stage.
 type Stage = obs.Stage
+
+// MetricsRegistry is the run-wide counters/gauges/timers registry a
+// Trace (and the service engine) records into.
+type MetricsRegistry = obs.Registry
+
+// FaultInjector is a deterministic, seeded fault-injection harness: it
+// arms named points in the pipeline (eigen non-convergence, slow sweep
+// shards, worker panics, …) with per-point firing rules. A nil injector
+// is the production configuration — every point is disarmed at zero
+// cost. See internal/fault for the point catalogue and rule semantics.
+type FaultInjector = fault.Injector
+
+// ParseFaultSpec parses a fault-injection spec string of the form
+//
+//	point[:p=X][:every=N][:limit=N][,point...]
+//
+// e.g. "eigen.noconverge:limit=1,sweep.slow-shard:p=0.25" — into an
+// injector seeded with seed, recording fire counts into reg (which may
+// be nil). An empty spec returns a nil injector: injection off.
+func ParseFaultSpec(spec string, seed int64, reg *MetricsRegistry) (*FaultInjector, error) {
+	return fault.Parse(spec, seed, reg)
+}
 
 // Sparsity compares the clique-model and intersection-graph representation
 // sizes of h (stored off-diagonal nonzeros).

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"igpart/internal/fault"
+	"igpart/internal/obs"
+)
+
+// panicRecorder is an obs.Recorder whose Count panics inside any span
+// whose name marks a sweep shard. Because sweepShard records counters
+// on its shard span from inside the worker goroutine, this drives a
+// genuine mid-shard panic through the production code path — the
+// closest a test can get to "the matcher blew up on this shard".
+type panicRecorder struct {
+	name string
+	reg  *obs.Registry
+}
+
+func (p *panicRecorder) StartSpan(name string) obs.Recorder {
+	return &panicRecorder{name: name, reg: p.reg}
+}
+
+func (p *panicRecorder) Count(name string, delta int64) {
+	if strings.HasPrefix(p.name, "shard[") {
+		panic("synthetic shard failure in " + p.name)
+	}
+}
+
+func (p *panicRecorder) End()                   {}
+func (p *panicRecorder) Metrics() *obs.Registry { return p.reg }
+func (p *panicRecorder) Enabled() bool          { return true }
+
+// TestSweepShardPanicIsolated asserts the shard recover barrier: a panic
+// raised inside a shard — serial or on a worker goroutine — must not
+// crash the process, must surface as a structured PanicError with a
+// captured stack, and must bump the sweep.shard_panics counter.
+func TestSweepShardPanicIsolated(t *testing.T) {
+	h := randomCircuit(t, 1)
+	for _, p := range []int{1, 4} {
+		reg := new(obs.Registry)
+		_, err := Partition(h, Options{Parallelism: p, Rec: &panicRecorder{reg: reg}})
+		if err == nil {
+			t.Fatalf("P=%d: shard panic did not fail the run", p)
+		}
+		if !strings.Contains(err.Error(), "sweep shard panicked") {
+			t.Fatalf("P=%d: err = %v, want sweep-shard-panicked wrapper", p, err)
+		}
+		pe, ok := fault.AsPanic(err)
+		if !ok {
+			t.Fatalf("P=%d: err = %v, want wrapped fault.PanicError", p, err)
+		}
+		if !strings.Contains(pe.Error(), "synthetic shard failure") {
+			t.Fatalf("P=%d: panic value lost: %v", p, pe)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("P=%d: panic stack not captured", p)
+		}
+		if got := reg.Snapshot().Counters["sweep.shard_panics"]; got < 1 {
+			t.Fatalf("P=%d: sweep.shard_panics = %d, want ≥ 1", p, got)
+		}
+	}
+}
+
+// TestSlowShardInjectionParity asserts that the sweep.slow-shard point
+// only adds latency: results under injection are bit-identical to a
+// clean run at the same parallelism.
+func TestSlowShardInjectionParity(t *testing.T) {
+	h := randomCircuit(t, 2)
+	clean, err := Partition(h, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.New(7, nil, fault.Rule{Point: fault.SweepSlowShard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Partition(h, Options{Parallelism: 4, Fault: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Fires(fault.SweepSlowShard) < 1 {
+		t.Fatal("slow-shard point never fired")
+	}
+	if clean.BestRank != slow.BestRank || clean.Metrics != slow.Metrics {
+		t.Fatalf("slow-shard injection changed the result: %+v vs %+v", clean.Metrics, slow.Metrics)
+	}
+	for v := 0; v < h.NumModules(); v++ {
+		if clean.Partition.Side(v) != slow.Partition.Side(v) {
+			t.Fatalf("module %d on different sides under slow-shard injection", v)
+		}
+	}
+}
+
+// TestEigenFaultThreadedThroughCore asserts Options.Fault reaches the
+// eigensolver: with eigen.noconverge armed once, the run still succeeds
+// (the fallback chain absorbs it) and the point records its fire.
+func TestEigenFaultThreadedThroughCore(t *testing.T) {
+	h := randomCircuit(t, 0)
+	inj, err := fault.New(3, nil, fault.Rule{Point: fault.EigenNoConverge, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Partition(h, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(h, Options{Parallelism: 1, Fault: inj})
+	if err != nil {
+		t.Fatalf("Partition with one injected non-convergence: %v", err)
+	}
+	if inj.Fires(fault.EigenNoConverge) != 1 {
+		t.Fatalf("eigen.noconverge fired %d times, want 1", inj.Fires(fault.EigenNoConverge))
+	}
+	// The retry rung solves the same eigenproblem, so the sweep sees the
+	// same ordering up to eigenvector sign/degeneracy; the ratio cut of
+	// the winning split must match the clean run on this instance.
+	if res.Metrics.RatioCut != clean.Metrics.RatioCut {
+		t.Fatalf("ratio cut diverged under retry rung: %v vs %v",
+			res.Metrics.RatioCut, clean.Metrics.RatioCut)
+	}
+}

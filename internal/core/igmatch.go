@@ -29,6 +29,7 @@ import (
 
 	"igpart/internal/bipartite"
 	"igpart/internal/eigen"
+	"igpart/internal/fault"
 	"igpart/internal/hypergraph"
 	"igpart/internal/netmodel"
 	"igpart/internal/obs"
@@ -74,6 +75,12 @@ type Options struct {
 	// nil or background context changes nothing — results stay
 	// bit-identical.
 	Ctx context.Context
+	// Fault, when non-nil, arms deterministic fault-injection points in
+	// the run (eigen.noconverge before each iterative eigensolve,
+	// sweep.slow-shard at each shard's start). nil — the production
+	// default — disarms every point at zero cost; injection with a fixed
+	// seed is reproducible across runs.
+	Fault *fault.Injector
 }
 
 // ctxErr polls an optional context: nil contexts never cancel.
@@ -145,6 +152,9 @@ func Partition(h *hypergraph.Hypergraph, opts Options) (Result, error) {
 	}
 	if eo.Ctx == nil {
 		eo.Ctx = opts.Ctx
+	}
+	if eo.Fault == nil {
+		eo.Fault = opts.Fault
 	}
 	fied, err := eigen.Fiedler(q, eo)
 	esp.End()
@@ -231,7 +241,7 @@ func sweep(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) 
 	}
 
 	sw := rec.StartSpan("sweep")
-	shards := runShards(opts.Ctx, h, adj, order, nSplits, shardCount(opts.Parallelism, nSplits), trace, sw)
+	shards := runShards(opts.Ctx, h, adj, order, nSplits, shardCount(opts.Parallelism, nSplits), trace, sw, opts.Fault)
 
 	// Deterministic reduction: shards cover ascending rank ranges, and a
 	// later shard only displaces the incumbent on a strict metric
@@ -244,6 +254,9 @@ func sweep(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) 
 	for _, sb := range shards {
 		if sb.err != nil {
 			sw.End()
+			if _, ok := fault.AsPanic(sb.err); ok {
+				return Result{}, fmt.Errorf("core: sweep shard panicked: %w", sb.err)
+			}
 			return Result{}, fmt.Errorf("core: sweep cancelled: %w", sb.err)
 		}
 		if sb.have && better(sb.met, bestCost) {

@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"igpart/internal/fault"
 	"igpart/internal/hypergraph"
 	"igpart/internal/obs"
 )
@@ -45,9 +47,9 @@ func shardCount(parallelism, nSplits int) int {
 // sw is the sweep stage span; each shard records under its own child
 // span. Child spans are opened before the workers launch so the stage
 // tree lists shards in ascending rank order regardless of scheduling.
-func runShards(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, order []int, nSplits, p int, trace []SplitRecord, sw obs.Recorder) []shardBest {
+func runShards(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, order []int, nSplits, p int, trace []SplitRecord, sw obs.Recorder, inj *fault.Injector) []shardBest {
 	if p <= 1 {
-		return []shardBest{sweepShard(ctx, h, adj, order, 1, nSplits+1, trace, shardSpan(sw, 1, nSplits+1))}
+		return []shardBest{safeSweepShard(ctx, h, adj, order, 1, nSplits+1, trace, shardSpan(sw, 1, nSplits+1), inj)}
 	}
 	shards := make([]shardBest, p)
 	spans := make([]obs.Recorder, p)
@@ -59,11 +61,39 @@ func runShards(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, order
 		wg.Add(1)
 		go func(i, lo, hi int) {
 			defer wg.Done()
-			shards[i] = sweepShard(ctx, h, adj, order, lo, hi, trace, spans[i])
+			shards[i] = safeSweepShard(ctx, h, adj, order, lo, hi, trace, spans[i], inj)
 		}(i, lo, hi)
 	}
 	wg.Wait()
 	return shards
+}
+
+// slowShardDelay is the straggler latency the sweep.slow-shard fault
+// injection point adds at shard start.
+const slowShardDelay = 20 * time.Millisecond
+
+// safeSweepShard runs one shard behind a recover barrier. The barrier
+// is load-bearing: shards run on their own goroutines, where an
+// unrecovered panic kills the whole process regardless of any recovery
+// the job engine does around the solve — so a panicking shard must be
+// converted to a structured shard error right here. The panic value and
+// stack are captured in a fault.PanicError and counted in the run's
+// sweep.shard_panics metric; the sweep reduction turns it into a failed
+// run, and its sibling shards finish normally.
+//
+// The fault.SweepSlowShard injection point delays the shard's start to
+// exercise straggler skew deterministically; it never changes results.
+func safeSweepShard(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, order []int, lo, hi int, trace []SplitRecord, sp obs.Recorder, inj *fault.Injector) (sb shardBest) {
+	defer func() {
+		if r := recover(); r != nil {
+			sb = shardBest{err: fault.Recovered(r)}
+			sp.Metrics().Counter("sweep.shard_panics").Add(1)
+		}
+	}()
+	if inj.Active(fault.SweepSlowShard) {
+		time.Sleep(slowShardDelay)
+	}
+	return sweepShard(ctx, h, adj, order, lo, hi, trace, sp)
 }
 
 // shardSpan opens the stage span for one shard's rank range. The label

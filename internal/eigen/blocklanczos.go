@@ -2,7 +2,6 @@ package eigen
 
 import (
 	"errors"
-	"fmt"
 	"math"
 	"math/rand"
 
@@ -150,12 +149,18 @@ func largestDeflatedBlock(op Operator, deflate [][]float64, opts Options) (float
 		}
 		theta, ritz, residual = th, v, res
 		if residual <= opts.Tol*math.Max(math.Abs(theta), 1) {
+			if err := checkFinitePair(theta, ritz, cycle); err != nil {
+				return theta, ritz, err
+			}
 			return theta, ritz, nil
 		}
 		start = ritz
 	}
 	if residual <= 1e3*opts.Tol*math.Max(math.Abs(theta), 1) {
+		if err := checkFinitePair(theta, ritz, opts.MaxRestarts); err != nil {
+			return theta, ritz, err
+		}
 		return theta, ritz, nil
 	}
-	return theta, ritz, fmt.Errorf("eigen: block Lanczos did not converge (residual %.3g after %d restarts)", residual, opts.MaxRestarts)
+	return theta, ritz, &NoConvergeError{Residual: residual, Restarts: opts.MaxRestarts}
 }

@@ -1,0 +1,174 @@
+package eigen
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"igpart/internal/fault"
+	"igpart/internal/obs"
+	"igpart/internal/sparse"
+)
+
+// mustInjector builds an injector for one point, failing the test on a
+// bad rule.
+func mustInjector(t *testing.T, reg *obs.Registry, r fault.Rule) *fault.Injector {
+	t.Helper()
+	in, err := fault.New(1, reg, r)
+	if err != nil {
+		t.Fatalf("fault.New: %v", err)
+	}
+	return in
+}
+
+// ringLaplacian builds the Laplacian of a cycle graph on n vertices —
+// large enough to exercise the iterative path, with a known λ₂ =
+// 2(1−cos(2π/n)).
+func ringLaplacian(n int) *sparse.SymCSR {
+	b := sparse.NewCSRBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(i, (i+1)%n, 1)
+	}
+	return sparse.Laplacian(b.Build())
+}
+
+func TestFiedlerRungLanczosOnCleanRun(t *testing.T) {
+	q := ringLaplacian(100)
+	res, err := Fiedler(q, Options{})
+	if err != nil {
+		t.Fatalf("Fiedler: %v", err)
+	}
+	if res.Rung != RungLanczos || res.Dense {
+		t.Fatalf("rung = %q dense=%v, want %q iterative", res.Rung, res.Dense, RungLanczos)
+	}
+}
+
+func TestFiedlerRetryRungAfterSingleNoConverge(t *testing.T) {
+	reg := new(obs.Registry)
+	inj := mustInjector(t, reg, fault.Rule{Point: fault.EigenNoConverge, Limit: 1})
+	q := ringLaplacian(100)
+	res, err := Fiedler(q, Options{Fault: inj, Rec: obs.NewTrace("t")})
+	if err != nil {
+		t.Fatalf("Fiedler with limit=1 injection: %v", err)
+	}
+	if res.Rung != RungLanczosRetry {
+		t.Fatalf("rung = %q, want %q", res.Rung, RungLanczosRetry)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["fault.fired.eigen.noconverge"] != 1 {
+		t.Fatalf("fired counter = %d, want 1", snap.Counters["fault.fired.eigen.noconverge"])
+	}
+	clean, err := Fiedler(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lambda2-clean.Lambda2) > 1e-6 {
+		t.Fatalf("retry rung λ₂ = %g, clean λ₂ = %g", res.Lambda2, clean.Lambda2)
+	}
+}
+
+func TestFiedlerJacobiFallbackRung(t *testing.T) {
+	reg := new(obs.Registry)
+	inj := mustInjector(t, reg, fault.Rule{Point: fault.EigenNoConverge})
+	tr := obs.NewTrace("t")
+	q := ringLaplacian(100) // > denseCutoff, ≤ default dense fallback cutoff
+	res, err := Fiedler(q, Options{Fault: inj, Rec: tr})
+	if err != nil {
+		t.Fatalf("Fiedler with always-on injection: %v", err)
+	}
+	if res.Rung != RungJacobiFallback || !res.Dense {
+		t.Fatalf("rung = %q dense=%v, want %q dense", res.Rung, res.Dense, RungJacobiFallback)
+	}
+	want := 2 * (1 - math.Cos(2*math.Pi/100))
+	if math.Abs(res.Lambda2-want) > 1e-9 {
+		t.Fatalf("fallback λ₂ = %g, want %g", res.Lambda2, want)
+	}
+	mreg := tr.Metrics().Snapshot()
+	if mreg.Counters["eigen.fallback_retries"] != 1 || mreg.Counters["eigen.fallback_jacobi"] != 1 {
+		t.Fatalf("fallback counters = %+v, want 1 retry / 1 jacobi", mreg.Counters)
+	}
+	// Both iterative rungs armed the injection point.
+	if got := inj.Fires(fault.EigenNoConverge); got != 2 {
+		t.Fatalf("injection fired %d times, want 2 (initial + retry)", got)
+	}
+}
+
+func TestFiedlerFallbackRespectsCutoff(t *testing.T) {
+	inj := mustInjector(t, nil, fault.Rule{Point: fault.EigenNoConverge})
+	q := ringLaplacian(100)
+
+	// Cutoff below n: the chain must end in NoConvergeError.
+	_, err := Fiedler(q, Options{Fault: inj, DenseFallbackCutoff: -1})
+	var nc *NoConvergeError
+	if !errors.As(err, &nc) || !nc.Injected {
+		t.Fatalf("disabled fallback: err = %v, want injected NoConvergeError", err)
+	}
+
+	// Explicit cutoff covering n: rescue succeeds.
+	inj2 := mustInjector(t, nil, fault.Rule{Point: fault.EigenNoConverge})
+	res, err := Fiedler(q, Options{Fault: inj2, DenseFallbackCutoff: 100})
+	if err != nil || res.Rung != RungJacobiFallback {
+		t.Fatalf("explicit cutoff: res=%+v err=%v", res.Rung, err)
+	}
+}
+
+// nanOperator yields NaN on every matvec, simulating numerically
+// poisoned input reaching the solver.
+type nanOperator struct{ n int }
+
+func (o nanOperator) N() int { return o.n }
+func (o nanOperator) MulVec(y, _ []float64) {
+	for i := range y {
+		y[i] = math.NaN()
+	}
+}
+
+func TestLargestDeflatedGuardsNonFiniteOutput(t *testing.T) {
+	_, _, err := LargestDeflated(nanOperator{n: 64}, nil, Options{})
+	if err == nil {
+		t.Fatal("NaN operator converged")
+	}
+	var nc *NoConvergeError
+	if !errors.As(err, &nc) {
+		t.Fatalf("err = %v, want NoConvergeError so the fallback chain trips", err)
+	}
+}
+
+func TestBlockLanczosInjectedNoConverge(t *testing.T) {
+	inj := mustInjector(t, nil, fault.Rule{Point: fault.EigenNoConverge})
+	q := ringLaplacian(100)
+	res, err := Fiedler(q, Options{Fault: inj, BlockSize: 4})
+	if err != nil || res.Rung != RungJacobiFallback {
+		t.Fatalf("block-mode fallback: rung=%q err=%v", res.Rung, err)
+	}
+}
+
+func TestSmallestKDenseRescue(t *testing.T) {
+	inj := mustInjector(t, nil, fault.Rule{Point: fault.EigenNoConverge})
+	q := ringLaplacian(100)
+	vals, vecs, err := SmallestK(q, 3, Options{Fault: inj})
+	if err != nil {
+		t.Fatalf("SmallestK under injection: %v", err)
+	}
+	clean, cleanVecs, err := SmallestK(q, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Abs(vals[i]-clean[i]) > 1e-6 {
+			t.Fatalf("rescued vals = %v, clean = %v", vals, clean)
+		}
+	}
+	if len(vecs) != len(cleanVecs) {
+		t.Fatalf("got %d vectors, want %d", len(vecs), len(cleanVecs))
+	}
+	if err := CheckOrthonormal(vecs, 1e-8); err != nil {
+		t.Fatalf("rescued vectors: %v", err)
+	}
+}
+
+func TestRetrySeedChangesStream(t *testing.T) {
+	if retrySeed(0) == 0 || retrySeed(1) == 1 || retrySeed(0) == retrySeed(1) {
+		t.Fatalf("retrySeed not a proper derivation: %d %d", retrySeed(0), retrySeed(1))
+	}
+}

@@ -49,6 +49,28 @@ func GershgorinUpper(q *sparse.SymCSR) float64 {
 	return bound
 }
 
+// The solver rungs a Fiedler computation can come from, recorded in
+// FiedlerResult.Rung. The fallback chain descends RungLanczos →
+// RungLanczosRetry → RungJacobiFallback; small instances go straight to
+// RungDense.
+const (
+	// RungDense is the small-instance direct dense path (n ≤ denseCutoff).
+	RungDense = "jacobi-dense"
+	// RungLanczos is the first iterative attempt with the caller's options.
+	RungLanczos = "lanczos"
+	// RungLanczosRetry is the second attempt after a non-convergence:
+	// reseeded start vector, doubled restart budget.
+	RungLanczosRetry = "lanczos-retry"
+	// RungJacobiFallback is the exact dense rescue taken when both
+	// iterative rungs failed and the instance is small enough
+	// (Options.DenseFallbackCutoff).
+	RungJacobiFallback = "jacobi-fallback"
+)
+
+// ErrNonFinite reports a solver output containing NaN/Inf entries that
+// survived every rescue rung — it must never reach the sweep ordering.
+var ErrNonFinite = errors.New("eigen: Fiedler vector contains non-finite entries")
+
 // FiedlerResult is the outcome of a Fiedler-vector computation.
 type FiedlerResult struct {
 	// Lambda2 is the second-smallest eigenvalue of the Laplacian. By the
@@ -58,36 +80,98 @@ type FiedlerResult struct {
 	// Vector is the corresponding unit eigenvector, orthogonal to the
 	// all-ones vector.
 	Vector []float64
-	// Dense records whether the small-instance dense path was taken.
+	// Dense records whether a dense (Jacobi) path produced the result —
+	// the small-instance direct path or the fallback rung.
 	Dense bool
+	// Rung names the solver rung that produced the result (one of the
+	// Rung* constants): degraded-mode runs are observable, not silent.
+	Rung string
 }
 
 // denseCutoff is the dimension below which Fiedler uses the exact Jacobi
 // solver instead of Lanczos.
 const denseCutoff = 48
 
+// retrySeed derives the reseeded start vector seed for the retry rung —
+// an LCG step, so the retry explores a genuinely different Krylov space
+// while staying a pure function of the original seed.
+func retrySeed(seed int64) int64 {
+	return seed*6364136223846793005 + 1442695040888963407
+}
+
+// largestWithRetry runs the iterative extremal solve with the first two
+// rungs of the fallback chain: the configured Lanczos (or block
+// Lanczos) attempt, then — on non-convergence or non-finite output —
+// one retry from a reseeded start vector with a doubled restart budget.
+// It reports which rung succeeded. Errors other than NoConvergeError
+// propagate immediately; a NoConvergeError from the retry rung is
+// returned for the caller to escalate to the dense rescue.
+func largestWithRetry(op Operator, deflate [][]float64, opts Options) (float64, []float64, string, error) {
+	mu, x, err := LargestDeflated(op, deflate, opts)
+	if err == nil {
+		return mu, x, RungLanczos, nil
+	}
+	var nc *NoConvergeError
+	if !errors.As(err, &nc) {
+		return 0, nil, RungLanczos, err
+	}
+	retry := opts
+	retry.Seed = retrySeed(opts.Seed)
+	base := opts.MaxRestarts
+	if base <= 0 {
+		base = 8 // withDefaults' MaxRestarts
+	}
+	retry.MaxRestarts = 2 * base
+	rec := obs.OrNop(opts.Rec)
+	sp := rec.StartSpan("eigen-retry")
+	sp.Count("restart-budget", int64(retry.MaxRestarts))
+	mu, x, err = LargestDeflated(op, deflate, retry)
+	sp.End()
+	rec.Metrics().Counter("eigen.fallback_retries").Add(1)
+	return mu, x, RungLanczosRetry, err
+}
+
+// fiedlerDense solves the Fiedler pair exactly with dense Jacobi,
+// guarding the output against non-finite values.
+func fiedlerDense(q *sparse.SymCSR, opts Options, rung string) (FiedlerResult, error) {
+	n := q.N()
+	sp := obs.OrNop(opts.Rec).StartSpan(rung)
+	vals, vecs, err := Jacobi(sparse.FromCSR(q), 0)
+	sp.Count("dim", int64(n))
+	sp.End()
+	if err != nil {
+		return FiedlerResult{}, err
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = vecs[i][1]
+	}
+	if math.IsNaN(vals[1]) || math.IsInf(vals[1], 0) || !finite(x) {
+		return FiedlerResult{}, ErrNonFinite
+	}
+	return FiedlerResult{Lambda2: vals[1], Vector: x, Dense: true, Rung: rung}, nil
+}
+
 // Fiedler computes the second-smallest eigenpair of the graph Laplacian q
 // (q must satisfy Q·1 = 0, which sparse.Laplacian guarantees). Small
 // instances are solved densely by Jacobi; larger ones use shifted Lanczos
 // with the constant vector deflated.
+//
+// Solver failure is a recoverable event, not an error: on Lanczos
+// non-convergence (or NaN/Inf output) the computation descends a
+// fallback chain — retry once with a reseeded start vector and a
+// doubled restart budget, then solve exactly with dense Jacobi when the
+// instance is at most Options.DenseFallbackCutoff. The rung that
+// produced the result is recorded in FiedlerResult.Rung and in the
+// eigen.fallback_* counters of the run's metrics registry. Only when
+// every applicable rung fails does Fiedler return an error.
 func Fiedler(q *sparse.SymCSR, opts Options) (FiedlerResult, error) {
 	n := q.N()
 	if n < 2 {
 		return FiedlerResult{}, errors.New("eigen: Fiedler vector needs at least 2 vertices")
 	}
 	if n <= denseCutoff {
-		sp := obs.OrNop(opts.Rec).StartSpan("jacobi-dense")
-		vals, vecs, err := Jacobi(sparse.FromCSR(q), 0)
-		sp.Count("dim", int64(n))
-		sp.End()
-		if err != nil {
-			return FiedlerResult{}, err
-		}
-		x := make([]float64, n)
-		for i := range x {
-			x[i] = vecs[i][1]
-		}
-		return FiedlerResult{Lambda2: vals[1], Vector: x, Dense: true}, nil
+		return fiedlerDense(q, opts, RungDense)
 	}
 
 	sigma := GershgorinUpper(q)
@@ -98,13 +182,28 @@ func Fiedler(q *sparse.SymCSR, opts Options) (FiedlerResult, error) {
 	for i := range ones {
 		ones[i] = 1 / math.Sqrt(float64(n))
 	}
-	mu, x, err := LargestDeflated(&shifted{q: q, sigma: sigma}, [][]float64{ones}, opts)
+	mu, x, rung, err := largestWithRetry(&shifted{q: q, sigma: sigma}, [][]float64{ones}, opts)
 	if err != nil {
-		return FiedlerResult{}, err
+		var nc *NoConvergeError
+		if !errors.As(err, &nc) || n > opts.denseFallbackCutoff() {
+			return FiedlerResult{}, err
+		}
+		rec := obs.OrNop(opts.Rec)
+		res, jerr := fiedlerDense(q, opts, RungJacobiFallback)
+		rec.Metrics().Counter("eigen.fallback_jacobi").Add(1)
+		if jerr != nil {
+			return FiedlerResult{}, jerr
+		}
+		return res, nil
 	}
 	lambda2 := sigma - mu
 	if lambda2 < 0 && lambda2 > -1e-9*sigma {
 		lambda2 = 0 // clamp tiny negative round-off on disconnected graphs
 	}
-	return FiedlerResult{Lambda2: lambda2, Vector: x}, nil
+	if math.IsNaN(lambda2) || math.IsInf(lambda2, 0) || !finite(x) {
+		// checkFinitePair guards the solver returns, so this is belt and
+		// braces for the σ−μ arithmetic itself.
+		return FiedlerResult{}, ErrNonFinite
+	}
+	return FiedlerResult{Lambda2: lambda2, Vector: x, Rung: rung}, nil
 }

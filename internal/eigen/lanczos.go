@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 
+	"igpart/internal/fault"
 	"igpart/internal/obs"
 	"igpart/internal/sparse"
 )
@@ -45,6 +46,82 @@ type Options struct {
 	// background context changes nothing — the iteration (and therefore
 	// every eigenpair) is bit-identical with or without one.
 	Ctx context.Context
+	// DenseFallbackCutoff bounds the dimension up to which Fiedler (and
+	// SmallestK) may fall back to the exact dense Jacobi solver after
+	// the iterative rungs fail. 0 selects the default (512); negative
+	// disables the dense fallback rung entirely.
+	DenseFallbackCutoff int
+	// Fault, when non-nil, arms deterministic fault injection: the
+	// fault.EigenNoConverge point fires at solve entry and simulates a
+	// non-convergence, exercising the fallback chain. A nil injector is
+	// a no-op — production runs are bit-identical with or without the
+	// field wired.
+	Fault *fault.Injector
+}
+
+// defaultDenseFallback is the dimension bound for the dense Jacobi
+// fallback rung when Options.DenseFallbackCutoff is 0. Jacobi is O(n³)
+// per sweep, so the bound keeps the worst-case rescue solve within
+// interactive time while covering every netlist the paper evaluates.
+const defaultDenseFallback = 512
+
+// denseFallbackCutoff resolves Options.DenseFallbackCutoff.
+func (o Options) denseFallbackCutoff() int {
+	if o.DenseFallbackCutoff > 0 {
+		return o.DenseFallbackCutoff
+	}
+	if o.DenseFallbackCutoff < 0 {
+		return 0
+	}
+	return defaultDenseFallback
+}
+
+// NoConvergeError reports that an iterative eigensolve failed to reach
+// its tolerance (or produced a non-finite result, which is treated the
+// same way). It is the trigger of the Fiedler fallback chain: callers
+// detect it with errors.As and escalate to the next rung instead of
+// failing the whole pipeline.
+type NoConvergeError struct {
+	// Residual is the best residual norm reached (0 when injected).
+	Residual float64
+	// Restarts is the restart budget that was exhausted.
+	Restarts int
+	// NonFinite marks a solve that converged numerically but produced
+	// NaN/Inf entries — poisoned output that must not reach the sweep.
+	NonFinite bool
+	// Injected marks a simulated non-convergence from fault injection.
+	Injected bool
+}
+
+func (e *NoConvergeError) Error() string {
+	switch {
+	case e.Injected:
+		return "eigen: injected non-convergence (fault eigen.noconverge)"
+	case e.NonFinite:
+		return fmt.Sprintf("eigen: solve produced non-finite values (residual %.3g after %d restarts)", e.Residual, e.Restarts)
+	default:
+		return fmt.Sprintf("eigen: did not converge (residual %.3g after %d restarts)", e.Residual, e.Restarts)
+	}
+}
+
+// finite reports whether every entry of x is a finite float.
+func finite(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFinitePair guards an iterative solve's output: a NaN/Inf value
+// or vector entry becomes a NoConvergeError so the fallback chain trips
+// instead of a poisoned ordering reaching the sweep.
+func checkFinitePair(theta float64, ritz []float64, restarts int) error {
+	if math.IsNaN(theta) || math.IsInf(theta, 0) || !finite(ritz) {
+		return &NoConvergeError{Restarts: restarts, NonFinite: true}
+	}
+	return nil
 }
 
 // ctxErr polls an optional context: nil contexts never cancel.
@@ -100,6 +177,12 @@ func LargestDeflated(op Operator, deflate [][]float64, opts Options) (float64, [
 	if opts.MaxSteps > n-len(deflate) {
 		opts.MaxSteps = n - len(deflate)
 	}
+	if opts.Fault.Active(fault.EigenNoConverge) {
+		// Simulated non-convergence: fail at solve entry exactly as an
+		// exhausted restart budget would, so the caller's fallback chain
+		// is exercised end to end.
+		return 0, nil, &NoConvergeError{Restarts: opts.MaxRestarts, Injected: true}
+	}
 	if opts.BlockSize > 1 {
 		return largestDeflatedBlock(op, deflate, opts)
 	}
@@ -147,6 +230,9 @@ func LargestDeflated(op Operator, deflate [][]float64, opts Options) (float64, [
 		}
 		theta, ritz, residual = th, v, res
 		if residual <= opts.Tol*math.Max(math.Abs(theta), 1) {
+			if err := checkFinitePair(theta, ritz, cycle); err != nil {
+				return theta, ritz, err
+			}
 			return theta, ritz, nil
 		}
 		x = ritz // restart from the best Ritz vector
@@ -154,9 +240,12 @@ func LargestDeflated(op Operator, deflate [][]float64, opts Options) (float64, [
 	if residual <= 1e3*opts.Tol*math.Max(math.Abs(theta), 1) {
 		// Close enough for a combinatorial consumer: the sorted order of the
 		// eigenvector entries is what partitioning uses.
+		if err := checkFinitePair(theta, ritz, opts.MaxRestarts); err != nil {
+			return theta, ritz, err
+		}
 		return theta, ritz, nil
 	}
-	return theta, ritz, fmt.Errorf("eigen: Lanczos did not converge (residual %.3g after %d restarts)", residual, opts.MaxRestarts)
+	return theta, ritz, &NoConvergeError{Residual: residual, Restarts: opts.MaxRestarts}
 }
 
 // lanczosCycle runs one restart cycle from the given starting vector and

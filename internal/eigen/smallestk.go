@@ -5,13 +5,40 @@ import (
 	"fmt"
 	"math"
 
+	"igpart/internal/obs"
 	"igpart/internal/sparse"
 )
+
+// smallestKDense solves the full dense eigenproblem and returns the k
+// smallest pairs.
+func smallestKDense(q *sparse.SymCSR, k int) ([]float64, [][]float64, error) {
+	n := q.N()
+	vals, z, err := Jacobi(sparse.FromCSR(q), 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	vecs := make([][]float64, k)
+	for j := 0; j < k; j++ {
+		v := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v[i] = z[i][j]
+		}
+		if !finite(v) || math.IsNaN(vals[j]) || math.IsInf(vals[j], 0) {
+			return nil, nil, ErrNonFinite
+		}
+		vecs[j] = v
+	}
+	return vals[:k], vecs, nil
+}
 
 // SmallestK computes the k smallest eigenvalues (ascending) of the
 // symmetric matrix q and their orthonormal eigenvectors. Small instances
 // use the dense Jacobi solver; larger ones run shifted Lanczos repeatedly,
-// deflating each converged eigenvector.
+// deflating each converged eigenvector. Each deflated solve carries the
+// same fallback chain as Fiedler: a reseeded doubled-budget retry on
+// non-convergence, then — when the instance is within
+// Options.DenseFallbackCutoff — an exact dense solve of the whole
+// problem instead of an error.
 //
 // For a graph Laplacian the first pair is (0, constant vector); Hall's
 // quadratic placement (Appendix A of the paper) uses pairs 2 and 3 for a
@@ -22,19 +49,7 @@ func SmallestK(q *sparse.SymCSR, k int, opts Options) ([]float64, [][]float64, e
 		return nil, nil, fmt.Errorf("eigen: k=%d outside [1,%d]", k, n)
 	}
 	if n <= denseCutoff || k >= n/2 {
-		vals, z, err := Jacobi(sparse.FromCSR(q), 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		vecs := make([][]float64, k)
-		for j := 0; j < k; j++ {
-			v := make([]float64, n)
-			for i := 0; i < n; i++ {
-				v[i] = z[i][j]
-			}
-			vecs[j] = v
-		}
-		return vals[:k], vecs, nil
+		return smallestKDense(q, k)
 	}
 
 	sigma := GershgorinUpper(q)
@@ -48,8 +63,15 @@ func SmallestK(q *sparse.SymCSR, k int, opts Options) ([]float64, [][]float64, e
 	for j := 0; j < k; j++ {
 		o := opts
 		o.Seed = opts.Seed + int64(j)
-		mu, x, err := LargestDeflated(op, deflate, o)
+		mu, x, _, err := largestWithRetry(op, deflate, o)
 		if err != nil {
+			var nc *NoConvergeError
+			if errors.As(err, &nc) && n <= opts.denseFallbackCutoff() {
+				// Dense rescue replaces the whole deflation run: the exact
+				// solver returns every pair at once.
+				obs.OrNop(opts.Rec).Metrics().Counter("eigen.fallback_jacobi").Add(1)
+				return smallestKDense(q, k)
+			}
 			return nil, nil, fmt.Errorf("eigen: pair %d: %w", j+1, err)
 		}
 		lam := sigma - mu

@@ -1,0 +1,216 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"igpart/internal/obs"
+)
+
+func mustNew(t *testing.T, seed int64, reg *obs.Registry, rules ...Rule) *Injector {
+	t.Helper()
+	in, err := New(seed, reg, rules...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return in
+}
+
+func TestNilInjectorIsDisabled(t *testing.T) {
+	var in *Injector
+	for _, p := range Points() {
+		if in.Active(p) {
+			t.Fatalf("nil injector fired %s", p)
+		}
+	}
+	if in.Fires(WorkerPanic) != 0 || in.Arms(WorkerPanic) != 0 || in.Seed() != 0 {
+		t.Fatal("nil injector reported non-zero state")
+	}
+	if in.String() != "fault: disabled" {
+		t.Fatalf("nil String = %q", in.String())
+	}
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	in := mustNew(t, 1, nil, Rule{Point: WorkerPanic})
+	for i := 0; i < 10; i++ {
+		if in.Active(IOReadErr) {
+			t.Fatal("unarmed point fired")
+		}
+	}
+	if in.Arms(IOReadErr) != 0 {
+		t.Fatal("unarmed point accumulated arms")
+	}
+}
+
+func TestBarePointFiresEveryArm(t *testing.T) {
+	reg := new(obs.Registry)
+	in := mustNew(t, 7, reg, Rule{Point: WorkerPanic})
+	for i := 0; i < 25; i++ {
+		if !in.Active(WorkerPanic) {
+			t.Fatalf("arm %d did not fire", i)
+		}
+	}
+	if got := in.Fires(WorkerPanic); got != 25 {
+		t.Fatalf("fires = %d, want 25", got)
+	}
+	if got := reg.Snapshot().Counters["fault.fired.worker.panic"]; got != 25 {
+		t.Fatalf("registry counter = %d, want 25", got)
+	}
+}
+
+func TestLimitCapsFires(t *testing.T) {
+	in := mustNew(t, 7, nil, Rule{Point: WorkerPanic, Limit: 3})
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if in.Active(WorkerPanic) {
+			fires++
+		}
+	}
+	if fires != 3 || in.Fires(WorkerPanic) != 3 {
+		t.Fatalf("fires = %d (state %d), want 3", fires, in.Fires(WorkerPanic))
+	}
+	if in.Arms(WorkerPanic) != 10 {
+		t.Fatalf("arms = %d, want 10", in.Arms(WorkerPanic))
+	}
+}
+
+func TestEveryNthArm(t *testing.T) {
+	in := mustNew(t, 7, nil, Rule{Point: SweepSlowShard, Every: 3})
+	var pattern []bool
+	for i := 0; i < 9; i++ {
+		pattern = append(pattern, in.Active(SweepSlowShard))
+	}
+	for i, fired := range pattern {
+		want := (i+1)%3 == 0
+		if fired != want {
+			t.Fatalf("arm %d fired=%v, want %v", i, fired, want)
+		}
+	}
+}
+
+func TestProbabilityIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := mustNew(t, seed, nil, Rule{Point: EigenNoConverge, P: 0.5})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Active(EigenNoConverge)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at arm %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times — not probabilistic", fires, len(a))
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fire pattern")
+	}
+}
+
+func TestPerPointStreamsAreIndependent(t *testing.T) {
+	// Interleaving arms of a second point must not shift the first
+	// point's decision stream.
+	solo := mustNew(t, 9, nil, Rule{Point: EigenNoConverge, P: 0.5})
+	duo := mustNew(t, 9, nil, Rule{Point: EigenNoConverge, P: 0.5}, Rule{Point: IOReadErr, P: 0.5})
+	for i := 0; i < 100; i++ {
+		duo.Active(IOReadErr)
+		if solo.Active(EigenNoConverge) != duo.Active(EigenNoConverge) {
+			t.Fatalf("arm %d: interleaved point shifted the stream", i)
+		}
+	}
+}
+
+func TestNewRejectsBadRules(t *testing.T) {
+	cases := []Rule{
+		{Point: "bogus.point"},
+		{Point: WorkerPanic, P: -0.5},
+		{Point: WorkerPanic, Every: -1},
+		{Point: WorkerPanic, Limit: -1},
+	}
+	for _, r := range cases {
+		if _, err := New(1, nil, r); err == nil {
+			t.Fatalf("rule %+v accepted", r)
+		}
+	}
+	if _, err := New(1, nil, Rule{Point: WorkerPanic}, Rule{Point: WorkerPanic}); err == nil {
+		t.Fatal("duplicate rules accepted")
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("worker.panic:limit=1, eigen.noconverge ,sweep.slow-shard:p=0.25:every=2", 5, nil)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s := in.String()
+	for _, want := range []string{
+		"seed=5",
+		"worker.panic(p=0,every=1,limit=1)",
+		"eigen.noconverge(p=0,every=1,limit=0)",
+		"sweep.slow-shard(p=0.25,every=2,limit=0)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String %q missing %q", s, want)
+		}
+	}
+
+	if in, err := Parse("", 1, nil); err != nil || in != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", in, err)
+	}
+	for _, bad := range []string{
+		"nope.point",
+		"worker.panic:limit",
+		"worker.panic:p=x",
+		"worker.panic:every=x",
+		"worker.panic:limit=x",
+		"worker.panic:frob=1",
+	} {
+		if _, err := Parse(bad, 1, nil); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = Recovered(r)
+			}
+		}()
+		panic("boom")
+	}()
+	pe, ok := AsPanic(fmt.Errorf("job failed: %w", err))
+	if !ok {
+		t.Fatal("AsPanic missed a wrapped PanicError")
+	}
+	if pe.Value != "boom" || !strings.Contains(pe.Error(), "boom") {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "fault") {
+		t.Fatal("stack not captured at recovery site")
+	}
+	if _, ok := AsPanic(errors.New("plain")); ok {
+		t.Fatal("AsPanic matched a plain error")
+	}
+}

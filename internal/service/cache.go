@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"igpart/internal/fault"
 	"igpart/internal/obs"
 )
 
@@ -21,6 +22,7 @@ type lru struct {
 	order *list.List // front = most recent; values are *lruEntry
 	byKey map[string]*list.Element
 	reg   *obs.Registry
+	inj   *fault.Injector
 }
 
 type lruEntry struct {
@@ -31,7 +33,7 @@ type lruEntry struct {
 // newLRU returns a cache holding up to capacity entries, or nil (a
 // disabled cache — every lookup misses, stores are dropped) when
 // capacity <= 0. The registry may be nil.
-func newLRU(capacity int, reg *obs.Registry) *lru {
+func newLRU(capacity int, reg *obs.Registry, inj *fault.Injector) *lru {
 	if capacity <= 0 {
 		return nil
 	}
@@ -40,6 +42,7 @@ func newLRU(capacity int, reg *obs.Registry) *lru {
 		order: list.New(),
 		byKey: make(map[string]*list.Element, capacity),
 		reg:   reg,
+		inj:   inj,
 	}
 }
 
@@ -68,6 +71,21 @@ func (c *lru) put(key string, res *Result) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer func() {
+		// Evict-storm injection: a firing store is followed by a full
+		// wipe — the stored entry included — counting each eviction.
+		// Correctness must not depend on the cache's contents; only hit
+		// rates and latency may move, and the chaos suite pins exactly
+		// that.
+		if c.inj.Active(fault.CacheEvictStorm) {
+			for c.order.Len() > 0 {
+				oldest := c.order.Back()
+				c.order.Remove(oldest)
+				delete(c.byKey, oldest.Value.(*lruEntry).key)
+				c.reg.Counter("service.cache_evictions").Add(1)
+			}
+		}
+	}()
 	if el, ok := c.byKey[key]; ok {
 		el.Value.(*lruEntry).res = res
 		c.order.MoveToFront(el)

@@ -9,7 +9,7 @@ import (
 
 func TestLRUEviction(t *testing.T) {
 	reg := new(obs.Registry)
-	c := newLRU(2, reg)
+	c := newLRU(2, reg, nil)
 	r1, r2, r3 := &Result{}, &Result{}, &Result{}
 
 	c.put("a", r1)
@@ -53,7 +53,7 @@ func TestLRUEviction(t *testing.T) {
 
 func TestLRUDisabled(t *testing.T) {
 	var c *lru // capacity <= 0 yields nil; all methods must be nil-safe
-	if newLRU(0, nil) != nil {
+	if newLRU(0, nil, nil) != nil {
 		t.Fatal("capacity 0 should disable the cache")
 	}
 	c.put("k", &Result{})
@@ -66,7 +66,7 @@ func TestLRUDisabled(t *testing.T) {
 }
 
 func TestLRUCapacityStress(t *testing.T) {
-	c := newLRU(8, nil)
+	c := newLRU(8, nil, nil)
 	for i := 0; i < 100; i++ {
 		c.put(fmt.Sprintf("k%d", i), &Result{})
 	}

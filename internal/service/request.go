@@ -2,7 +2,9 @@ package service
 
 import (
 	"crypto/sha256"
+	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"igpart"
@@ -48,6 +50,62 @@ type Options struct {
 type Request struct {
 	Netlist *igpart.Netlist
 	Options Options
+}
+
+// ErrBadRequest is the typed rejection for malformed requests: the
+// caller sent something that can never run, as opposed to transient
+// engine conditions like ErrQueueFull. cmd/igpartd maps it to HTTP 400.
+var ErrBadRequest = errors.New("service: bad request")
+
+// Validation bounds for knobs where any larger value signals a
+// corrupted or hostile request rather than a real configuration.
+const (
+	maxBlockSize   = 1 << 10 // block Lanczos beyond this is never useful
+	maxLevels      = 64      // a 64-deep V-cycle exceeds any real netlist
+	maxParallelism = 1 << 16
+)
+
+// badf wraps a formatted validation failure in ErrBadRequest.
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// Validate rejects requests that can never run: no or empty netlist,
+// negative timeouts, and option values outside any sane range. It is
+// called by Engine.Submit before normalization; everything it rejects
+// wraps ErrBadRequest so transports can classify with errors.Is.
+func (r Request) Validate() error {
+	if r.Netlist == nil {
+		return badf("request has no netlist")
+	}
+	if r.Netlist.NumNets() == 0 {
+		return badf("netlist has no nets")
+	}
+	if r.Netlist.NumModules() == 0 {
+		return badf("netlist has no modules")
+	}
+	o := r.Options
+	if o.Timeout < 0 {
+		return badf("negative timeout %v", o.Timeout)
+	}
+	if math.IsNaN(o.CoarseningRatio) || math.IsInf(o.CoarseningRatio, 0) {
+		return badf("coarsening ratio is not finite")
+	}
+	if o.BlockSize > maxBlockSize {
+		return badf("block size %d exceeds %d", o.BlockSize, maxBlockSize)
+	}
+	if o.Levels > maxLevels {
+		return badf("levels %d exceeds %d", o.Levels, maxLevels)
+	}
+	if o.Parallelism > maxParallelism {
+		return badf("parallelism %d exceeds %d", o.Parallelism, maxParallelism)
+	}
+	if o.BlockSize > r.Netlist.NumNets() {
+		// The eigenproblem's dimension is the net count; a block wider
+		// than the matrix is a unit confusion on the caller's side.
+		return badf("block size %d exceeds net count %d", o.BlockSize, r.Netlist.NumNets())
+	}
+	return nil
 }
 
 // schemes maps the wire names onto the weight-scheme constants.

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"context"
+	"time"
+)
+
+// clock is the engine's time source, a seam so retry/backoff schedules
+// are testable with a fake clock instead of wall-time sleeps.
+type clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx fires, returning ctx's error in
+	// the latter case — which is what makes backoff deadline-aware: a
+	// job whose deadline lands mid-backoff stops waiting immediately.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// realClock is the production clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// splitmix64 is the jitter hash: a single mixing step of the splitmix
+// generator, enough to decorrelate attempt indices.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// backoffDelay returns the wait before retry number attempt (1-based):
+// exponential base·2^(attempt−1), capped at max, scaled by a
+// deterministic jitter factor in [½, 1) derived from seed — so
+// schedules are reproducible in tests yet staggered across jobs.
+func backoffDelay(attempt int, base, max time.Duration, seed uint64) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Jitter scales into [½, 1): keep half the delay, randomize the rest.
+	frac := float64(splitmix64(seed^uint64(attempt))>>11) / (1 << 53)
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// Health is the engine's self-assessment, split the way an orchestrator
+// wants it: liveness (the engine exists and can answer) versus
+// readiness (it is sensible to send it more work right now).
+type Health struct {
+	// Live is true as long as the engine has not been shut down.
+	Live bool
+	// Ready is true when the engine accepts work and is not degraded.
+	Ready bool
+	// Status is "ok", "degraded", or "shutdown".
+	Status string
+	// Reasons lists what degraded the engine, empty when Status == "ok".
+	Reasons []string
+	// QueueDepth and QueueCap describe current backlog.
+	QueueDepth int
+	QueueCap   int
+	// PanicStreak is the current run of consecutive solves that panicked.
+	PanicStreak int
+}
+
+// Health reports liveness and readiness. The engine degrades — Ready
+// false, Status "degraded" — when the queue occupancy reaches
+// Config.DegradedQueueFrac of capacity (backpressure is imminent) or
+// when Config.DegradedPanicStreak consecutive solves have panicked
+// (something is systematically wrong, stop routing work here). Both
+// conditions self-heal: draining the queue or one clean solve restores
+// readiness.
+func (e *Engine) Health() Health {
+	e.mu.Lock()
+	closed := e.closed
+	streak := e.panicStreak
+	e.mu.Unlock()
+	h := Health{
+		Live:        !closed,
+		QueueDepth:  len(e.queue),
+		QueueCap:    cap(e.queue),
+		PanicStreak: streak,
+	}
+	if closed {
+		h.Status = "shutdown"
+		h.Reasons = append(h.Reasons, "engine shut down")
+		return h
+	}
+	if frac := float64(h.QueueDepth) / float64(h.QueueCap); frac >= e.cfg.DegradedQueueFrac {
+		h.Reasons = append(h.Reasons, "queue occupancy high")
+	}
+	if streak >= e.cfg.DegradedPanicStreak {
+		h.Reasons = append(h.Reasons, "consecutive solve panics")
+	}
+	if len(h.Reasons) > 0 {
+		h.Status = "degraded"
+		return h
+	}
+	h.Ready = true
+	h.Status = "ok"
+	return h
+}

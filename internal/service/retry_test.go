@@ -1,0 +1,228 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"igpart"
+)
+
+// fakeClock records Sleep calls instead of waiting, so backoff
+// schedules are asserted without wall time. An optional onSleep hook
+// lets a test fire the job context mid-backoff.
+type fakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	sleeps  []time.Duration
+	onSleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.mu.Lock()
+	c.sleeps = append(c.sleeps, d)
+	c.now = c.now.Add(d)
+	hook := c.onSleep
+	c.mu.Unlock()
+	if hook != nil {
+		return hook(ctx, d)
+	}
+	return ctx.Err()
+}
+
+func (c *fakeClock) slept() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}
+
+// failNTimesEngine returns an engine whose solver fails the first n
+// attempts and then succeeds.
+func failNTimesEngine(cfg Config, n int) (*Engine, *fakeClock) {
+	e := New(cfg)
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	e.clock = clk
+	attempts := 0
+	e.solveFn = func(ctx context.Context, req Request, o Options) (*Result, error) {
+		attempts++
+		if attempts <= n {
+			return nil, errors.New("transient solver failure")
+		}
+		return &Result{Algo: o.Algo, Sides: []igpart.Side{igpart.U, igpart.W}}, nil
+	}
+	return e, clk
+}
+
+func TestRetryScheduleWithFakeClock(t *testing.T) {
+	base, max := 100*time.Millisecond, 2*time.Second
+	e, clk := failNTimesEngine(Config{
+		Workers: 1, RetryAttempts: 4,
+		RetryBaseDelay: base, RetryMaxDelay: max,
+	}, 2)
+	defer shutdownNow(t, e)
+
+	h := genNetlist(t, 20, 24, 3)
+	j, err := e.Submit(Request{Netlist: h})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if s := j.Wait(context.Background()); s.State != StateDone {
+		t.Fatalf("state=%s err=%v, want done on attempt 3", s.State, s.Err)
+	}
+	sleeps := clk.slept()
+	if len(sleeps) != 2 {
+		t.Fatalf("slept %d times, want 2 (two failed attempts)", len(sleeps))
+	}
+	// Jittered exponential: attempt n waits in [cap/2, cap) of base·2^(n−1).
+	for i, want := range []time.Duration{base, 2 * base} {
+		if sleeps[i] < want/2 || sleeps[i] >= want {
+			t.Fatalf("sleep %d = %v, want in [%v, %v)", i, sleeps[i], want/2, want)
+		}
+	}
+	if got := e.Metrics().Snapshot().Counters["service.retries"]; got != 2 {
+		t.Fatalf("service.retries = %d, want 2", got)
+	}
+}
+
+func TestRetryExhaustionFailsJob(t *testing.T) {
+	e, clk := failNTimesEngine(Config{Workers: 1, RetryAttempts: 3, RetryBaseDelay: time.Millisecond}, 99)
+	defer shutdownNow(t, e)
+
+	h := genNetlist(t, 20, 24, 3)
+	j, _ := e.Submit(Request{Netlist: h})
+	s := j.Wait(context.Background())
+	if s.State != StateFailed || s.Err == nil {
+		t.Fatalf("state=%s err=%v, want failed with solver error", s.State, s.Err)
+	}
+	if got := len(clk.slept()); got != 2 {
+		t.Fatalf("slept %d times, want 2 (attempts 1→2 and 2→3)", got)
+	}
+}
+
+func TestRetryDisabled(t *testing.T) {
+	e, clk := failNTimesEngine(Config{Workers: 1, RetryAttempts: -1}, 99)
+	defer shutdownNow(t, e)
+
+	h := genNetlist(t, 20, 24, 3)
+	j, _ := e.Submit(Request{Netlist: h})
+	if s := j.Wait(context.Background()); s.State != StateFailed {
+		t.Fatalf("state=%s, want failed on the only attempt", s.State)
+	}
+	if len(clk.slept()) != 0 {
+		t.Fatal("retry-disabled engine backed off")
+	}
+}
+
+// TestRetryDeadlineTruncatesBackoff pins deadline-awareness: when the
+// job deadline lands inside the backoff wait, the engine gives up
+// immediately and the job fails with the deadline cause.
+func TestRetryDeadlineTruncatesBackoff(t *testing.T) {
+	e, clk := failNTimesEngine(Config{
+		Workers: 1, RetryAttempts: 3,
+		RetryBaseDelay: time.Hour, RetryMaxDelay: time.Hour,
+	}, 99)
+	defer shutdownNow(t, e)
+	clk.onSleep = func(ctx context.Context, d time.Duration) error {
+		<-ctx.Done() // an hour-long backoff always outlives the deadline
+		return ctx.Err()
+	}
+
+	h := genNetlist(t, 20, 24, 3)
+	j, err := e.Submit(Request{Netlist: h, Options: Options{Timeout: 30 * time.Millisecond}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	s := j.Wait(context.Background())
+	if s.State != StateFailed || !errors.Is(s.Err, context.DeadlineExceeded) {
+		t.Fatalf("state=%s err=%v, want failed/DeadlineExceeded from mid-backoff", s.State, s.Err)
+	}
+	if got := len(clk.slept()); got != 1 {
+		t.Fatalf("slept %d times, want 1 — no further attempts after the deadline", got)
+	}
+}
+
+func TestBackoffDelayFunction(t *testing.T) {
+	base, max := 100*time.Millisecond, time.Second
+	prevCap := time.Duration(0)
+	for attempt := 1; attempt <= 8; attempt++ {
+		d := backoffDelay(attempt, base, max, 12345)
+		// Uncapped ideal for this attempt.
+		ideal := base
+		for i := 1; i < attempt && ideal < max; i++ {
+			ideal *= 2
+		}
+		if ideal > max {
+			ideal = max
+		}
+		if d < ideal/2 || d >= ideal {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, ideal/2, ideal)
+		}
+		if ideal < prevCap {
+			t.Fatalf("attempt %d: cap shrank", attempt)
+		}
+		prevCap = ideal
+	}
+	// Capped: attempts far out never exceed max.
+	if d := backoffDelay(50, base, max, 1); d >= max {
+		t.Fatalf("attempt 50: delay %v not capped below %v", d, max)
+	}
+	// Deterministic per seed, varies across seeds.
+	if backoffDelay(3, base, max, 7) != backoffDelay(3, base, max, 7) {
+		t.Fatal("same seed gave different delays")
+	}
+	varies := false
+	for seed := uint64(0); seed < 16; seed++ {
+		if backoffDelay(3, base, max, seed) != backoffDelay(3, base, max, seed+100) {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Fatal("jitter never varies across seeds")
+	}
+}
+
+func TestHealthDegradesOnQueueOccupancy(t *testing.T) {
+	h := genNetlist(t, 20, 24, 3)
+	e, release := blockingEngine(Config{Workers: 1, QueueDepth: 4, DegradedQueueFrac: 0.5})
+	defer shutdownNow(t, e)
+
+	if hl := e.Health(); !hl.Ready || !hl.Live || hl.Status != "ok" {
+		t.Fatalf("idle engine Health = %+v, want live+ready", hl)
+	}
+	j1, _ := e.Submit(Request{Netlist: h})
+	waitState(t, j1, StateRunning, 5*time.Second)
+	for i := 0; i < 3; i++ { // 3 queued of 4 ≥ 0.5 occupancy
+		if _, err := e.Submit(Request{Netlist: h}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	hl := e.Health()
+	if hl.Ready || hl.Status != "degraded" || !hl.Live {
+		t.Fatalf("backlogged Health = %+v, want live but degraded", hl)
+	}
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Health().QueueDepth > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if hl := e.Health(); !hl.Ready {
+		t.Fatalf("drained Health = %+v, want readiness restored", hl)
+	}
+}
+
+func TestHealthShutdownNotLive(t *testing.T) {
+	e, _ := blockingEngine(Config{Workers: 1})
+	shutdownNow(t, e)
+	if hl := e.Health(); hl.Live || hl.Ready || hl.Status != "shutdown" {
+		t.Fatalf("shut-down Health = %+v", hl)
+	}
+}

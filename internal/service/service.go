@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"igpart"
+	"igpart/internal/fault"
 	"igpart/internal/obs"
 )
 
@@ -88,6 +89,28 @@ type Config struct {
 	// outcome, queue rejections, cache hits/misses/evictions). Nil gets
 	// a private registry, still reachable via Engine.Metrics.
 	Metrics *obs.Registry
+	// RetryAttempts bounds how many times a failed solve runs in total
+	// (first try included). Default 2 — one retry; negative disables
+	// retrying. Retrying is safe because a solve is a pure function of
+	// the request and successful results are published to the cache.
+	RetryAttempts int
+	// RetryBaseDelay and RetryMaxDelay shape the capped exponential
+	// backoff between attempts (base·2^(n−1), capped, with
+	// deterministic jitter). Defaults 50ms and 2s.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// DegradedQueueFrac is the queue occupancy (0..1] at which Health
+	// reports degraded readiness. Default 0.8.
+	DegradedQueueFrac float64
+	// DegradedPanicStreak is the number of consecutive panicking solves
+	// that flips readiness to degraded. Default 3.
+	DegradedPanicStreak int
+	// Fault arms deterministic fault-injection points in the engine
+	// (worker.panic inside the solve barrier, cache.evict-storm on cache
+	// stores) and is forwarded to the pipeline for eigen.noconverge and
+	// sweep.slow-shard. Nil — the production default — disarms
+	// everything at zero cost.
+	Fault *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +128,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = new(obs.Registry)
+	}
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = 2
+	}
+	if c.RetryAttempts < 1 {
+		c.RetryAttempts = 1
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 2 * time.Second
+	}
+	if c.DegradedQueueFrac <= 0 || c.DegradedQueueFrac > 1 {
+		c.DegradedQueueFrac = 0.8
+	}
+	if c.DegradedPanicStreak <= 0 {
+		c.DegradedPanicStreak = 3
 	}
 	return c
 }
@@ -245,24 +286,32 @@ type Engine struct {
 	// solveFn computes a request's result; tests substitute a stub to
 	// exercise lifecycle paths deterministically.
 	solveFn func(ctx context.Context, req Request, o Options) (*Result, error)
+	// clock paces retry backoff; tests substitute a fake.
+	clock clock
 
-	mu       sync.Mutex
-	closed   bool
-	nextID   int64
-	jobs     map[string]*Job
-	finished []string // terminal job IDs, oldest first, for pruning
+	mu          sync.Mutex
+	closed      bool
+	nextID      int64
+	jobs        map[string]*Job
+	finished    []string // terminal job IDs, oldest first, for pruning
+	panicStreak int      // consecutive panicking solves, for Health
 }
 
 // New starts an engine with cfg's worker pool running.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:     cfg,
-		reg:     cfg.Metrics,
-		cache:   newLRU(cfg.CacheEntries, cfg.Metrics),
-		queue:   make(chan *Job, cfg.QueueDepth),
-		solveFn: solve,
-		jobs:    make(map[string]*Job),
+		cfg:   cfg,
+		reg:   cfg.Metrics,
+		cache: newLRU(cfg.CacheEntries, cfg.Metrics, cfg.Fault),
+		queue: make(chan *Job, cfg.QueueDepth),
+		clock: realClock{},
+		jobs:  make(map[string]*Job),
+	}
+	// The solve closure binds the engine's injector so the pipeline's
+	// own points (eigen.noconverge, sweep.slow-shard) share one stream.
+	e.solveFn = func(ctx context.Context, req Request, o Options) (*Result, error) {
+		return solve(ctx, req, o, cfg.Fault)
 	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -281,12 +330,12 @@ func (e *Engine) CacheLen() int { return e.cache.len() }
 // queue rejects with ErrQueueFull (backpressure), an engine that began
 // shutting down rejects with ErrShutdown.
 func (e *Engine) Submit(req Request) (*Job, error) {
-	if req.Netlist == nil {
-		return nil, errors.New("service: request has no netlist")
+	if err := req.Validate(); err != nil {
+		return nil, err
 	}
 	norm, err := req.Options.normalize()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	req.Options = norm
 	timeout := norm.Timeout
@@ -429,7 +478,7 @@ func (e *Engine) run(job *Job) {
 		}
 		return
 	}
-	res, err := e.solveFn(job.ctx, job.req, job.req.Options)
+	res, err := e.solveWithRetry(job)
 	switch {
 	case err == nil:
 		// Publish to the cache even if a racing Cancel beat us to the
@@ -446,6 +495,67 @@ func (e *Engine) run(job *Job) {
 		if job.finish(StateFailed, nil, false, err) {
 			e.reg.Counter("service.jobs_failed").Add(1)
 			e.recordFinished(job)
+		}
+	}
+}
+
+// safeSolve runs one solve attempt behind the worker recover barrier: a
+// panic anywhere in the pipeline (or injected at fault.WorkerPanic)
+// becomes a structured *fault.PanicError instead of killing the daemon.
+// Recovered panics count in service.panics_recovered and extend the
+// consecutive-panic streak that Health watches; any non-panicking
+// attempt resets the streak.
+func (e *Engine) safeSolve(job *Job) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, e.notePanic(fault.Recovered(r))
+		}
+	}()
+	if e.cfg.Fault.Active(fault.WorkerPanic) {
+		panic("injected fault: " + string(fault.WorkerPanic))
+	}
+	res, err = e.solveFn(job.ctx, job.req, job.req.Options)
+	e.mu.Lock()
+	e.panicStreak = 0
+	e.mu.Unlock()
+	return res, err
+}
+
+// notePanic records a recovered solve panic and returns it.
+func (e *Engine) notePanic(pe *fault.PanicError) error {
+	e.reg.Counter("service.panics_recovered").Add(1)
+	e.mu.Lock()
+	e.panicStreak++
+	e.reg.Gauge("service.panic_streak").Set(float64(e.panicStreak))
+	e.mu.Unlock()
+	return pe
+}
+
+// solveWithRetry runs up to Config.RetryAttempts solve attempts with
+// capped exponential backoff between them. A solve is a pure function
+// of the request and winners are published to the result cache, so
+// retrying is idempotent. The loop is deadline-aware twice over: a job
+// context that has fired stops the loop at once, and the backoff sleep
+// itself aborts when the context fires mid-wait.
+func (e *Engine) solveWithRetry(job *Job) (*Result, error) {
+	// FNV-1a over the job ID, mixed with the request seed: distinct jobs
+	// get distinct — but reproducible — jitter streams.
+	seed := uint64(14695981039346656037)
+	for i := 0; i < len(job.id); i++ {
+		seed = (seed ^ uint64(job.id[i])) * 1099511628211
+	}
+	seed ^= splitmix64(uint64(job.req.Options.Seed))
+	for attempt := 1; ; attempt++ {
+		res, err := e.safeSolve(job)
+		if err == nil || job.ctx.Err() != nil || attempt >= e.cfg.RetryAttempts {
+			return res, err
+		}
+		e.reg.Counter("service.retries").Add(1)
+		d := backoffDelay(attempt, e.cfg.RetryBaseDelay, e.cfg.RetryMaxDelay, seed)
+		if e.clock.Sleep(job.ctx, d) != nil {
+			// Deadline or cancel mid-backoff: surface the solve error; run()
+			// classifies by the context cause.
+			return nil, err
 		}
 	}
 }
@@ -484,8 +594,9 @@ func (e *Engine) pruneFinishedLocked() {
 }
 
 // solve runs the real pipeline for a normalized request, recording the
-// stage-span tree into the result.
-func solve(ctx context.Context, req Request, o Options) (*Result, error) {
+// stage-span tree into the result. inj forwards the engine's fault
+// injector into the pipeline; nil means injection off.
+func solve(ctx context.Context, req Request, o Options, inj *fault.Injector) (*Result, error) {
 	tr := igpart.NewTrace("solve")
 	scheme := schemes[o.Scheme]
 	switch o.Algo {
@@ -500,6 +611,7 @@ func solve(ctx context.Context, req Request, o Options) (*Result, error) {
 			Parallelism:     o.Parallelism,
 			Rec:             tr,
 			Ctx:             ctx,
+			Fault:           inj,
 		})
 		if err != nil {
 			return nil, err
@@ -521,6 +633,7 @@ func solve(ctx context.Context, req Request, o Options) (*Result, error) {
 			Parallelism: o.Parallelism,
 			Rec:         tr,
 			Ctx:         ctx,
+			Fault:       inj,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"igpart"
+)
+
+// tinyNetlist builds a minimal valid netlist: two modules, one net.
+func tinyNetlist() *igpart.Netlist {
+	b := igpart.NewBuilder().SetNumModules(2)
+	b.AddNet(0, 1)
+	return b.Build()
+}
+
+func TestValidateRejectsBadRequests(t *testing.T) {
+	good := tinyNetlist()
+	empty := igpart.NewBuilder().SetNumModules(2).Build()
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"nil netlist", Request{}},
+		{"zero nets", Request{Netlist: empty}},
+		{"negative timeout", Request{Netlist: good, Options: Options{Timeout: -time.Second}}},
+		{"NaN coarsening ratio", Request{Netlist: good, Options: Options{Algo: AlgoMultilevel, CoarseningRatio: math.NaN()}}},
+		{"Inf coarsening ratio", Request{Netlist: good, Options: Options{Algo: AlgoMultilevel, CoarseningRatio: math.Inf(1)}}},
+		{"absurd block size", Request{Netlist: good, Options: Options{BlockSize: maxBlockSize + 1}}},
+		{"block wider than matrix", Request{Netlist: good, Options: Options{BlockSize: 5}}},
+		{"absurd levels", Request{Netlist: good, Options: Options{Algo: AlgoMultilevel, Levels: maxLevels + 1}}},
+		{"absurd parallelism", Request{Netlist: good, Options: Options{Parallelism: maxParallelism + 1}}},
+	}
+	for _, tc := range cases {
+		if err := tc.req.Validate(); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: Validate = %v, want ErrBadRequest", tc.name, err)
+		}
+	}
+	if err := (Request{Netlist: good}).Validate(); err != nil {
+		t.Fatalf("minimal valid request rejected: %v", err)
+	}
+}
+
+// TestSubmitMapsValidationToBadRequest pins the Submit contract: both
+// Validate failures and normalize failures (unknown algo/scheme) come
+// back wrapping ErrBadRequest, and nothing is enqueued.
+func TestSubmitMapsValidationToBadRequest(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer shutdownNow(t, e)
+	bad := []Request{
+		{},
+		{Netlist: tinyNetlist(), Options: Options{Timeout: -1}},
+		{Netlist: tinyNetlist(), Options: Options{Algo: "anneal"}},
+		{Netlist: tinyNetlist(), Options: Options{Scheme: "bogus"}},
+	}
+	for i, req := range bad {
+		if _, err := e.Submit(req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("bad request %d: Submit = %v, want ErrBadRequest", i, err)
+		}
+	}
+	if got := e.Metrics().Snapshot().Counters["service.jobs_submitted"]; got != 0 {
+		t.Fatalf("bad requests were enqueued: jobs_submitted = %d", got)
+	}
+}
+
+// FuzzRequestValidate asserts that validation is total and consistent:
+// it never panics on any option combination, rejections are typed, and
+// anything Validate+normalize accept can be cache-keyed safely.
+func FuzzRequestValidate(f *testing.F) {
+	f.Add("igmatch", "paper", int64(0), 0, 0, 0, 0.9, uint8(4), false)
+	f.Add("multilevel", "unit", int64(-5), 3, 70, 2, math.NaN(), uint8(0), false)
+	f.Add("", "", int64(1<<40), -1, -1, -1, -1.0, uint8(255), true)
+	f.Fuzz(func(t *testing.T, algo, scheme string, timeoutNS int64,
+		blockSize, levels, parallelism int, cratio float64, nets uint8, nilNet bool) {
+		var h *igpart.Netlist
+		if !nilNet {
+			b := igpart.NewBuilder().SetNumModules(3)
+			for i := 0; i < int(nets%8); i++ {
+				b.AddNet(i%3, (i+1)%3)
+			}
+			h = b.Build()
+		}
+		req := Request{Netlist: h, Options: Options{
+			Algo: algo, Scheme: scheme,
+			Timeout:         time.Duration(timeoutNS),
+			BlockSize:       blockSize,
+			Levels:          levels,
+			Parallelism:     parallelism,
+			CoarseningRatio: cratio,
+		}}
+		err := req.Validate()
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("Validate returned untyped error %v", err)
+			}
+			return
+		}
+		// Validation passed: the netlist exists and options are in range.
+		if h == nil || h.NumNets() == 0 {
+			t.Fatal("Validate accepted an unusable netlist")
+		}
+		norm, nerr := req.Options.normalize()
+		if nerr != nil {
+			return // unknown algo/scheme — Submit wraps this as ErrBadRequest
+		}
+		if key := cacheKey(h, norm); len(key) != 64 {
+			t.Fatalf("cache key %q not a sha256 hex digest", key)
+		}
+		// Validate must be deterministic.
+		if err2 := req.Validate(); err2 != nil {
+			t.Fatalf("second Validate disagreed: %v", err2)
+		}
+	})
+}

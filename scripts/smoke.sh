@@ -6,7 +6,10 @@
 #   3. boot the daemon on a random port and parse the address it logs;
 #   4. submit the netlist by server-side path, poll until terminal;
 #   5. assert the job finished "done" with a positive ratio cut;
-#   6. SIGTERM the daemon and require a clean, prompt exit.
+#   6. SIGTERM the daemon and require a clean, prompt exit;
+#   7. reboot with -inject 'worker.panic:limit=1': the first job fails
+#      with a recovered panic, the daemon stays live on /healthz, the
+#      next job completes clean, and the panic shows in /metrics.
 #
 # Requires only the Go toolchain and POSIX sh + grep + sed.
 set -eu
@@ -28,30 +31,35 @@ go build -o "$workdir/netgen" igpart/cmd/netgen
 mkdir "$workdir/data"
 "$workdir/netgen" -bench bm1 -out "$workdir/data/bm1.hgr"
 
-echo "smoke: starting igpartd"
-"$workdir/igpartd" -addr 127.0.0.1:0 -data "$workdir/data" >"$workdir/igpartd.log" 2>&1 &
-daemon_pid=$!
-
-# The daemon logs "igpartd: listening on HOST:PORT" once the socket is
-# bound; wait for that line and extract the address.
-addr=""
-i=0
-while [ $i -lt 100 ]; do
-    addr=$(sed -n 's/.*igpartd: listening on \([0-9.:]*\)$/\1/p' "$workdir/igpartd.log" | head -1)
-    [ -n "$addr" ] && break
-    if ! kill -0 "$daemon_pid" 2>/dev/null; then
-        echo "smoke: daemon died during startup" >&2
-        cat "$workdir/igpartd.log" >&2
+# boot_daemon LOGFILE [EXTRA_FLAGS...]: start igpartd, wait for the
+# "listening on HOST:PORT" line, and set $daemon_pid and $addr.
+boot_daemon() {
+    logfile=$1
+    shift
+    "$workdir/igpartd" -addr 127.0.0.1:0 -data "$workdir/data" "$@" >"$logfile" 2>&1 &
+    daemon_pid=$!
+    addr=""
+    i=0
+    while [ $i -lt 100 ]; do
+        addr=$(sed -n 's/.*igpartd: listening on \([0-9.:]*\)$/\1/p' "$logfile" | head -1)
+        [ -n "$addr" ] && break
+        if ! kill -0 "$daemon_pid" 2>/dev/null; then
+            echo "smoke: daemon died during startup" >&2
+            cat "$logfile" >&2
+            exit 1
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if [ -z "$addr" ]; then
+        echo "smoke: daemon never logged its address" >&2
+        cat "$logfile" >&2
         exit 1
     fi
-    sleep 0.1
-    i=$((i + 1))
-done
-if [ -z "$addr" ]; then
-    echo "smoke: daemon never logged its address" >&2
-    cat "$workdir/igpartd.log" >&2
-    exit 1
-fi
+}
+
+echo "smoke: starting igpartd"
+boot_daemon "$workdir/igpartd.log"
 echo "smoke: daemon up at $addr"
 
 # fetch METHOD PATH [BODY]: response body lands in $resp, HTTP status
@@ -121,6 +129,79 @@ daemon_pid=""
 grep -q 'shutdown complete' "$workdir/igpartd.log" || {
     echo "smoke: no clean shutdown in log" >&2
     cat "$workdir/igpartd.log" >&2
+    exit 1
+}
+
+# Phase 2: chaos. Reboot with one worker panic armed and retries off;
+# the first job must fail with a recovered panic while the daemon stays
+# up and completes the next, clean job.
+echo "smoke: restarting igpartd with worker.panic injection"
+boot_daemon "$workdir/igpartd-chaos.log" -inject 'worker.panic:limit=1' -retry=-1
+echo "smoke: chaos daemon up at $addr"
+
+# poll_job JOB_ID: poll until terminal; leaves the state in $state and
+# the last response in $resp.
+poll_job() {
+    job=$1
+    state=""
+    i=0
+    while [ $i -lt 300 ]; do
+        fetch GET "/v1/jobs/$job"
+        [ "$status" = 200 ] || { echo "smoke: poll -> $status ($resp)" >&2; exit 1; }
+        state=$(printf '%s' "$resp" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+        case "$state" in
+            done|failed|cancelled) return 0 ;;
+        esac
+        sleep 0.2
+        i=$((i + 1))
+    done
+    echo "smoke: job $job stuck in state '$state'" >&2
+    exit 1
+}
+
+fetch POST /v1/jobs '{"path": "bm1.hgr"}'
+[ "$status" = 202 ] || { echo "smoke: chaos submit -> $status ($resp)" >&2; exit 1; }
+job_id=$(printf '%s' "$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+poll_job "$job_id"
+[ "$state" = failed ] || { echo "smoke: injected-panic job ended '$state', want failed: $resp" >&2; exit 1; }
+printf '%s' "$resp" | grep -q 'panic' || {
+    echo "smoke: failed job carries no panic error: $resp" >&2; exit 1; }
+echo "smoke: injected panic recovered as a failed job"
+
+# The daemon survived the panic: liveness still answers and a clean job
+# (injection budget spent) completes.
+fetch GET /healthz
+[ "$status" = 200 ] || { echo "smoke: /healthz after panic -> $status" >&2; exit 1; }
+
+fetch POST /v1/jobs '{"path": "bm1.hgr", "seed": 7}'
+[ "$status" = 202 ] || { echo "smoke: post-panic submit -> $status ($resp)" >&2; exit 1; }
+job_id=$(printf '%s' "$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+poll_job "$job_id"
+[ "$state" = done ] || { echo "smoke: post-panic job ended '$state': $resp" >&2; exit 1; }
+
+fetch GET /metrics
+printf '%s' "$resp" | grep -q '"service.panics_recovered":1' || {
+    echo "smoke: metrics missing recovered panic: $resp" >&2; exit 1; }
+printf '%s' "$resp" | grep -q '"fault.fired.worker.panic":1' || {
+    echo "smoke: metrics missing fault fire count: $resp" >&2; exit 1; }
+
+echo "smoke: draining chaos daemon"
+kill -TERM "$daemon_pid"
+i=0
+while kill -0 "$daemon_pid" 2>/dev/null; do
+    if [ $i -ge 100 ]; then
+        echo "smoke: chaos daemon did not exit within 10s of SIGTERM" >&2
+        cat "$workdir/igpartd-chaos.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+grep -q 'shutdown complete' "$workdir/igpartd-chaos.log" || {
+    echo "smoke: no clean chaos shutdown in log" >&2
+    cat "$workdir/igpartd-chaos.log" >&2
     exit 1
 }
 echo "smoke: PASS"
