@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz fuzz-smoke bench-sanity experiments cover serve smoke chaos clean
+.PHONY: all build vet lint test race bench fuzz fuzz-smoke bench-sanity scale-report scale-smoke experiments cover serve smoke chaos clean
 
 all: build vet lint test
 
@@ -24,21 +24,23 @@ lint:
 	fi
 
 # Tier-1 chain: vet, full test run, a race pass over the concurrent
-# packages (the parallel sweep engine, its matching substrate, the job
-# engine, and the HTTP daemon), and a 10-second fuzz smoke of the
-# Bookshelf writer round trip.
+# packages (the parallel sweep engine and matvec kernels, the matching
+# substrate, the job engine, and the HTTP daemon), and a 10-second fuzz
+# smoke of the Bookshelf writer round trip.
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core ./internal/bipartite ./internal/service ./cmd/igpartd
+	$(GO) test -race ./internal/core ./internal/bipartite ./internal/sparse ./internal/par ./internal/service ./cmd/igpartd
 	$(GO) test ./internal/hypergraph -run '^$$' -fuzz '^FuzzBookshelfRoundTrip$$' -fuzztime 10s
 
 # CI fuzz smoke: 10 seconds each on the Bookshelf writer round trip, the
-# multilevel V-cycle invariants, and service request validation.
+# multilevel V-cycle invariants, service request validation, and the
+# benchmark generator's structural contract.
 fuzz-smoke:
 	$(GO) test ./internal/hypergraph -run '^$$' -fuzz '^FuzzBookshelfRoundTrip$$' -fuzztime 10s
 	$(GO) test ./internal/multilevel -run '^$$' -fuzz '^FuzzVCycle$$' -fuzztime 10s
 	$(GO) test ./internal/service -run '^$$' -fuzz '^FuzzRequestValidate$$' -fuzztime 10s
+	$(GO) test ./internal/netgen -run '^$$' -fuzz '^FuzzNetgen$$' -fuzztime 10s
 
 # Chaos suite: the seeded fault-injection and panic-isolation tests —
 # injector determinism, shard panic barriers, eigen fallback rungs, the
@@ -52,10 +54,29 @@ chaos:
 	$(GO) test -race ./cmd/igpartd -run 'Readyz|Liveness|IOReadErr|BadRequest'
 
 # CI bench sanity: regenerate the small-circuit report and fail on any
-# ratio-cut regression beyond 10% of the checked-in baseline.
+# ratio-cut regression beyond 10% of the checked-in baseline, then hold
+# the checked-in scale report to the million-net gate (>=100k nets,
+# selective reorth >=3x faster than full at equal ratio cut).
 bench-sanity:
 	$(GO) run igpart/cmd/experiments -report ci -scale 0.25 -p 1 \
 		-baseline results/BENCH_baseline.json -tolerance 0.10
+	$(GO) run igpart/cmd/experiments -verify-scale results/BENCH_scale.json
+
+# Regenerate the checked-in million-net-scale report: the 100k-net preset
+# partitioned by the candidate sweep under selective and full
+# reorthogonalization.
+scale-report:
+	$(GO) run igpart/cmd/experiments -scale-report scale -scale-preset scale100k
+
+# CI scale smoke: a fresh 100k-net run diffed against the checked-in
+# report — ratio cuts are deterministic (1% tolerance), wall times get a
+# generous 5x cross-machine budget — then the >=3x-speedup gate on the
+# fresh numbers themselves.
+scale-smoke:
+	$(GO) run igpart/cmd/experiments -scale-report scale-smoke -results /tmp/igpart-scale \
+		-scale-preset scale100k -baseline results/BENCH_scale.json \
+		-tolerance 0.01 -scale-budget 5.0
+	$(GO) run igpart/cmd/experiments -verify-scale /tmp/igpart-scale/BENCH_scale-smoke.json
 
 race:
 	$(GO) test -race ./...
@@ -72,6 +93,7 @@ fuzz:
 	$(GO) test ./internal/hypergraph -fuzz FuzzBookshelfRoundTrip -fuzztime 30s
 	$(GO) test ./internal/multilevel -fuzz FuzzVCycle -fuzztime 30s
 	$(GO) test ./internal/service -fuzz FuzzRequestValidate -fuzztime 30s
+	$(GO) test ./internal/netgen -fuzz FuzzNetgen -fuzztime 30s
 
 # Regenerate every paper table at full size.
 experiments:

@@ -16,6 +16,13 @@
 //	                               # CI bench-sanity: fail on ratio-cut
 //	                               # regressions beyond -tolerance
 //	experiments -trace -table 2    # per-stage timing tree after the tables
+//	experiments -scale-report scale
+//	                               # million-net harness: run the scale
+//	                               # preset under selective and full
+//	                               # reorth, write results/BENCH_scale.json
+//	experiments -verify-scale results/BENCH_scale.json
+//	                               # gate: ≥100k nets, selective ≥3×
+//	                               # faster at equal ratio cut
 package main
 
 import (
@@ -24,8 +31,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/pprof"
+	"time"
 
 	"igpart/internal/bench"
+	"igpart/internal/eigen"
 	"igpart/internal/obs"
 )
 
@@ -45,8 +54,82 @@ func main() {
 		trace      = flag.Bool("trace", false, "print the per-stage timing tree after the run")
 		metrics    = flag.Bool("metrics", false, "print the run's metrics registry (counters/gauges/timers)")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+
+		reorth      = flag.String("reorth", "", "Lanczos reorthogonalization mode: auto (default), full, selective")
+		matvecP     = flag.Int("matvec-p", 0, "eigensolver matvec workers (0 = auto, 1 = serial)")
+		scaleReport = flag.String("scale-report", "", "run the scale harness and write BENCH_<name>.json instead of tables")
+		scalePreset = flag.String("scale-preset", "scale100k", "netgen preset for -scale-report (scale10k..scale1M or any benchmark)")
+		candidates  = flag.Int("candidates", 0, "candidate splits for -scale-report (0 = default 32)")
+		scaleBudget = flag.Float64("scale-budget", 3.0, "with -scale-report -baseline: wall-clock budget factor (<=0 disables)")
+		verifyScale = flag.String("verify-scale", "", "verify an existing scale report against the >=100k-net, >=3x-speedup gate and exit")
 	)
 	flag.Parse()
+	reorthMode, err := eigen.ParseReorthMode(*reorth)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if *verifyScale != "" {
+		rep, err := bench.ReadReportFile(*verifyScale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: verify-scale:", err)
+			os.Exit(1)
+		}
+		if violations := bench.VerifyScaleReport(rep); len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: %s fails the scale gate:\n", *verifyScale)
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "  ", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("verify-scale: %s passes (>=%d nets, >=%.1fx selective speedup, ratio cuts within %.0f%%)\n",
+			*verifyScale, bench.ScaleMinNets, bench.ScaleMinSpeedup, bench.ScaleRatioTol*100)
+		return
+	}
+
+	if *scaleReport != "" {
+		rep, err := bench.ScaleReport(*scaleReport, bench.ScaleConfig{
+			Preset:        *scalePreset,
+			Candidates:    *candidates,
+			Parallelism:   *par,
+			MatvecWorkers: *matvecP,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: scale-report:", err)
+			os.Exit(1)
+		}
+		path, err := rep.WriteFile(*resultsDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: scale-report:", err)
+			os.Exit(1)
+		}
+		c := rep.Circuits[0]
+		fmt.Printf("wrote %s (%s: %d modules, %d nets)\n", path, c.Name, c.Modules, c.Nets)
+		for _, run := range c.Runs {
+			fmt.Printf("  %-20s wall=%-14s ratio=%.6g cut=%d\n",
+				run.Alg, fmtNS(run.WallNS), run.RatioCut, run.Metrics.CutNets)
+		}
+		if *baseline != "" {
+			base, err := bench.ReadReportFile(*baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: baseline:", err)
+				os.Exit(1)
+			}
+			regressions := bench.CompareReportsWithBudget(base, rep, *tolerance, *scaleBudget)
+			if len(regressions) > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: %d regression(s) vs %s (ratio tolerance %.0f%%, wall budget %.1fx):\n",
+					len(regressions), *baseline, *tolerance*100, *scaleBudget)
+				for _, r := range regressions {
+					fmt.Fprintln(os.Stderr, "  ", r)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("scale-smoke: no regressions vs %s (ratio tolerance %.0f%%, wall budget %.1fx)\n",
+				*baseline, *tolerance*100, *scaleBudget)
+		}
+		return
+	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -60,7 +143,10 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	s := bench.Suite{Scale: *scale, RCutStarts: *starts, Parallelism: *par, Levels: *levels}
+	s := bench.Suite{
+		Scale: *scale, RCutStarts: *starts, Parallelism: *par, Levels: *levels,
+		Reorth: reorthMode, MatvecWorkers: *matvecP,
+	}
 
 	var tr *obs.Trace
 	if *trace || *metrics {
@@ -305,3 +391,6 @@ func main() {
 		return fmt.Sprintf("sweep trace: %d splits recorded (use -csv to export)", len(trace)), nil
 	})
 }
+
+// fmtNS renders a wall time compactly for the scale-report summary.
+func fmtNS(ns int64) string { return time.Duration(ns).Round(time.Millisecond).String() }

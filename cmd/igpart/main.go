@@ -5,6 +5,7 @@
 //
 //	igpart -in design.hgr [-algo igmatch|multilevel|igvote|eig1|rcut|kl|refined|condensed]
 //	       [-levels 3] [-cratio 0.9] [-starts 10] [-seed 1] [-p 0] [-assign] [-stats]
+//	       [-reorth auto|full|selective] [-matvec-p 0] [-candidates 0]
 //	       [-trace] [-metrics] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The input format is selected by extension: ".hgr" for the hMETIS-style
@@ -31,25 +32,33 @@ import (
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input netlist path (.hgr or named format)")
-		nodes   = flag.String("nodes", "", "Bookshelf .nodes path (use with -nets instead of -in)")
-		nets    = flag.String("nets", "", "Bookshelf .nets path (use with -nodes instead of -in)")
-		algo    = flag.String("algo", "igmatch", "algorithm: igmatch, multilevel, igvote, eig1, rcut, kl, refined, condensed, multiway")
-		k       = flag.Int("k", 4, "part count for -algo multiway")
-		levels  = flag.Int("levels", 3, "V-cycle depth for -algo multilevel (1 = flat igmatch)")
-		cratio  = flag.Float64("cratio", 0.9, "largest acceptable per-round net shrink factor for -algo multilevel")
-		starts  = flag.Int("starts", 10, "random starts for rcut")
-		par     = flag.Int("p", 0, "igmatch sweep parallelism: shards swept concurrently (0 = GOMAXPROCS, 1 = serial; results identical)")
-		seed    = flag.Int64("seed", 1, "seed for randomized algorithms")
-		assign  = flag.Bool("assign", false, "print the per-module side assignment")
-		stats   = flag.Bool("stats", false, "print netlist statistics before partitioning")
-		fixIn   = flag.String("fix", "", "hMETIS .fix file pinning modules to sides; applied with FM refinement after the chosen algorithm")
-		trace   = flag.Bool("trace", false, "print the per-stage timing tree after the run")
-		metrics = flag.Bool("metrics", false, "print the run's metrics registry (counters/gauges/timers)")
-		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		in     = flag.String("in", "", "input netlist path (.hgr or named format)")
+		nodes  = flag.String("nodes", "", "Bookshelf .nodes path (use with -nets instead of -in)")
+		nets   = flag.String("nets", "", "Bookshelf .nets path (use with -nodes instead of -in)")
+		algo   = flag.String("algo", "igmatch", "algorithm: igmatch, multilevel, igvote, eig1, rcut, kl, refined, condensed, multiway")
+		k      = flag.Int("k", 4, "part count for -algo multiway")
+		levels = flag.Int("levels", 3, "V-cycle depth for -algo multilevel (1 = flat igmatch)")
+		cratio = flag.Float64("cratio", 0.9, "largest acceptable per-round net shrink factor for -algo multilevel")
+		starts = flag.Int("starts", 10, "random starts for rcut")
+		par    = flag.Int("p", 0, "igmatch sweep parallelism: shards swept concurrently (0 = GOMAXPROCS, 1 = serial; results identical)")
+		reorth = flag.String("reorth", "", "Lanczos reorthogonalization: auto (default; selective above "+
+			"the size cutoff), full, selective")
+		matvecP    = flag.Int("matvec-p", 0, "eigensolver matvec workers (0 = auto, 1 = serial; results bit-identical)")
+		candidates = flag.Int("candidates", 0, "for -algo igmatch on huge netlists: complete only this many evenly spaced splits instead of the full sweep (0 = full sweep)")
+		seed       = flag.Int64("seed", 1, "seed for randomized algorithms")
+		assign     = flag.Bool("assign", false, "print the per-module side assignment")
+		stats      = flag.Bool("stats", false, "print netlist statistics before partitioning")
+		fixIn      = flag.String("fix", "", "hMETIS .fix file pinning modules to sides; applied with FM refinement after the chosen algorithm")
+		trace      = flag.Bool("trace", false, "print the per-stage timing tree after the run")
+		metrics    = flag.Bool("metrics", false, "print the run's metrics registry (counters/gauges/timers)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+	reorthMode, err := igpart.ParseReorthMode(*reorth)
+	if err != nil {
+		fatal(err)
+	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -96,7 +105,6 @@ func main() {
 	}
 	defer report()
 	var h *igpart.Netlist
-	var err error
 	switch {
 	case *in != "":
 		h, err = igpart.Load(*in)
@@ -127,7 +135,15 @@ func main() {
 	var res igpart.Result
 	switch *algo {
 	case "igmatch":
-		r, err := igpart.IGMatch(h, igpart.IGMatchOptions{Parallelism: *par, Rec: rec})
+		igOpts := igpart.IGMatchOptions{
+			Parallelism: *par, Reorth: reorthMode, MatvecParallelism: *matvecP, Rec: rec,
+		}
+		var r igpart.IGMatchResult
+		if *candidates > 0 {
+			r, err = igpart.IGMatchCandidates(h, *candidates, igOpts)
+		} else {
+			r, err = igpart.IGMatch(h, igOpts)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -136,7 +152,8 @@ func main() {
 			r.Lambda2, r.BestRank, h.NumNets(), r.MatchingBound)
 	case "multilevel":
 		r, err := igpart.MultilevelIGMatch(h, igpart.MultilevelOptions{
-			Levels: *levels, CoarseningRatio: *cratio, Parallelism: *par, Rec: rec,
+			Levels: *levels, CoarseningRatio: *cratio, Parallelism: *par,
+			Reorth: reorthMode, MatvecParallelism: *matvecP, Rec: rec,
 		})
 		if err != nil {
 			fatal(err)

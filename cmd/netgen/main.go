@@ -35,7 +35,11 @@ func main() {
 
 	if *list {
 		for _, c := range netgen.Benchmarks {
-			fmt.Printf("%-8s %5d modules %5d nets\n", c.Name, c.Modules, c.Nets)
+			fmt.Printf("%-9s %7d modules %7d nets\n", c.Name, c.Modules, c.Nets)
+		}
+		fmt.Println("scale presets (million-net harness):")
+		for _, c := range netgen.ScaleBenchmarks {
+			fmt.Printf("%-9s %7d modules %7d nets\n", c.Name, c.Modules, c.Nets)
 		}
 		return
 	}

@@ -97,6 +97,29 @@ const (
 	SchemeMinSize = netmodel.SchemeMinSize
 )
 
+// ReorthMode selects the Lanczos reorthogonalization scheme.
+type ReorthMode = eigen.ReorthMode
+
+// The reorthogonalization modes: ReorthAuto (the default) uses full
+// reorthogonalization below ReorthAutoCutoff nets and the
+// ω-recurrence-monitored selective scheme above it; the other two force
+// one engine. Selective mode matches full-mode Fiedler pairs to solver
+// tolerance while skipping most reorthogonalization work on large
+// circuits.
+const (
+	ReorthAuto      = eigen.ReorthAuto
+	ReorthFull      = eigen.ReorthFull
+	ReorthSelective = eigen.ReorthSelective
+)
+
+// ReorthAutoCutoff is the net count at which ReorthAuto switches from
+// full to selective reorthogonalization.
+const ReorthAutoCutoff = eigen.ReorthAutoCutoff
+
+// ParseReorthMode parses "auto" (or ""), "full", or "selective" — the
+// accepted values of a -reorth CLI flag.
+func ParseReorthMode(s string) (ReorthMode, error) { return eigen.ParseReorthMode(s) }
+
 // NewBuilder returns an empty netlist builder.
 func NewBuilder() *Builder { return hypergraph.NewBuilder() }
 
@@ -157,6 +180,16 @@ type IGMatchOptions struct {
 	// every value: shards reduce deterministically with metric ties broken
 	// by lowest split rank, matching the serial sweep order.
 	Parallelism int
+	// Reorth selects the Lanczos reorthogonalization mode. The default,
+	// ReorthAuto, keeps the historical full scheme below ReorthAutoCutoff
+	// nets and switches to selective (ω-recurrence-monitored)
+	// reorthogonalization above it; ReorthFull and ReorthSelective force
+	// either engine.
+	Reorth ReorthMode
+	// MatvecParallelism bounds the eigensolver's matvec workers (0 = auto:
+	// parallel for large circuits; 1 = serial; <0 = GOMAXPROCS). Results
+	// are bit-identical at every value.
+	MatvecParallelism int
 	// Rec, when non-nil, records per-stage timing spans and counters for
 	// the run (see NewTrace). Tracing never changes the result; leaving
 	// it nil costs nothing on the hot path.
@@ -196,8 +229,51 @@ func IGMatch(h *Netlist, opts ...IGMatchOptions) (IGMatchResult, error) {
 		o = opts[0]
 	}
 	res, err := core.Partition(h, core.Options{
-		IG:             netmodel.IGOptions{Scheme: o.Scheme, Threshold: o.Threshold},
-		Eigen:          eigen.Options{Seed: o.Seed, BlockSize: o.BlockSize},
+		IG: netmodel.IGOptions{Scheme: o.Scheme, Threshold: o.Threshold},
+		Eigen: eigen.Options{
+			Seed: o.Seed, BlockSize: o.BlockSize,
+			ReorthMode: o.Reorth, MatvecWorkers: o.MatvecParallelism,
+		},
+		RecursionDepth: o.RecursionDepth,
+		Parallelism:    o.Parallelism,
+		Rec:            o.Rec,
+		Ctx:            o.Ctx,
+		Fault:          o.Fault,
+	})
+	if err != nil {
+		return IGMatchResult{}, err
+	}
+	return IGMatchResult{
+		Result:        Result{Partition: res.Partition, Metrics: res.Metrics},
+		Lambda2:       res.Lambda2,
+		NetOrder:      res.NetOrder,
+		BestRank:      res.BestRank,
+		MatchingBound: res.BestMatching,
+	}, nil
+}
+
+// IGMatchCandidates runs the million-net-scale variant of IG-Match: the
+// same eigenvector ordering, but instead of sweeping all m−1 splits (the
+// full sweep is quadratic in the worst case — Theorem 6), it completes
+// `candidates` evenly spaced splits, each bootstrapped independently and
+// evaluated in parallel with the same lowest-rank-wins reduction as the
+// full sweep. candidates ≤ 0 uses the default of 32. On the paper-scale
+// circuits the full sweep is affordable and strictly at least as good;
+// above ~10⁵ nets the candidate sweep is the practical choice.
+func IGMatchCandidates(h *Netlist, candidates int, opts ...IGMatchOptions) (IGMatchResult, error) {
+	var o IGMatchOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if candidates <= 0 {
+		candidates = core.DefaultCandidates
+	}
+	res, err := core.PartitionCandidates(h, candidates, core.Options{
+		IG: netmodel.IGOptions{Scheme: o.Scheme, Threshold: o.Threshold},
+		Eigen: eigen.Options{
+			Seed: o.Seed, BlockSize: o.BlockSize,
+			ReorthMode: o.Reorth, MatvecWorkers: o.MatvecParallelism,
+		},
 		RecursionDepth: o.RecursionDepth,
 		Parallelism:    o.Parallelism,
 		Rec:            o.Rec,
@@ -241,6 +317,12 @@ type MultilevelOptions struct {
 	// Parallelism bounds the concurrent sweep shards of the coarsest-level
 	// solve (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// Reorth selects the coarsest-level Lanczos reorthogonalization mode
+	// (see IGMatchOptions.Reorth).
+	Reorth ReorthMode
+	// MatvecParallelism bounds the coarsest-level eigensolver's matvec
+	// workers (see IGMatchOptions.MatvecParallelism).
+	MatvecParallelism int
 	// SkipRefine disables the per-level FM polish (projection ablation).
 	SkipRefine bool
 	// Rec, when non-nil, records the V-cycle stage spans (coarsening
@@ -284,8 +366,11 @@ func MultilevelIGMatch(h *Netlist, opts ...MultilevelOptions) (MultilevelResult,
 		Levels:          o.Levels,
 		CoarseningRatio: o.CoarseningRatio,
 		Core: core.Options{
-			IG:          netmodel.IGOptions{Scheme: o.Scheme, Threshold: o.Threshold},
-			Eigen:       eigen.Options{Seed: o.Seed, BlockSize: o.BlockSize},
+			IG: netmodel.IGOptions{Scheme: o.Scheme, Threshold: o.Threshold},
+			Eigen: eigen.Options{
+				Seed: o.Seed, BlockSize: o.BlockSize,
+				ReorthMode: o.Reorth, MatvecWorkers: o.MatvecParallelism,
+			},
 			Parallelism: o.Parallelism,
 			Ctx:         o.Ctx,
 			Fault:       o.Fault,

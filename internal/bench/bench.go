@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"igpart/internal/core"
+	"igpart/internal/eigen"
 	"igpart/internal/fm"
 	"igpart/internal/hypergraph"
 	"igpart/internal/igdiam"
@@ -40,6 +41,13 @@ type Suite struct {
 	// Levels is the V-cycle depth for the multilevel IG-Match runs
 	// (0 uses the multilevel default of 3; 1 degenerates to flat).
 	Levels int
+	// Reorth selects the Lanczos reorthogonalization mode for the
+	// IG-Match and multilevel runs (auto/full/selective; zero value is
+	// auto, which matches full below eigen.ReorthAutoCutoff).
+	Reorth eigen.ReorthMode
+	// MatvecWorkers is threaded to eigen.Options.MatvecWorkers for the
+	// IG-Match and multilevel runs (0 = auto, 1 = serial).
+	MatvecWorkers int
 	// Rec, when non-nil, receives one stage span per algorithm run; the
 	// IG-Match spans carry the full pipeline breakdown (IG build,
 	// eigensolve, sweep shards). Run reports (report.go) thread their
@@ -77,6 +85,12 @@ func (s Suite) circuits() ([]netgen.Config, []*hypergraph.Hypergraph, error) {
 	return cfgs, hs, nil
 }
 
+// eigenOpts is the eigensolver configuration the suite's IG-Match runs
+// share.
+func (s Suite) eigenOpts() eigen.Options {
+	return eigen.Options{ReorthMode: s.Reorth, MatvecWorkers: s.MatvecWorkers}
+}
+
 // Algorithm names used across tables.
 const (
 	AlgIGMatch    = "IG-Match"
@@ -99,13 +113,13 @@ func (s Suite) Run(alg string, h *hypergraph.Hypergraph) (partition.Metrics, tim
 	switch alg {
 	case AlgIGMatch:
 		var r core.Result
-		r, err = core.Partition(h, core.Options{Parallelism: s.Parallelism, Rec: sp})
+		r, err = core.Partition(h, core.Options{Parallelism: s.Parallelism, Eigen: s.eigenOpts(), Rec: sp})
 		met = r.Metrics
 	case AlgMultilevel:
 		var r multilevel.Result
 		r, err = multilevel.Partition(h, multilevel.Options{
 			Levels: s.Levels,
-			Core:   core.Options{Parallelism: s.Parallelism},
+			Core:   core.Options{Parallelism: s.Parallelism, Eigen: s.eigenOpts()},
 			Rec:    sp,
 		})
 		met = r.Metrics

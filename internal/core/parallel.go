@@ -15,29 +15,19 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
 	"igpart/internal/fault"
 	"igpart/internal/hypergraph"
 	"igpart/internal/obs"
+	"igpart/internal/par"
 )
 
 // shardCount resolves the Parallelism option against the number of splits:
 // 0 means GOMAXPROCS, and a shard never shrinks below one split.
 func shardCount(parallelism, nSplits int) int {
-	p := parallelism
-	if p <= 0 {
-		p = runtime.GOMAXPROCS(0)
-	}
-	if p > nSplits {
-		p = nSplits
-	}
-	if p < 1 {
-		p = 1
-	}
-	return p
+	return par.Workers(parallelism, nSplits)
 }
 
 // runShards executes the sweep over p contiguous shards and returns the
@@ -53,10 +43,11 @@ func runShards(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, order
 	}
 	shards := make([]shardBest, p)
 	spans := make([]obs.Recorder, p)
+	bounds := par.Bounds(p, nSplits) // rank ranges, shifted by 1 below
 	var wg sync.WaitGroup
 	for i := 0; i < p; i++ {
-		lo := 1 + i*nSplits/p
-		hi := 1 + (i+1)*nSplits/p
+		lo := 1 + bounds[i][0]
+		hi := 1 + bounds[i][1]
 		spans[i] = shardSpan(sw, lo, hi)
 		wg.Add(1)
 		go func(i, lo, hi int) {

@@ -18,24 +18,57 @@ import (
 // iteration in lanczos.go; Options.BlockSize picks the engine.
 
 // blockCycle runs one restarted block-Lanczos cycle: it grows an
-// orthonormal basis block by block (full reorthogonalization, deflation
-// respected), assembles the projected matrix T = BᵀAB, and returns the top
-// Ritz pair with its true residual.
-func blockCycle(op Operator, start []float64, project func([]float64), opts Options, rng *rand.Rand) (float64, []float64, float64, error) {
+// orthonormal basis block by block (deflation respected), assembles the
+// projected matrix T = BᵀAB, and returns the top Ritz pair with its true
+// residual.
+//
+// Reorthogonalization follows Options.ReorthMode. Full mode projects
+// every new vector against the whole basis twice. Selective mode is the
+// block-structured variant of the scheme in lanczos.go: by the block
+// three-term recurrence a new image is already orthogonal to all but the
+// preceding block and the block under construction, so only those are
+// projected out, and a measured
+// drift probe (one O(n) dot against the oldest basis vector, the
+// direction round-off drifts toward first) escalates to a full cleanup
+// whenever semiorthogonality √ε is lost.
+func blockCycle(op Operator, start []float64, project func([]float64), opts Options, rng *rand.Rand) (float64, []float64, float64, cycleStats, error) {
 	n := op.N()
 	bs := opts.BlockSize
+	var st cycleStats
+	workers := opts.matvecWorkers(n)
+	selective := opts.selectiveReorth(n)
 
 	var basis [][]float64
+	blockLo := 0 // start of the block currently being expanded from
 
 	// orthonormalize projects v against the deflation space and the basis
-	// (twice for stability) and appends it when it survives.
+	// and appends it when it survives.
 	orthonormalize := func(v []float64, threshold float64) bool {
 		project(v)
-		for pass := 0; pass < 2; pass++ {
-			for _, u := range basis {
-				sparse.Axpy(-sparse.Dot(u, v), u, v)
+		full := func() {
+			for pass := 0; pass < 2; pass++ {
+				for _, u := range basis {
+					sparse.Axpy(-sparse.Dot(u, v), u, v)
+				}
+				project(v)
 			}
-			project(v)
+		}
+		if !selective || blockLo == 0 {
+			full()
+		} else {
+			for pass := 0; pass < 2; pass++ {
+				for _, u := range basis[blockLo:] {
+					sparse.Axpy(-sparse.Dot(u, v), u, v)
+				}
+				project(v)
+			}
+			nrm := sparse.Norm2(v)
+			if nrm > threshold && math.Abs(sparse.Dot(basis[0], v))/nrm > omegaThreshold {
+				full()
+				st.reorthForced++
+			} else {
+				st.reorthSkipped += blockLo
+			}
 		}
 		if sparse.Normalize(v) <= threshold {
 			return false
@@ -54,22 +87,22 @@ func blockCycle(op Operator, start []float64, project func([]float64), opts Opti
 			v[i] = rng.NormFloat64()
 		}
 		if !orthonormalize(v, 1e-12) && len(basis) == 0 {
-			return 0, nil, 0, errors.New("eigen: block Lanczos could not build a starting block")
+			return 0, nil, 0, st, errors.New("eigen: block Lanczos could not build a starting block")
 		}
 	}
 
 	// Expand: apply the operator to the newest block, orthogonalize the
 	// images, stop at an invariant subspace or the step budget.
-	blockLo := 0
 	for len(basis) < opts.MaxSteps {
 		if err := ctxErr(opts.Ctx); err != nil {
-			return 0, nil, 0, err
+			return 0, nil, 0, st, err
 		}
 		hi := len(basis)
 		grew := false
 		w := make([]float64, n)
 		for j := blockLo; j < hi && len(basis) < opts.MaxSteps; j++ {
-			op.MulVec(w, basis[j])
+			opMulVec(op, w, basis[j], workers)
+			st.matvecs++
 			if orthonormalize(append([]float64(nil), w...), 1e-10) {
 				grew = true
 			}
@@ -83,12 +116,14 @@ func blockCycle(op Operator, start []float64, project func([]float64), opts Opti
 	// Projected eigenproblem T = BᵀAB, solved densely (m ≤ MaxSteps).
 	m := len(basis)
 	if m == 0 {
-		return 0, nil, 0, errors.New("eigen: empty block Lanczos basis")
+		return 0, nil, 0, st, errors.New("eigen: empty block Lanczos basis")
 	}
+	st.steps = m
 	img := make([][]float64, m)
 	for j := 0; j < m; j++ {
 		img[j] = make([]float64, n)
-		op.MulVec(img[j], basis[j])
+		opMulVec(op, img[j], basis[j], workers)
+		st.matvecs++
 		project(img[j])
 	}
 	T := sparse.NewSymDense(m)
@@ -99,7 +134,7 @@ func blockCycle(op Operator, start []float64, project func([]float64), opts Opti
 	}
 	vals, z, err := Jacobi(T, 0)
 	if err != nil {
-		return 0, nil, 0, err
+		return 0, nil, 0, st, err
 	}
 	theta := vals[m-1]
 	ritz := make([]float64, n)
@@ -109,10 +144,11 @@ func blockCycle(op Operator, start []float64, project func([]float64), opts Opti
 	project(ritz)
 	sparse.Normalize(ritz)
 	w := make([]float64, n)
-	op.MulVec(w, ritz)
+	opMulVec(op, w, ritz, workers)
+	st.matvecs++
 	project(w)
 	sparse.Axpy(-theta, ritz, w)
-	return theta, ritz, sparse.Norm2(w), nil
+	return theta, ritz, sparse.Norm2(w), st, nil
 }
 
 // largestDeflatedBlock is the block-mode counterpart of LargestDeflated.
@@ -142,8 +178,14 @@ func largestDeflatedBlock(op Operator, deflate [][]float64, opts Options) (float
 		cycles++
 		csp := rec.StartSpan("block-lanczos-cycle")
 		csp.Count("block", int64(opts.BlockSize))
-		th, v, res, err := blockCycle(op, start, project, opts, rng)
+		th, v, res, cst, err := blockCycle(op, start, project, opts, rng)
+		csp.Count("matvecs", int64(cst.matvecs))
 		csp.End()
+		met := rec.Metrics()
+		met.Counter("eigen.matvecs").Add(int64(cst.matvecs))
+		met.Counter("eigen.matvec.rows").Add(int64(cst.matvecs) * int64(op.N()))
+		met.Counter("eigen.reorth.skipped").Add(int64(cst.reorthSkipped))
+		met.Counter("eigen.reorth.forced").Add(int64(cst.reorthForced))
 		if err != nil {
 			return 0, nil, err
 		}

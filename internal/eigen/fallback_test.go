@@ -172,3 +172,36 @@ func TestRetrySeedChangesStream(t *testing.T) {
 		t.Fatalf("retrySeed not a proper derivation: %d %d", retrySeed(0), retrySeed(1))
 	}
 }
+
+// TestFiedlerRetryRungRescuesAboveDenseCutoff closes the fallback
+// chain's previously untested middle rung at scale: at n=600 the
+// instance is past defaultDenseFallback (512), so the Jacobi rescue is
+// out of reach and a first-attempt non-convergence can only be saved by
+// the reseeded retry rung itself.
+func TestFiedlerRetryRungRescuesAboveDenseCutoff(t *testing.T) {
+	const n = 600 // > defaultDenseFallback
+	reg := new(obs.Registry)
+	inj := mustInjector(t, reg, fault.Rule{Point: fault.EigenNoConverge, Limit: 1})
+	q := ringLaplacian(n)
+	res, err := Fiedler(q, Options{Fault: inj, Rec: obs.NewTrace("t")})
+	if err != nil {
+		t.Fatalf("Fiedler at n=%d with limit=1 injection: %v", n, err)
+	}
+	if res.Rung != RungLanczosRetry || res.Dense {
+		t.Fatalf("rung = %q dense=%v, want %q iterative", res.Rung, res.Dense, RungLanczosRetry)
+	}
+	want := 2 * (1 - math.Cos(2*math.Pi/n))
+	if math.Abs(res.Lambda2-want) > 1e-6 {
+		t.Fatalf("retry-rung λ₂ = %g, analytic = %g", res.Lambda2, want)
+	}
+
+	// With unlimited injection the same instance must fail outright:
+	// there is no rung past the retry at this size, which is exactly
+	// what makes the rescue above attributable to the retry rung.
+	inj2 := mustInjector(t, nil, fault.Rule{Point: fault.EigenNoConverge})
+	_, err = Fiedler(q, Options{Fault: inj2})
+	var nc *NoConvergeError
+	if !errors.As(err, &nc) {
+		t.Fatalf("unlimited injection at n=%d: got %v, want NoConvergeError (Jacobi rung must be out of reach)", n, err)
+	}
+}

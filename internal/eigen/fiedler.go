@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"igpart/internal/obs"
+	"igpart/internal/par"
 	"igpart/internal/sparse"
 )
 
@@ -25,6 +26,27 @@ func (s *shifted) MulVec(y, x []float64) {
 	for i := range y {
 		y[i] = s.sigma*x[i] - y[i]
 	}
+}
+
+// ParMulVec shards the underlying product and then the shift across
+// workers. Both write y elementwise over disjoint ranges with unchanged
+// per-element arithmetic, so the result is bit-identical to MulVec for
+// every worker count.
+func (s *shifted) ParMulVec(y, x []float64, workers int) {
+	po, ok := s.q.(ParOperator)
+	if !ok {
+		s.MulVec(y, x)
+		return
+	}
+	po.ParMulVec(y, x, workers)
+	n := len(y)
+	p := par.Workers(workers, n)
+	bounds := par.Bounds(p, n)
+	par.Run(p, func(i int) {
+		for k := bounds[i][0]; k < bounds[i][1]; k++ {
+			y[k] = s.sigma*x[k] - y[k]
+		}
+	})
 }
 
 // GershgorinUpper returns an upper bound on the largest eigenvalue of the
@@ -122,6 +144,11 @@ func largestWithRetry(op Operator, deflate [][]float64, opts Options) (float64, 
 		base = 8 // withDefaults' MaxRestarts
 	}
 	retry.MaxRestarts = 2 * base
+	// The retry rung also abandons selective reorthogonalization: if the
+	// first attempt stalled because the ω-monitor under-estimated the
+	// orthogonality loss, rerunning with the full scheme removes that
+	// failure mode before the chain escalates to the dense rescue.
+	retry.ReorthMode = ReorthFull
 	rec := obs.OrNop(opts.Rec)
 	sp := rec.StartSpan("eigen-retry")
 	sp.Count("restart-budget", int64(retry.MaxRestarts))

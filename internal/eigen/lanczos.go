@@ -19,6 +19,28 @@ type Operator interface {
 	MulVec(y, x []float64)
 }
 
+// ParOperator is an Operator whose product can shard rows across worker
+// goroutines with bit-identical results for every worker count.
+// sparse.SymCSR (and the shifted wrapper Fiedler builds) satisfy it.
+type ParOperator interface {
+	Operator
+	ParMulVec(y, x []float64, workers int)
+}
+
+// opMulVec dispatches one matvec, through the row-sharded parallel
+// kernel when workers enables it and the operator supports it.
+// workers follows the ParMulVec convention: 1 forces the serial kernel,
+// <= 0 selects GOMAXPROCS.
+func opMulVec(op Operator, y, x []float64, workers int) {
+	if workers != 1 {
+		if po, ok := op.(ParOperator); ok {
+			po.ParMulVec(y, x, workers)
+			return
+		}
+	}
+	op.MulVec(y, x)
+}
+
 // Options tunes the Lanczos iteration. The zero value selects sensible
 // defaults for netlist-sized Laplacians.
 type Options struct {
@@ -36,6 +58,18 @@ type Options struct {
 	// (the solver family of the paper's reference [12]); ≤ 1 selects the
 	// simple single-vector iteration.
 	BlockSize int
+	// ReorthMode selects the reorthogonalization strategy: ReorthAuto
+	// (default) runs the ω-monitored selective scheme once the dimension
+	// reaches ReorthAutoCutoff and the historical full scheme below it;
+	// ReorthFull and ReorthSelective force one or the other.
+	ReorthMode ReorthMode
+	// MatvecWorkers bounds the worker goroutines of the row-sharded
+	// parallel matvec on operators that support it (CSR Laplacians and
+	// their shifted wrappers). 0 selects auto — GOMAXPROCS workers once
+	// the dimension reaches parMatvecMinRows, serial below it; 1 forces
+	// the serial kernel; negative means GOMAXPROCS unconditionally.
+	// Results are bit-identical for every value.
+	MatvecWorkers int
 	// Rec, when non-nil, receives one stage span per restart cycle
 	// (Krylov steps, matrix–vector products) plus restart counters.
 	// Recording never changes the iteration.
@@ -136,6 +170,23 @@ func ctxErr(ctx context.Context) error {
 // between context polls inside a cycle.
 const cancelCheckSteps = 16
 
+// parMatvecMinRows is the dimension from which Options.MatvecWorkers = 0
+// turns the parallel matvec on. Below it the goroutine fork/join costs
+// more than the row sweep saves.
+const parMatvecMinRows = 4096
+
+// matvecWorkers resolves Options.MatvecWorkers against the dimension
+// into a ParMulVec workers argument (1 = serial, <= 0 = GOMAXPROCS).
+func (o Options) matvecWorkers(n int) int {
+	if o.MatvecWorkers != 0 {
+		return o.MatvecWorkers
+	}
+	if n >= parMatvecMinRows {
+		return 0
+	}
+	return 1
+}
+
 func (o Options) withDefaults(n int) Options {
 	if o.MaxSteps <= 0 {
 		if o.BlockSize > 1 {
@@ -220,11 +271,15 @@ func LargestDeflated(op Operator, deflate [][]float64, opts Options) (float64, [
 		}
 		cycles++
 		csp := rec.StartSpan("lanczos-cycle")
-		th, v, res, steps, err := lanczosCycle(op, x, project, opts, rng)
-		csp.Count("steps", int64(steps))
-		csp.Count("matvecs", int64(steps+1))
+		th, v, res, cst, err := lanczosCycle(op, x, project, opts, rng)
+		csp.Count("steps", int64(cst.steps))
+		csp.Count("matvecs", int64(cst.matvecs))
 		csp.End()
-		rec.Metrics().Counter("eigen.matvecs").Add(int64(steps + 1))
+		met := rec.Metrics()
+		met.Counter("eigen.matvecs").Add(int64(cst.matvecs))
+		met.Counter("eigen.matvec.rows").Add(int64(cst.matvecs) * int64(n))
+		met.Counter("eigen.reorth.skipped").Add(int64(cst.reorthSkipped))
+		met.Counter("eigen.reorth.forced").Add(int64(cst.reorthForced))
 		if err != nil {
 			return 0, nil, err
 		}
@@ -248,14 +303,30 @@ func LargestDeflated(op Operator, deflate [][]float64, opts Options) (float64, [
 	return theta, ritz, &NoConvergeError{Residual: residual, Restarts: opts.MaxRestarts}
 }
 
+// cycleStats aggregates the per-cycle work counters the restart loop
+// feeds into spans and the metrics registry.
+type cycleStats struct {
+	steps         int // Krylov steps taken
+	matvecs       int // operator applications (steps + residual checks)
+	reorthSkipped int // selective steps where the ω-monitor skipped full reorth
+	reorthForced  int // selective steps where it triggered full reorth
+}
+
 // lanczosCycle runs one restart cycle from the given starting vector and
-// returns the best Ritz pair, its residual norm, and the number of
-// Krylov steps taken.
-func lanczosCycle(op Operator, start []float64, project func([]float64), opts Options, rng *rand.Rand) (float64, []float64, float64, int, error) {
+// returns the best Ritz pair, its residual norm, and the cycle's work
+// counters.
+func lanczosCycle(op Operator, start []float64, project func([]float64), opts Options, rng *rand.Rand) (float64, []float64, float64, cycleStats, error) {
 	n := op.N()
+	var st cycleStats
 	basis := make([][]float64, 0, opts.MaxSteps)
 	alpha := make([]float64, 0, opts.MaxSteps)
 	beta := make([]float64, 0, opts.MaxSteps)
+	workers := opts.matvecWorkers(n)
+	selective := opts.selectiveReorth(n)
+	var mon *omegaMonitor
+	if selective {
+		mon = newOmegaMonitor(opts.MaxSteps, n)
+	}
 
 	v := append([]float64(nil), start...)
 	project(v)
@@ -266,20 +337,34 @@ func lanczosCycle(op Operator, start []float64, project func([]float64), opts Op
 		}
 		project(v)
 		if sparse.Normalize(v) == 0 {
-			return 0, nil, 0, 0, errors.New("eigen: cannot find a starting vector outside the deflation space")
+			return 0, nil, 0, st, errors.New("eigen: cannot find a starting vector outside the deflation space")
 		}
 	}
 	basis = append(basis, v)
 
 	w := make([]float64, n)
+	// Full reorthogonalization, twice for stability ("twice is enough").
+	fullReorth := func() {
+		for pass := 0; pass < 2; pass++ {
+			for _, b := range basis {
+				sparse.Axpy(-sparse.Dot(b, w), b, w)
+			}
+			project(w)
+		}
+	}
+	// In selective mode a triggered cleanup also covers the following
+	// step: ω estimates for the in-between vector are unreliable until
+	// two consecutive vectors are clean.
+	reorthNext := false
 	for j := 0; j < opts.MaxSteps; j++ {
 		if opts.Ctx != nil && j%cancelCheckSteps == cancelCheckSteps-1 {
 			if err := opts.Ctx.Err(); err != nil {
-				return 0, nil, 0, j, err
+				return 0, nil, 0, st, err
 			}
 		}
 		vj := basis[j]
-		op.MulVec(w, vj)
+		opMulVec(op, w, vj, workers)
+		st.matvecs++
 		project(w)
 		a := sparse.Dot(vj, w)
 		alpha = append(alpha, a)
@@ -287,13 +372,26 @@ func lanczosCycle(op Operator, start []float64, project func([]float64), opts Op
 		if j > 0 {
 			sparse.Axpy(-beta[j-1], basis[j-1], w)
 		}
-		// Full reorthogonalization, twice for stability ("twice is enough").
-		for pass := 0; pass < 2; pass++ {
-			for _, b := range basis {
-				sparse.Axpy(-sparse.Dot(b, w), b, w)
+		if !selective {
+			fullReorth()
+		} else {
+			tentative := sparse.Norm2(w)
+			degenerate := tentative <= 1e-14*(math.Abs(a)+1)
+			if mon.advance(alpha, beta, tentative) > omegaThreshold || reorthNext || degenerate {
+				if !reorthNext {
+					reorthNext = true
+				} else {
+					reorthNext = false
+				}
+				fullReorth()
+				mon.reset()
+				st.reorthForced++
+			} else {
+				project(w)
+				st.reorthSkipped++
 			}
-			project(w)
 		}
+		st.steps++
 		bnorm := sparse.Norm2(w)
 		if bnorm <= 1e-14*(math.Abs(a)+1) || j == opts.MaxSteps-1 {
 			break // invariant subspace found or step budget exhausted
@@ -308,7 +406,7 @@ func lanczosCycle(op Operator, start []float64, project func([]float64), opts Op
 	m := len(alpha)
 	vals, z, err := SymTridiagonal(alpha[:m], beta[:min(len(beta), m-1)], true)
 	if err != nil {
-		return 0, nil, 0, m, err
+		return 0, nil, 0, st, err
 	}
 	// Largest Ritz value is the last (ascending order).
 	k := m - 1
@@ -320,10 +418,11 @@ func lanczosCycle(op Operator, start []float64, project func([]float64), opts Op
 	project(ritz)
 	sparse.Normalize(ritz)
 	// True residual ‖op·x − θx‖ for the assembled Ritz vector.
-	op.MulVec(w, ritz)
+	opMulVec(op, w, ritz, workers)
+	st.matvecs++
 	project(w)
 	sparse.Axpy(-theta, ritz, w)
-	return theta, ritz, sparse.Norm2(w), m, nil
+	return theta, ritz, sparse.Norm2(w), st, nil
 }
 
 func min(a, b int) int {

@@ -1,0 +1,192 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"igpart/internal/obs"
+	"igpart/internal/sparse"
+)
+
+// plantedLaplacian builds the Laplacian of a connected two-community
+// random graph on n vertices: each community is a ring (guaranteeing
+// connectivity) plus random intra-community chords, with a few weak
+// cross links. λ₂ is tiny (the planted cut) while λ₃ sits at the
+// intra-community connectivity scale — the well-separated spectrum the
+// ω-monitor is designed to exploit.
+func plantedLaplacian(n int, seed int64) *sparse.SymCSR {
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewCSRBuilder(n)
+	half := n / 2
+	ring := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			j := i + 1
+			if j == hi {
+				j = lo
+			}
+			b.Add(i, j, 1)
+		}
+	}
+	ring(0, half)
+	ring(half, n)
+	pick := func(lo, hi int) (int, int) {
+		i := lo + rng.Intn(hi-lo)
+		j := lo + rng.Intn(hi-lo)
+		for j == i {
+			j = lo + rng.Intn(hi-lo)
+		}
+		return i, j
+	}
+	for k := 0; k < 3*n; k++ {
+		var i, j int
+		if k%2 == 0 {
+			i, j = pick(0, half)
+		} else {
+			i, j = pick(half, n)
+		}
+		b.Add(i, j, 1)
+	}
+	for k := 0; k < 3; k++ {
+		b.Add(rng.Intn(half), half+rng.Intn(n-half), 0.05)
+	}
+	return sparse.Laplacian(b.Build())
+}
+
+// TestSelectiveReorthFiedlerParity is the reorth-monitor property suite:
+// across 24 randomized Laplacians the selective solve must reproduce the
+// full-reorth Fiedler pair — λ₂ and, after sign alignment, every vector
+// entry — within 1e-8, while actually skipping reorthogonalization work
+// on these well-separated spectra.
+func TestSelectiveReorthFiedlerParity(t *testing.T) {
+	const seeds = 24
+	totalSkipped := int64(0)
+	for seed := int64(0); seed < seeds; seed++ {
+		n := 140 + int(seed*17)%240
+		q := plantedLaplacian(n, seed)
+		opts := Options{Seed: seed, Tol: 1e-11}
+
+		fullOpts := opts
+		fullOpts.ReorthMode = ReorthFull
+		full, err := Fiedler(q, fullOpts)
+		if err != nil {
+			t.Fatalf("seed %d: full-reorth Fiedler: %v", seed, err)
+		}
+
+		tr := obs.NewTrace("selective")
+		selOpts := opts
+		selOpts.ReorthMode = ReorthSelective
+		selOpts.Rec = tr
+		sel, err := Fiedler(q, selOpts)
+		if err != nil {
+			t.Fatalf("seed %d: selective Fiedler: %v", seed, err)
+		}
+		if sel.Dense || full.Dense {
+			t.Fatalf("seed %d: dense path at n=%d; the parity claim is about the iterative engines", seed, n)
+		}
+
+		if d := math.Abs(sel.Lambda2 - full.Lambda2); d > 1e-8*(1+math.Abs(full.Lambda2)) {
+			t.Fatalf("seed %d: λ₂ diverged by %.3g (selective %.12g vs full %.12g)", seed, d, sel.Lambda2, full.Lambda2)
+		}
+		sign := 1.0
+		if sparse.Dot(sel.Vector, full.Vector) < 0 {
+			sign = -1
+		}
+		for i := range full.Vector {
+			if d := math.Abs(sign*sel.Vector[i] - full.Vector[i]); d > 1e-8 {
+				t.Fatalf("seed %d: vector entry %d diverged by %.3g", seed, i, d)
+			}
+		}
+		totalSkipped += tr.Metrics().Snapshot().Counters["eigen.reorth.skipped"]
+	}
+	if totalSkipped == 0 {
+		t.Fatal("eigen.reorth.skipped = 0 across all seeds: the selective path never skipped any work, so the parity test exercised nothing")
+	}
+}
+
+// TestSelectiveReorthSkipsOnWellSeparatedSpectrum pins the economics on
+// one instance: the monitor must skip the overwhelming majority of steps
+// and the skip/force counters must account for every Krylov step.
+func TestSelectiveReorthSkipsOnWellSeparatedSpectrum(t *testing.T) {
+	q := plantedLaplacian(400, 7)
+	tr := obs.NewTrace("t")
+	_, err := Fiedler(q, Options{ReorthMode: ReorthSelective, Rec: tr})
+	if err != nil {
+		t.Fatalf("Fiedler: %v", err)
+	}
+	snap := tr.Metrics().Snapshot()
+	skipped := snap.Counters["eigen.reorth.skipped"]
+	forced := snap.Counters["eigen.reorth.forced"]
+	if skipped == 0 {
+		t.Fatalf("eigen.reorth.skipped = 0 (forced = %d): selective mode did full reorth on every step", forced)
+	}
+	if forced > skipped {
+		t.Fatalf("monitor fired on most steps (skipped %d, forced %d) — its bound is mis-tuned for a well-separated spectrum", skipped, forced)
+	}
+	if snap.Counters["eigen.matvec.rows"] == 0 {
+		t.Fatal("eigen.matvec.rows = 0: matvec volume accounting is not wired")
+	}
+}
+
+// TestReorthAutoMatchesFullBelowCutoff: auto mode must resolve to the
+// historical full scheme below ReorthAutoCutoff — bit-identical vectors,
+// so every existing golden stays pinned.
+func TestReorthAutoMatchesFullBelowCutoff(t *testing.T) {
+	q := plantedLaplacian(300, 3) // 300 < ReorthAutoCutoff
+	auto, err := Fiedler(q, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Fiedler(q, Options{Seed: 3, ReorthMode: ReorthFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Lambda2 != full.Lambda2 {
+		t.Fatalf("auto λ₂ %.17g != full λ₂ %.17g below cutoff", auto.Lambda2, full.Lambda2)
+	}
+	for i := range full.Vector {
+		if auto.Vector[i] != full.Vector[i] {
+			t.Fatalf("auto and full vectors differ at %d below the cutoff: %g vs %g", i, auto.Vector[i], full.Vector[i])
+		}
+	}
+}
+
+// TestSelectiveReorthBlockMode runs the parity check through the block
+// engine, which uses the measured-drift variant of the monitor.
+func TestSelectiveReorthBlockMode(t *testing.T) {
+	q := plantedLaplacian(220, 11)
+	full, err := Fiedler(q, Options{Seed: 11, BlockSize: 4, ReorthMode: ReorthFull})
+	if err != nil {
+		t.Fatalf("full: %v", err)
+	}
+	tr := obs.NewTrace("t")
+	sel, err := Fiedler(q, Options{Seed: 11, BlockSize: 4, ReorthMode: ReorthSelective, Rec: tr})
+	if err != nil {
+		t.Fatalf("selective: %v", err)
+	}
+	if d := math.Abs(sel.Lambda2 - full.Lambda2); d > 1e-7*(1+math.Abs(full.Lambda2)) {
+		t.Fatalf("block λ₂ diverged by %.3g", d)
+	}
+	if tr.Metrics().Snapshot().Counters["eigen.reorth.skipped"] == 0 {
+		t.Fatal("block selective mode skipped no work")
+	}
+}
+
+// TestParseReorthMode covers the flag surface both ways.
+func TestParseReorthMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want ReorthMode
+	}{{"", ReorthAuto}, {"auto", ReorthAuto}, {"full", ReorthFull}, {"selective", ReorthSelective}} {
+		got, err := ParseReorthMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseReorthMode(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if tc.in != "" && got.String() != tc.in {
+			t.Fatalf("String() round trip: %q -> %q", tc.in, got.String())
+		}
+	}
+	if _, err := ParseReorthMode("bogus"); err == nil {
+		t.Fatal("ParseReorthMode accepted garbage")
+	}
+}

@@ -1,0 +1,82 @@
+package netgen
+
+import (
+	"bytes"
+	"testing"
+
+	"igpart/internal/hypergraph"
+)
+
+// FuzzNetgen drives Generate across the whole configuration space and
+// asserts the generator's structural contract: the circuit hits the
+// requested module and net counts exactly, no net is degenerate (empty,
+// single-pin, or duplicate-pin — the builder sorts and dedups, so a
+// repeated sample collapsing a net to one pin would surface here), every
+// module has the minimum degree 2 of real standard-cell netlists, and
+// the circuit survives a Bookshelf write/read round trip unchanged.
+func FuzzNetgen(f *testing.F) {
+	f.Add(int64(1), uint16(50), uint16(60), uint8(93), uint8(0))
+	f.Add(int64(104), uint16(3014), uint16(3029), uint8(93), uint8(0)) // Prim2 shape
+	f.Add(int64(7), uint16(2), uint16(1), uint8(0), uint8(99))
+	f.Add(int64(-3), uint16(997), uint16(1203), uint8(50), uint8(25))
+	f.Fuzz(func(t *testing.T, seed int64, modules, nets uint16, locality, hubs uint8) {
+		cfg := Config{
+			Name:     "fuzz",
+			Modules:  int(modules)%2000 + 2,
+			Nets:     int(nets)%2500 + 1,
+			Seed:     seed,
+			Locality: float64(locality%100) / 100,
+			HubProb:  float64(hubs%100) / 100,
+		}
+		h, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate(%+v): %v", cfg, err)
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("generated circuit invalid: %v", err)
+		}
+		if h.NumModules() != cfg.Modules || h.NumNets() != cfg.Nets {
+			t.Fatalf("got %d modules / %d nets, want %d / %d",
+				h.NumModules(), h.NumNets(), cfg.Modules, cfg.Nets)
+		}
+		for e := 0; e < h.NumNets(); e++ {
+			if h.NetSize(e) < 2 {
+				t.Fatalf("net %d is degenerate: %d pins", e, h.NetSize(e))
+			}
+		}
+		if cfg.Nets >= cfg.Modules {
+			// The min-degree-2 guarantee needs enough net budget for the
+			// fixup phase; at the >= 1 net-per-module ratio of every real
+			// preset it must hold for all modules.
+			for v := 0; v < h.NumModules(); v++ {
+				if h.Degree(v) < 2 {
+					t.Fatalf("module %d has degree %d, want >= 2", v, h.Degree(v))
+				}
+			}
+		}
+
+		var nodes, netsBuf bytes.Buffer
+		if err := hypergraph.WriteBookshelf(&nodes, &netsBuf, h); err != nil {
+			t.Fatalf("WriteBookshelf: %v", err)
+		}
+		back, err := hypergraph.ReadBookshelf(bytes.NewReader(nodes.Bytes()), bytes.NewReader(netsBuf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadBookshelf of generated circuit: %v", err)
+		}
+		if back.NumModules() != h.NumModules() || back.NumNets() != h.NumNets() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				h.NumModules(), h.NumNets(), back.NumModules(), back.NumNets())
+		}
+		for e := 0; e < h.NumNets(); e++ {
+			want, got := h.Pins(e), back.Pins(e)
+			if len(want) != len(got) {
+				t.Fatalf("net %d changed size in round trip: %d -> %d", e, len(want), len(got))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("net %d pin %d changed in round trip: %d -> %d", e, i, want[i], got[i])
+				}
+			}
+		}
+	})
+}

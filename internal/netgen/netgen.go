@@ -379,9 +379,28 @@ var Benchmarks = []Config{
 	{Name: "Test06", Modules: 1752, Nets: 1541, Seed: 109},
 }
 
-// ByName returns the benchmark Config with the given name.
+// ScaleBenchmarks lists the large synthetic circuits behind the scale
+// benchmarks (ROADMAP: 10⁵–10⁶-net inputs solved in seconds). Module
+// counts keep the ~0.99 modules-per-net ratio of Primary2 so structural
+// properties (IG sparsity, net-size mix) carry over; only the scale
+// changes.
+var ScaleBenchmarks = []Config{
+	{Name: "scale10k", Modules: 9_900, Nets: 10_000, Seed: 210},
+	{Name: "scale30k", Modules: 29_700, Nets: 30_000, Seed: 211},
+	{Name: "scale100k", Modules: 99_000, Nets: 100_000, Seed: 212},
+	{Name: "scale300k", Modules: 297_000, Nets: 300_000, Seed: 213},
+	{Name: "scale1M", Modules: 990_000, Nets: 1_000_000, Seed: 214},
+}
+
+// ByName returns the benchmark Config with the given name, searching the
+// paper suite first, then the scale presets.
 func ByName(name string) (Config, bool) {
 	for _, c := range Benchmarks {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	for _, c := range ScaleBenchmarks {
 		if c.Name == name {
 			return c, true
 		}

@@ -6,6 +6,7 @@ package netmodel
 
 import (
 	"fmt"
+	"sort"
 
 	"igpart/internal/hypergraph"
 	"igpart/internal/sparse"
@@ -117,71 +118,71 @@ type IGOptions struct {
 // one vertex per net, an edge between two nets exactly when they share at
 // least one module, weighted per opts.Scheme. The matrix dimension equals
 // h.NumNets().
+//
+// The build streams one IG row at a time through pin buckets: for row net
+// a, walking the incidence lists of a's pins touches exactly the nets
+// that conflict with a, and a stamp array accumulates each neighbor's
+// weight without any pairwise coordinate buffer. Total work is
+// Σ_v deg(v)² and peak memory is O(m + nnz) — the memory-lean form that
+// makes 10⁵–10⁶-net inputs feasible, where the historical all-pairs
+// coordinate build (24 bytes per duplicate contribution plus a global
+// sort) did not fit. Weight folds run over shared modules in ascending
+// pin order for both (a,c) and (c,a), so the matrix is exactly symmetric.
 func IntersectionGraph(h *hypergraph.Hypergraph, opts IGOptions) *sparse.SymCSR {
 	m := h.NumNets()
-	b := sparse.NewCSRBuilder(m)
+	b := sparse.NewRowsBuilder(m)
 	skip := func(e int) bool {
 		return opts.Threshold > 0 && h.NetSize(e) > opts.Threshold
 	}
-	// Accumulate per shared module: every module of degree d contributes to
-	// the C(d,2) pairs of nets incident to it.
-	for v := 0; v < h.NumModules(); v++ {
-		nets := h.Nets(v)
-		d := len(nets)
-		if d < 2 {
-			continue
-		}
-		for i := 0; i < d; i++ {
-			a := nets[i]
-			if skip(a) {
-				continue
-			}
-			for j := i + 1; j < d; j++ {
-				c := nets[j]
-				if skip(c) {
+	var (
+		acc       = make([]float64, m) // weight accumulator, valid where stamped
+		stamp     = make([]int, m)     // row id + 1 marking valid acc entries
+		neighbors []int                // stamped columns of the current row
+		vals      []float64
+	)
+	for a := 0; a < m; a++ {
+		neighbors = neighbors[:0]
+		if !skip(a) {
+			invA := 1 / float64(h.NetSize(a))
+			for _, v := range h.Pins(a) {
+				nets := h.Nets(v)
+				d := len(nets)
+				if d < 2 {
 					continue
 				}
-				var w float64
-				switch opts.Scheme {
-				case SchemeUnit:
-					// The builder sums duplicates, so accumulate the
-					// indicator by maxing later is not possible; instead
-					// contribute 0 beyond the first shared module. Handled
-					// below via a dedicated pass.
-					w = 1
-				case SchemeOverlap:
-					w = 1
-				case SchemeMinSize:
-					mn := h.NetSize(a)
-					if s := h.NetSize(c); s < mn {
-						mn = s
+				invD := 1 / float64(d-1)
+				for _, c := range nets {
+					if c == a || skip(c) {
+						continue
 					}
-					w = 1 / float64(mn)
-				default: // SchemePaper
-					w = (1 / float64(d-1)) * (1/float64(h.NetSize(a)) + 1/float64(h.NetSize(c)))
+					if stamp[c] != a+1 {
+						stamp[c] = a + 1
+						acc[c] = 0
+						neighbors = append(neighbors, c)
+					}
+					switch opts.Scheme {
+					case SchemeUnit:
+						acc[c] = 1
+					case SchemeOverlap:
+						acc[c]++
+					case SchemeMinSize:
+						mn := h.NetSize(a)
+						if s := h.NetSize(c); s < mn {
+							mn = s
+						}
+						acc[c] += 1 / float64(mn)
+					default: // SchemePaper
+						acc[c] += invD * (invA + 1/float64(h.NetSize(c)))
+					}
 				}
-				b.Add(a, c, w)
 			}
 		}
-	}
-	g := b.Build()
-	if opts.Scheme == SchemeUnit {
-		// Clamp accumulated overlap counts back to the 0/1 indicator.
-		return clampToUnit(g)
-	}
-	return g
-}
-
-// clampToUnit rebuilds g with every nonzero off-diagonal set to 1.
-func clampToUnit(g *sparse.SymCSR) *sparse.SymCSR {
-	b := sparse.NewCSRBuilder(g.N())
-	for i := 0; i < g.N(); i++ {
-		cols, _ := g.Row(i)
-		for _, j := range cols {
-			if j > i {
-				b.Add(i, j, 1)
-			}
+		sort.Ints(neighbors)
+		vals = vals[:0]
+		for _, c := range neighbors {
+			vals = append(vals, acc[c])
 		}
+		b.AppendRow(neighbors, vals)
 	}
 	return b.Build()
 }

@@ -1,0 +1,64 @@
+// Package par provides the small shared parallel-execution helpers used
+// by the sweep engine (internal/core) and the sparse matvec kernels
+// (internal/sparse): worker-count resolution, contiguous range sharding,
+// and a fork-join runner. Shard boundaries are a pure function of their
+// inputs, so callers can promise bit-identical results for every worker
+// count.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested parallelism against the number of items:
+// 0 (or negative) selects GOMAXPROCS, and the result never exceeds items
+// and never drops below one.
+func Workers(requested, items int) int {
+	p := requested
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > items {
+		p = items
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Bounds cuts [0, n) into p contiguous shards of near-equal size;
+// entry i is the [lo, hi) range of shard i. Deterministic: boundary k
+// of p shards over n items is always k·n/p.
+func Bounds(p, n int) [][2]int {
+	if p < 1 {
+		p = 1
+	}
+	b := make([][2]int, p)
+	for i := 0; i < p; i++ {
+		b[i] = [2]int{i * n / p, (i + 1) * n / p}
+	}
+	return b
+}
+
+// Run invokes fn(i) for every i in [0, p), one goroutine per index, and
+// waits for all of them. p <= 1 stays on the calling goroutine — the
+// serial path, with zero synchronization overhead.
+func Run(p int, fn func(i int)) {
+	if p <= 1 {
+		if p == 1 {
+			fn(0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for i := 0; i < p; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

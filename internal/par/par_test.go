@@ -1,0 +1,57 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 1000); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0, 1000) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want 3", got)
+	}
+	if got := Workers(4, 0); got != 1 {
+		t.Fatalf("Workers(4, 0) = %d, want 1", got)
+	}
+	if got := Workers(-1, 2); got != 2 && got != 1 {
+		t.Fatalf("Workers(-1, 2) = %d", got)
+	}
+}
+
+func TestBoundsPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		for p := 1; p <= 9; p++ {
+			b := Bounds(p, n)
+			prev := 0
+			for _, r := range b {
+				if r[0] != prev || r[1] < r[0] {
+					t.Fatalf("Bounds(%d,%d) = %v not a partition", p, n, b)
+				}
+				prev = r[1]
+			}
+			if prev != n {
+				t.Fatalf("Bounds(%d,%d) ends at %d", p, n, prev)
+			}
+		}
+	}
+}
+
+func TestRunInvokesEveryIndexOnce(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 8} {
+		var hits [8]int64
+		Run(p, func(i int) { atomic.AddInt64(&hits[i], 1) })
+		for i := 0; i < p; i++ {
+			if hits[i] != 1 {
+				t.Fatalf("Run(%d): index %d hit %d times", p, i, hits[i])
+			}
+		}
+		for i := p; i < 8; i++ {
+			if p >= 0 && i >= p && hits[i] != 0 {
+				t.Fatalf("Run(%d): index %d hit unexpectedly", p, i)
+			}
+		}
+	}
+}

@@ -3,6 +3,8 @@ package sparse
 import (
 	"fmt"
 	"sort"
+
+	"igpart/internal/par"
 )
 
 // SymCSR is a symmetric sparse matrix in compressed-sparse-row form. Both
@@ -77,6 +79,68 @@ func (m *SymCSR) MulVec(y, x []float64) {
 		}
 		y[i] = s
 	}
+}
+
+// MulVecRange computes y[lo:hi] = (A*x)[lo:hi], the row slice of the
+// product. Each row is accumulated exactly as MulVec does — same
+// summation order, same bits. Callers are responsible for covering
+// [0, N) with disjoint ranges.
+func (m *SymCSR) MulVecRange(y, x []float64, lo, hi int) {
+	if len(x) != m.n || len(y) != m.n {
+		panic(fmt.Sprintf("sparse: MulVecRange dimension mismatch n=%d len(x)=%d len(y)=%d", m.n, len(x), len(y)))
+	}
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			s += m.values[p] * x[m.colIdx[p]]
+		}
+		y[i] = s
+	}
+}
+
+// ParMulVec computes y = A*x with rows sharded across workers goroutines
+// (<= 0 selects GOMAXPROCS). Shards are contiguous row ranges balanced by
+// stored nonzeros, rows are written disjointly, and per-row summation
+// order is unchanged, so the result is bit-identical to MulVec for every
+// worker count.
+func (m *SymCSR) ParMulVec(y, x []float64, workers int) {
+	p := par.Workers(workers, m.n)
+	if p == 1 {
+		m.MulVec(y, x)
+		return
+	}
+	bounds := m.rowBounds(p)
+	par.Run(len(bounds), func(i int) {
+		m.MulVecRange(y, x, bounds[i][0], bounds[i][1])
+	})
+}
+
+// rowBounds cuts the rows into p contiguous shards balanced by stored
+// nonzeros: shard boundary k is the first row whose rowPtr reaches
+// k·nnz/p. A pure function of the matrix shape and p — the same matrix
+// always shards the same way.
+func (m *SymCSR) rowBounds(p int) [][2]int {
+	nnz := len(m.values)
+	bounds := make([][2]int, p)
+	lo := 0
+	for k := 1; k <= p; k++ {
+		hi := m.n
+		if k < p {
+			target := k * nnz / p
+			hi = sort.SearchInts(m.rowPtr[:m.n+1], target)
+			// SearchInts lands on the first rowPtr >= target; clamp so
+			// shards never run backwards on empty-row runs.
+			if hi > m.n {
+				hi = m.n
+			}
+			if hi < lo {
+				hi = lo
+			}
+		}
+		bounds[k-1] = [2]int{lo, hi}
+		lo = hi
+	}
+	return bounds
 }
 
 // Coord is a single (i, j, v) triplet used when assembling a matrix.
@@ -163,23 +227,152 @@ func (b *CSRBuilder) Build() *SymCSR {
 // Laplacian returns the graph Laplacian Q = D − A of the adjacency matrix a,
 // where D is the diagonal matrix of row sums of a. Any diagonal entries of a
 // are ignored (self-loops do not affect a Laplacian).
+//
+// The build is a direct two-pass row stream over a: O(nnz) time and
+// memory, no coordinate buffer and no global sort. Entry values and
+// accumulation orders match the historical builder-based assembly
+// bit for bit (degrees fold over a's columns in ascending order; zero
+// entries are elided the same way CSRBuilder.Add elided them).
 func Laplacian(a *SymCSR) *SymCSR {
-	b := NewCSRBuilder(a.n)
-	deg := make([]float64, a.n)
-	for i := 0; i < a.n; i++ {
+	n := a.n
+	m := &SymCSR{n: n}
+	m.rowPtr = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		cnt := 0
+		deg := 0.0
+		for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
+			if a.colIdx[p] != i {
+				deg += a.values[p]
+				if a.values[p] != 0 {
+					cnt++
+				}
+			}
+		}
+		if deg != 0 {
+			cnt++ // the diagonal entry
+		}
+		m.rowPtr[i+1] = m.rowPtr[i] + cnt
+	}
+	m.colIdx = make([]int, m.rowPtr[n])
+	m.values = make([]float64, m.rowPtr[n])
+	m.diag = make([]float64, n)
+	m.rowSums = make([]float64, n)
+	for i := 0; i < n; i++ {
+		deg := 0.0
+		for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
+			if a.colIdx[p] != i {
+				deg += a.values[p]
+			}
+		}
+		k := m.rowPtr[i]
+		wroteDiag := deg == 0 // nothing to write for isolated rows
 		for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
 			j := a.colIdx[p]
-			if j == i {
+			if j == i || a.values[p] == 0 {
 				continue
 			}
-			deg[i] += a.values[p]
-			if j > i {
-				b.Add(i, j, -a.values[p])
+			if j > i && !wroteDiag {
+				m.colIdx[k] = i
+				m.values[k] = deg
+				k++
+				wroteDiag = true
+			}
+			m.colIdx[k] = j
+			m.values[k] = -a.values[p]
+			k++
+		}
+		if !wroteDiag {
+			m.colIdx[k] = i
+			m.values[k] = deg
+			k++
+		}
+		m.diag[i] = deg
+		s := 0.0
+		for p := m.rowPtr[i]; p < k; p++ {
+			s += m.values[p]
+		}
+		m.rowSums[i] = s
+	}
+	return m
+}
+
+// RowsBuilder assembles a SymCSR one row at a time, in row order, with
+// no intermediate coordinate buffer — O(nnz) memory and time, the
+// memory-lean path for streaming constructions like the intersection
+// graph. The caller supplies each row's columns in strictly ascending
+// order and is responsible for overall symmetry; zero values are elided
+// to match CSRBuilder semantics.
+type RowsBuilder struct {
+	n      int
+	next   int // next row to be appended
+	rowPtr []int
+	colIdx []int
+	values []float64
+}
+
+// NewRowsBuilder returns a streaming builder for an n×n symmetric matrix.
+func NewRowsBuilder(n int) *RowsBuilder {
+	if n < 0 {
+		panic("sparse: negative dimension")
+	}
+	return &RowsBuilder{n: n, rowPtr: make([]int, 1, n+1)}
+}
+
+// AppendRow adds the next row with the given columns and values (equal
+// length, columns strictly ascending within [0, n)). The slices are
+// copied; callers may reuse them. Call exactly n times, once per row.
+func (b *RowsBuilder) AppendRow(cols []int, vals []float64) {
+	if b.next >= b.n {
+		panic(fmt.Sprintf("sparse: AppendRow past row %d of %d", b.next, b.n))
+	}
+	if len(cols) != len(vals) {
+		panic(fmt.Sprintf("sparse: AppendRow length mismatch %d cols vs %d vals", len(cols), len(vals)))
+	}
+	prev := -1
+	for k, c := range cols {
+		if c < 0 || c >= b.n {
+			panic(fmt.Sprintf("sparse: AppendRow column %d outside %d×%d", c, b.n, b.n))
+		}
+		if c <= prev {
+			panic(fmt.Sprintf("sparse: AppendRow columns not strictly ascending at %d", c))
+		}
+		prev = c
+		if vals[k] == 0 {
+			continue
+		}
+		b.colIdx = append(b.colIdx, c)
+		b.values = append(b.values, vals[k])
+	}
+	b.next++
+	b.rowPtr = append(b.rowPtr, len(b.colIdx))
+}
+
+// Build finalizes the matrix. All n rows must have been appended.
+func (b *RowsBuilder) Build() *SymCSR {
+	if b.next != b.n {
+		panic(fmt.Sprintf("sparse: Build after %d of %d rows", b.next, b.n))
+	}
+	m := &SymCSR{
+		n:      b.n,
+		rowPtr: b.rowPtr,
+		colIdx: b.colIdx,
+		values: b.values,
+	}
+	if m.colIdx == nil {
+		m.colIdx = []int{}
+	}
+	if m.values == nil {
+		m.values = []float64{}
+	}
+	m.diag = make([]float64, b.n)
+	m.rowSums = make([]float64, b.n)
+	for i := 0; i < b.n; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			m.rowSums[i] += m.values[p]
+			if m.colIdx[p] == i {
+				m.diag[i] = m.values[p]
 			}
 		}
 	}
-	for i, d := range deg {
-		b.Add(i, i, d)
-	}
-	return b.Build()
+	return m
 }

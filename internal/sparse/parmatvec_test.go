@@ -1,0 +1,162 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCSR builds a random symmetric matrix with ~avgDeg off-diagonals
+// per row plus a diagonal, seeded for reproducibility.
+func randomCSR(n, avgDeg int, seed int64) *SymCSR {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewCSRBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 1+rng.Float64())
+		for k := 0; k < avgDeg/2; k++ {
+			j := rng.Intn(n)
+			if j != i {
+				b.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestParMulVecBitIdentity is the determinism contract of the tentpole:
+// the row-sharded product must equal the serial product bit for bit at
+// every worker count, on matrices with skewed row lengths and empty
+// rows. Run under -race this also proves the shards never touch each
+// other's rows.
+func TestParMulVecBitIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    *SymCSR
+	}{
+		{"random-1000", randomCSR(1000, 8, 1)},
+		{"random-small", randomCSR(17, 4, 2)},
+		{"ring-one-row-heavy", func() *SymCSR {
+			// One hub row holds half the nonzeros — stresses the
+			// nnz-balanced shard boundaries.
+			b := NewCSRBuilder(500)
+			for i := 1; i < 500; i++ {
+				b.Add(0, i, float64(i))
+			}
+			for i := 100; i < 400; i++ {
+				b.Add(i, i, 2)
+			}
+			return b.Build()
+		}()},
+		{"empty-rows", func() *SymCSR {
+			b := NewCSRBuilder(64)
+			b.Add(3, 60, 1)
+			b.Add(10, 11, -2)
+			return b.Build()
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.m.N()
+			rng := rand.New(rand.NewSource(99))
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			want := make([]float64, n)
+			tc.m.MulVec(want, x)
+			for _, p := range []int{1, 2, 4, 8} {
+				got := make([]float64, n)
+				tc.m.ParMulVec(got, x, p)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("P=%d: y[%d] = %x, serial %x — parallel matvec is not bit-identical", p, i, got[i], want[i])
+					}
+				}
+			}
+			// 0 (auto = GOMAXPROCS) must stay bit-identical too.
+			got := make([]float64, n)
+			tc.m.ParMulVec(got, x, 0)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("P=auto: y[%d] = %x, serial %x", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMulVecRangeCoversDisjointly checks the row-slice kernel agrees
+// with MulVec on any [lo, hi) cover.
+func TestMulVecRangeCoversDisjointly(t *testing.T) {
+	m := randomCSR(123, 6, 5)
+	x := make([]float64, 123)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	want := make([]float64, 123)
+	m.MulVec(want, x)
+	got := make([]float64, 123)
+	for _, cut := range []int{0, 1, 40, 122, 123} {
+		for i := range got {
+			got[i] = 0
+		}
+		m.MulVecRange(got, x, 0, cut)
+		m.MulVecRange(got, x, cut, 123)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cut %d: y[%d] = %g, want %g", cut, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRowBoundsPartition checks the nnz-balanced shard boundaries are a
+// partition of the rows for every p, including p > n.
+func TestRowBoundsPartition(t *testing.T) {
+	for _, m := range []*SymCSR{randomCSR(97, 6, 3), NewCSRBuilder(5).Build()} {
+		for p := 1; p <= 12; p++ {
+			bounds := m.rowBounds(p)
+			if len(bounds) != p {
+				t.Fatalf("p=%d: %d bounds", p, len(bounds))
+			}
+			prev := 0
+			for _, b := range bounds {
+				if b[0] != prev || b[1] < b[0] {
+					t.Fatalf("p=%d: bad bounds %v", p, bounds)
+				}
+				prev = b[1]
+			}
+			if prev != m.N() {
+				t.Fatalf("p=%d: bounds end at %d, want %d", p, prev, m.N())
+			}
+		}
+	}
+}
+
+// TestRowsBuilderMatchesCoordinateBuilder: the streaming builder must
+// produce exactly the matrix the coordinate builder produces.
+func TestRowsBuilderMatchesCoordinateBuilder(t *testing.T) {
+	want := randomCSR(60, 6, 9)
+	rb := NewRowsBuilder(60)
+	for i := 0; i < 60; i++ {
+		cols, vals := want.Row(i)
+		rb.AppendRow(cols, vals)
+	}
+	got := rb.Build()
+	if got.NNZ() != want.NNZ() || got.N() != want.N() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", got.N(), got.NNZ(), want.N(), want.NNZ())
+	}
+	for i := 0; i < 60; i++ {
+		wc, wv := want.Row(i)
+		gc, gv := got.Row(i)
+		if len(wc) != len(gc) {
+			t.Fatalf("row %d length %d vs %d", i, len(gc), len(wc))
+		}
+		for k := range wc {
+			if wc[k] != gc[k] || wv[k] != gv[k] {
+				t.Fatalf("row %d entry %d: (%d,%g) vs (%d,%g)", i, k, gc[k], gv[k], wc[k], wv[k])
+			}
+		}
+		if got.Diag()[i] != want.Diag()[i] || got.RowSums()[i] != want.RowSums()[i] {
+			t.Fatalf("row %d caches differ", i)
+		}
+	}
+}

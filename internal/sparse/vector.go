@@ -1,8 +1,10 @@
 // Package sparse provides the small dense/sparse linear-algebra kernels the
 // spectral partitioners need: vectors, symmetric CSR matrices, and dense
-// symmetric matrices. Everything is float64 and single-threaded; netlist
-// Laplacians at the scale of the paper's benchmarks (a few thousand rows)
-// are comfortably handled.
+// symmetric matrices. Everything is float64. Vector kernels are
+// single-threaded; the CSR matvec also comes in a row-sharded parallel
+// form (ParMulVec) that is bit-identical to the serial product for every
+// worker count, which is what lets million-row netlist Laplacians iterate
+// in seconds without giving up determinism.
 package sparse
 
 import (
