@@ -30,16 +30,17 @@ lint:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core ./internal/bipartite ./internal/sparse ./internal/par ./internal/service ./cmd/igpartd
+	$(GO) test -race ./internal/core ./internal/bipartite ./internal/sparse ./internal/par ./internal/multiway ./internal/service ./cmd/igpartd
 	$(GO) test ./internal/hypergraph -run '^$$' -fuzz '^FuzzBookshelfRoundTrip$$' -fuzztime 10s
 
 # CI fuzz smoke: 10 seconds each on the Bookshelf writer round trip, the
-# multilevel V-cycle invariants, service request validation, and the
-# benchmark generator's structural contract.
+# multilevel V-cycle invariants, service request validation (generic and
+# k-way), and the benchmark generator's structural contract.
 fuzz-smoke:
 	$(GO) test ./internal/hypergraph -run '^$$' -fuzz '^FuzzBookshelfRoundTrip$$' -fuzztime 10s
 	$(GO) test ./internal/multilevel -run '^$$' -fuzz '^FuzzVCycle$$' -fuzztime 10s
 	$(GO) test ./internal/service -run '^$$' -fuzz '^FuzzRequestValidate$$' -fuzztime 10s
+	$(GO) test ./internal/service -run '^$$' -fuzz '^FuzzKWayRequest$$' -fuzztime 10s
 	$(GO) test ./internal/netgen -run '^$$' -fuzz '^FuzzNetgen$$' -fuzztime 10s
 
 # Chaos suite: the seeded fault-injection and panic-isolation tests —
@@ -54,13 +55,17 @@ chaos:
 	$(GO) test -race ./cmd/igpartd -run 'Readyz|Liveness|IOReadErr|BadRequest'
 
 # CI bench sanity: regenerate the small-circuit report and fail on any
-# ratio-cut regression beyond 10% of the checked-in baseline, then hold
-# the checked-in scale report to the million-net gate (>=100k nets,
-# selective reorth >=3x faster than full at equal ratio cut).
+# ratio-cut regression beyond 10% of the checked-in baseline, hold the
+# checked-in scale report to the million-net gate (>=100k nets, selective
+# reorth >=3x faster than full at equal ratio cut), then the kway-sanity
+# step: rerun both balanced k-way engines at k in {2,4,8} and fail on
+# spanning-net regressions against the checked-in k-way baseline.
 bench-sanity:
 	$(GO) run igpart/cmd/experiments -report ci -scale 0.25 -p 1 \
 		-baseline results/BENCH_baseline.json -tolerance 0.10
 	$(GO) run igpart/cmd/experiments -verify-scale results/BENCH_scale.json
+	$(GO) run igpart/cmd/experiments -kway-report kway-ci -results /tmp/igpart-kway \
+		-scale 0.25 -p 1 -kway-baseline results/BENCH_kway.json -tolerance 0.10
 
 # Regenerate the checked-in million-net-scale report: the 100k-net preset
 # partitioned by the candidate sweep under selective and full
@@ -93,6 +98,7 @@ fuzz:
 	$(GO) test ./internal/hypergraph -fuzz FuzzBookshelfRoundTrip -fuzztime 30s
 	$(GO) test ./internal/multilevel -fuzz FuzzVCycle -fuzztime 30s
 	$(GO) test ./internal/service -fuzz FuzzRequestValidate -fuzztime 30s
+	$(GO) test ./internal/service -fuzz FuzzKWayRequest -fuzztime 30s
 	$(GO) test ./internal/netgen -fuzz FuzzNetgen -fuzztime 30s
 
 # Regenerate every paper table at full size.
@@ -100,9 +106,10 @@ experiments:
 	$(GO) run igpart/cmd/experiments
 
 # COVER_PKGS must each stay at or above COVER_MIN% statement coverage:
-# the pipeline core, the multilevel engine, the observability layer, the
-# matching substrate, and the partition-service job engine.
-COVER_PKGS = igpart/internal/core igpart/internal/multilevel igpart/internal/obs igpart/internal/bipartite igpart/internal/service
+# the pipeline core, the multilevel engine, the balanced k-way engine,
+# the observability layer, the matching substrate, and the
+# partition-service job engine.
+COVER_PKGS = igpart/internal/core igpart/internal/multilevel igpart/internal/multiway igpart/internal/obs igpart/internal/bipartite igpart/internal/service
 COVER_MIN  = 70
 
 cover:

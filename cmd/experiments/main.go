@@ -48,6 +48,9 @@ func main() {
 		levels     = flag.Int("levels", 0, "multilevel V-cycle depth (0 = package default, 1 = flat)")
 		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		report     = flag.String("report", "", "write a JSON run report named BENCH_<name>.json instead of tables")
+		kwayReport = flag.String("kway-report", "", "write a balanced k-way report BENCH_<name>.json (both engines, k per -ks) instead of tables")
+		kwayBase   = flag.String("kway-baseline", "", "with -kway-report: diff against this BENCH_*.json and fail on spanning-net regressions")
+		kwayEps    = flag.Float64("kway-eps", 0.03, "imbalance budget for -kway-report")
 		resultsDir = flag.String("results", "results", "directory for -report output")
 		baseline   = flag.String("baseline", "", "with -report: diff the fresh report against this BENCH_*.json and fail on ratio-cut regressions")
 		tolerance  = flag.Float64("tolerance", 0.10, "relative ratio-cut tolerance for -baseline comparisons")
@@ -196,6 +199,40 @@ func main() {
 			}
 			fmt.Printf("bench-sanity: no ratio-cut regressions vs %s (tolerance %.0f%%)\n",
 				*baseline, *tolerance*100)
+		}
+		return
+	}
+
+	if *kwayReport != "" {
+		rep, err := s.KWayReport(*kwayReport, bench.DefaultKWayKs(), *kwayEps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: kway-report:", err)
+			os.Exit(1)
+		}
+		path, err := rep.WriteFile(*resultsDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: kway-report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d circuits, k=%v, eps=%g)\n", path, len(rep.Circuits), rep.Ks, rep.Eps)
+		fmt.Print(bench.FormatKWayTable(rep))
+		if *kwayBase != "" {
+			base, err := bench.ReadKWayReportFile(*kwayBase)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: kway-baseline:", err)
+				os.Exit(1)
+			}
+			regressions := bench.CompareKWayReports(base, rep, *tolerance)
+			if len(regressions) > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: %d spanning-net regression(s) vs %s (tolerance %.0f%%):\n",
+					len(regressions), *kwayBase, *tolerance*100)
+				for _, r := range regressions {
+					fmt.Fprintln(os.Stderr, "  ", r)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("kway-sanity: no spanning-net regressions vs %s (tolerance %.0f%%)\n",
+				*kwayBase, *tolerance*100)
 		}
 		return
 	}

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	igpart -in design.hgr [-algo igmatch|multilevel|igvote|eig1|rcut|kl|refined|condensed]
+//	igpart -in design.hgr [-algo igmatch|multilevel|igvote|eig1|rcut|kl|refined|condensed|multiway|kway|kway-spectral]
 //	       [-levels 3] [-cratio 0.9] [-starts 10] [-seed 1] [-p 0] [-assign] [-stats]
+//	       [-k 4] [-eps 0.03] [-fix design.fix]
 //	       [-reorth auto|full|selective] [-matvec-p 0] [-candidates 0]
 //	       [-trace] [-metrics] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -35,8 +36,9 @@ func main() {
 		in     = flag.String("in", "", "input netlist path (.hgr or named format)")
 		nodes  = flag.String("nodes", "", "Bookshelf .nodes path (use with -nets instead of -in)")
 		nets   = flag.String("nets", "", "Bookshelf .nets path (use with -nodes instead of -in)")
-		algo   = flag.String("algo", "igmatch", "algorithm: igmatch, multilevel, igvote, eig1, rcut, kl, refined, condensed, multiway")
-		k      = flag.Int("k", 4, "part count for -algo multiway")
+		algo   = flag.String("algo", "igmatch", "algorithm: igmatch, multilevel, igvote, eig1, rcut, kl, refined, condensed, multiway, kway, kway-spectral")
+		k      = flag.Int("k", 4, "part count for -algo multiway/kway/kway-spectral")
+		eps    = flag.Float64("eps", 0, "imbalance budget for -algo kway/kway-spectral: each part holds at most ceil((1+eps)*n/k) modules (0 = perfect balance)")
 		levels = flag.Int("levels", 3, "V-cycle depth for -algo multilevel (1 = flat igmatch)")
 		cratio = flag.Float64("cratio", 0.9, "largest acceptable per-round net shrink factor for -algo multilevel")
 		starts = flag.Int("starts", 10, "random starts for rcut")
@@ -194,6 +196,36 @@ func main() {
 		}
 		fmt.Printf("multiway: k=%d sizes=%v spanning=%d connectivity=%d ratio=%.5g\n",
 			mw.K, mw.PartSizesSorted(), mw.SpanningNets, mw.Connectivity, mw.RatioValue)
+		if *assign {
+			for v := 0; v < h.NumModules(); v++ {
+				fmt.Printf("%s %d\n", h.ModuleName(v), mw.Part[v])
+			}
+		}
+		return
+	case "kway", "kway-spectral":
+		// Unlike the bipartition algorithms, -fix threads into the engine
+		// here: pins constrain every bisection rather than being patched in
+		// by FM afterwards.
+		kwOpts := igpart.KWayOptions{
+			Eps: *eps, Spectral: *algo == "kway-spectral", Candidates: *candidates,
+			Seed: *seed, Parallelism: *par, Reorth: reorthMode,
+			MatvecParallelism: *matvecP, Rec: rec,
+		}
+		if *fixIn != "" {
+			fix, err := hypergraph.LoadFix(*fixIn, h.NumModules(), *k)
+			if err != nil {
+				fatal(err)
+			}
+			kwOpts.Fixed = fix.Part
+		}
+		end := span(*algo)
+		mw, err := igpart.KWay(h, *k, kwOpts)
+		end()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: k=%d eps=%g cap=%d sizes=%v spanning=%d connectivity=%d ratio=%.5g\n",
+			*algo, mw.K, *eps, mw.Cap, mw.PartSizesSorted(), mw.SpanningNets, mw.Connectivity, mw.RatioValue)
 		if *assign {
 			for v := 0; v < h.NumModules(); v++ {
 				fmt.Printf("%s %d\n", h.ModuleName(v), mw.Part[v])

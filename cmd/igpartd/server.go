@@ -88,6 +88,12 @@ type submitRequest struct {
 	Levels          int     `json:"levels,omitempty"`
 	CoarseningRatio float64 `json:"coarsening_ratio,omitempty"`
 	TimeoutMS       int64   `json:"timeout_ms,omitempty"`
+
+	// Balanced k-way options (algo "kway" / "kway-spectral"): part count,
+	// imbalance budget, and named fixed-module pins.
+	K   int             `json:"k,omitempty"`
+	Eps float64         `json:"eps,omitempty"`
+	Fix []igpart.FixPin `json:"fix,omitempty"`
 }
 
 // jobJSON is the wire form of a job snapshot.
@@ -117,8 +123,17 @@ type resultJSON struct {
 	CoarsestNets int     `json:"coarsest_nets,omitempty"`
 	// Sides is per-module 0/1; an explicit int array rather than
 	// []igpart.Side, which (being a byte slice) would marshal as base64.
-	Sides  []int         `json:"sides"`
-	Stages *igpart.Stage `json:"stages,omitempty"`
+	Sides []int `json:"sides,omitempty"`
+	// Balanced k-way results carry the per-module part assignment and the
+	// multiway metrics instead of Sides and the bipartition metrics.
+	K            int           `json:"k,omitempty"`
+	Cap          int           `json:"cap,omitempty"`
+	Parts        []int         `json:"parts,omitempty"`
+	PartSizes    []int         `json:"part_sizes,omitempty"`
+	SpanningNets int           `json:"spanning_nets,omitempty"`
+	Connectivity int           `json:"connectivity,omitempty"`
+	RatioValue   float64       `json:"ratio_value,omitempty"`
+	Stages       *igpart.Stage `json:"stages,omitempty"`
 }
 
 func snapshotJSON(snap service.Snapshot) jobJSON {
@@ -159,6 +174,13 @@ func snapshotJSON(snap service.Snapshot) jobJSON {
 			Levels:       res.Levels,
 			CoarsestNets: res.CoarsestNets,
 			Sides:        sides,
+			K:            res.K,
+			Cap:          res.Cap,
+			Parts:        res.Parts,
+			PartSizes:    res.PartSizes,
+			SpanningNets: res.SpanningNets,
+			Connectivity: res.Connectivity,
+			RatioValue:   res.RatioValue,
 			Stages:       &stages,
 		}
 	}
@@ -233,6 +255,9 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			Parallelism:     req.Parallelism,
 			Levels:          req.Levels,
 			CoarseningRatio: req.CoarseningRatio,
+			K:               req.K,
+			Eps:             req.Eps,
+			Fix:             req.Fix,
 			Timeout:         time.Duration(req.TimeoutMS) * time.Millisecond,
 		},
 	})

@@ -413,3 +413,70 @@ func TestServerSidePath(t *testing.T) {
 		t.Fatalf("served ratio %g != direct %g", done.Result.RatioCut, direct.Metrics.RatioCut)
 	}
 }
+
+// TestSubmitKWayEndToEnd is the acceptance path for balanced k-way over
+// HTTP: POST a k=4 job with an imbalance budget and two fixed modules,
+// poll it to completion, and verify the JSON result delivers exactly 4
+// capped parts with both pinned modules on their pinned parts.
+func TestSubmitKWayEndToEnd(t *testing.T) {
+	ts, _ := testServer(t, service.Config{Workers: 2}, serverConfig{})
+	// Generation is deterministic, so a first payload reveals the module
+	// names the fix list needs.
+	_, h := bookshelfPayload(t, "Prim1", 0.12, nil)
+	mA, mB := h.ModuleName(0), h.ModuleName(1)
+	body, _ := bookshelfPayload(t, "Prim1", 0.12, map[string]any{
+		"algo": "kway", "k": 4, "eps": 0.1,
+		"fix": []map[string]any{
+			{"module": mA, "part": 2},
+			{"module": mB, "part": 0},
+		},
+	})
+	code, j := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d, want 202", code)
+	}
+	j = pollTerminal(t, ts, j.ID, 30*time.Second)
+	if j.State != string(service.StateDone) {
+		t.Fatalf("job state %q err %q, want done", j.State, j.Error)
+	}
+	res := j.Result
+	if res == nil || res.Algo != "kway" || res.K != 4 {
+		t.Fatalf("result %+v, want algo kway k=4", res)
+	}
+	if len(res.Parts) != h.NumModules() || len(res.PartSizes) != 4 {
+		t.Fatalf("parts=%d part_sizes=%d, want %d/4", len(res.Parts), len(res.PartSizes), h.NumModules())
+	}
+	for p, sz := range res.PartSizes {
+		if sz == 0 || sz > res.Cap {
+			t.Fatalf("part %d size %d outside (0,%d]", p, sz, res.Cap)
+		}
+	}
+	if res.Parts[0] != 2 || res.Parts[1] != 0 {
+		t.Fatalf("pinned modules landed on parts %d/%d, want 2/0", res.Parts[0], res.Parts[1])
+	}
+	if res.SpanningNets <= 0 || res.Connectivity < res.SpanningNets {
+		t.Fatalf("metrics spanning=%d connectivity=%d inconsistent", res.SpanningNets, res.Connectivity)
+	}
+	if len(res.Sides) != 0 {
+		t.Fatalf("kway result carries %d bipartition sides", len(res.Sides))
+	}
+}
+
+// TestSubmitKWayBadRequests pins the HTTP classification of invalid
+// k-way submissions: all 400, never enqueued.
+func TestSubmitKWayBadRequests(t *testing.T) {
+	ts, _ := testServer(t, service.Config{Workers: 1}, serverConfig{})
+	cases := []map[string]any{
+		{"algo": "kway", "k": 1},
+		{"algo": "kway", "k": 4, "eps": -0.5},
+		{"algo": "kway-spectral", "k": 4, "fix": []map[string]any{{"module": "no-such-module", "part": 0}}},
+		{"algo": "kway", "k": 4, "fix": []map[string]any{{"module": "m0", "part": 9}}},
+	}
+	for i, extra := range cases {
+		body, _ := bookshelfPayload(t, "Prim1", 0.12, extra)
+		code, _ := postJob(t, ts, body)
+		if code != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, code)
+		}
+	}
+}

@@ -549,9 +549,79 @@ func CompareSparsity(h *Netlist) Sparsity { return netmodel.CompareSparsity(h) }
 // nets, connectivity, multiway ratio value).
 type MultiwayResult = multiway.Result
 
-// Multiway produces a k-way partition of h by recursive IG-Match bisection.
+// Multiway produces a k-way partition of h by recursive IG-Match
+// bisection with no imbalance budget — the legacy behavior. Use KWay for
+// the balanced (k, ε, fixed-module) contract.
 func Multiway(h *Netlist, k int) (MultiwayResult, error) {
-	return multiway.Partition(h, multiway.Options{K: k})
+	return multiway.Partition(h, multiway.Options{K: k, Eps: multiway.Unbounded})
+}
+
+// EpsUnbounded disables the KWay imbalance budget: parts may be any size
+// above one module.
+var EpsUnbounded = multiway.Unbounded
+
+// FixPin names one module pinned to a part for a k-way run; resolve a
+// list of them against a netlist with hypergraph.FixFromPins.
+type FixPin = hypergraph.FixPin
+
+// KWayOptions configures KWay. The zero value demands perfect balance
+// (ε = 0) with no fixed modules on the default IG-Match pipeline.
+type KWayOptions struct {
+	// Eps is the imbalance budget ε ≥ 0: every part holds at most
+	// ⌈(1+ε)·n/k⌉ modules (multiway.PartCap). 0 — the default — demands
+	// perfect balance; EpsUnbounded disables the budget.
+	Eps float64
+	// Fixed pins modules to parts: Fixed[v] ∈ [0,k) pins module v there,
+	// −1 leaves it free; nil leaves every module free. Build one from a
+	// named pin list with hypergraph.FixFromPins, or from an hMETIS .fix
+	// file with hypergraph.LoadFix.
+	Fixed []int
+	// Spectral selects the direct spectral-k engine — Riolo–Newman
+	// vector partitioning on the first k eigenvectors — instead of
+	// recursive IG-Match bisection.
+	Spectral bool
+	// Candidates, when positive, makes each constrained bisection probe
+	// that many evenly spaced splits (the scalable candidate sweep)
+	// instead of sweeping its whole balance window.
+	Candidates int
+	// The pipeline knobs below mirror IGMatchOptions and apply to every
+	// bisection (or to the spectral-k eigensolve).
+	Scheme            WeightScheme
+	Threshold         int
+	Seed              int64
+	BlockSize         int
+	Parallelism       int
+	Reorth            ReorthMode
+	MatvecParallelism int
+	Rec               Recorder
+	Ctx               context.Context
+	Fault             *FaultInjector
+}
+
+// KWay produces a balanced k-way module partition of h: exactly k
+// non-empty parts, every part within the ε budget's per-part cap, every
+// fixed module in its pinned part. With k=2, ε=EpsUnbounded, and no
+// fixed modules the recursive engine reduces bit-for-bit to the IGMatch
+// bisection.
+func KWay(h *Netlist, k int, opts ...KWayOptions) (MultiwayResult, error) {
+	var o KWayOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return multiway.Partition(h, multiway.Options{
+		K: k, Eps: o.Eps, Fixed: o.Fixed, Spectral: o.Spectral, Candidates: o.Candidates,
+		Core: core.Options{
+			IG: netmodel.IGOptions{Scheme: o.Scheme, Threshold: o.Threshold},
+			Eigen: eigen.Options{
+				Seed: o.Seed, BlockSize: o.BlockSize,
+				ReorthMode: o.Reorth, MatvecWorkers: o.MatvecParallelism,
+			},
+			Parallelism: o.Parallelism,
+			Rec:         o.Rec,
+			Ctx:         o.Ctx,
+			Fault:       o.Fault,
+		},
+	})
 }
 
 // EvaluateMultiway computes the multiway metrics for an arbitrary part

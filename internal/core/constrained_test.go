@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"igpart/internal/hypergraph"
+	"igpart/internal/partition"
+)
+
+// TestBalancedSweepRespectsWindow runs the constrained sweep over a set
+// of windows, from loose to single-size, and requires every completion
+// to land inside its window — at every parallelism, bit-identically.
+func TestBalancedSweepRespectsWindow(t *testing.T) {
+	h := randomCircuit(t, 2)
+	n := h.NumModules()
+	windows := []Balance{
+		{MinU: n/2 - 5, MaxU: n/2 + 5},
+		{MinU: n / 4, MaxU: 3 * n / 4},
+		{MinU: n / 2, MaxU: n / 2}, // exact bisection
+		{MinU: 1, MaxU: n - 1},     // trivial window
+	}
+	for _, w := range windows {
+		w := w
+		serial, err := Partition(h, Options{Balance: &w, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("window [%d,%d]: %v", w.MinU, w.MaxU, err)
+		}
+		if su := serial.Metrics.SizeU; su < w.MinU || su > w.MaxU {
+			t.Fatalf("window [%d,%d]: SizeU=%d outside", w.MinU, w.MaxU, su)
+		}
+		if serial.Metrics.SizeW != n-serial.Metrics.SizeU {
+			t.Fatalf("sides don't cover the netlist: %+v", serial.Metrics)
+		}
+		par, err := Partition(h, Options{Balance: &w, Parallelism: 4})
+		if err != nil {
+			t.Fatalf("window [%d,%d] parallel: %v", w.MinU, w.MaxU, err)
+		}
+		for v := 0; v < n; v++ {
+			if serial.Partition.Side(v) != par.Partition.Side(v) {
+				t.Fatalf("window [%d,%d]: parallelism changed module %d", w.MinU, w.MaxU, v)
+			}
+		}
+	}
+}
+
+// TestFixedSidesRespected pins modules to both sides and requires every
+// pin to survive the König completion, with and without a window.
+func TestFixedSidesRespected(t *testing.T) {
+	h := randomCircuit(t, 3)
+	n := h.NumModules()
+	fixed := make([]int8, n)
+	for v := range fixed {
+		fixed[v] = -1
+	}
+	fixed[0], fixed[1], fixed[2] = 0, 0, 1
+	fixed[n-1], fixed[n-2] = 1, 0
+
+	check := func(opts Options) {
+		t.Helper()
+		res, err := Partition(h, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, s := range fixed {
+			if s < 0 {
+				continue
+			}
+			want := partition.U
+			if s == 1 {
+				want = partition.W
+			}
+			if got := res.Partition.Side(v); got != want {
+				t.Fatalf("module %d pinned to %v, got %v", v, want, got)
+			}
+		}
+		if opts.Balance != nil {
+			if su := res.Metrics.SizeU; su < opts.Balance.MinU || su > opts.Balance.MaxU {
+				t.Fatalf("SizeU=%d outside window [%d,%d]", su, opts.Balance.MinU, opts.Balance.MaxU)
+			}
+		}
+	}
+	check(Options{FixedSides: fixed})
+	check(Options{FixedSides: fixed, Balance: &Balance{MinU: n/2 - 3, MaxU: n/2 + 3}})
+	check(Options{FixedSides: fixed, Balance: &Balance{MinU: n / 3, MaxU: n / 2}, Parallelism: 2})
+}
+
+// TestCandidatesConstrained exercises the scalable candidate sweep under
+// the same constraints.
+func TestCandidatesConstrained(t *testing.T) {
+	h := randomCircuit(t, 4)
+	n := h.NumModules()
+	fixed := make([]int8, n)
+	for v := range fixed {
+		fixed[v] = -1
+	}
+	fixed[5], fixed[7] = 0, 1
+	w := Balance{MinU: n/2 - 4, MaxU: n/2 + 4}
+	res, err := PartitionCandidates(h, 12, Options{Balance: &w, FixedSides: fixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if su := res.Metrics.SizeU; su < w.MinU || su > w.MaxU {
+		t.Fatalf("SizeU=%d outside window [%d,%d]", su, w.MinU, w.MaxU)
+	}
+	if res.Partition.Side(5) != partition.U || res.Partition.Side(7) != partition.W {
+		t.Fatalf("pins ignored: side(5)=%v side(7)=%v", res.Partition.Side(5), res.Partition.Side(7))
+	}
+}
+
+// TestConstraintValidation covers the rejection paths of constrained
+// options: malformed pin vectors, impossible windows, and windows the
+// pins overflow.
+func TestConstraintValidation(t *testing.T) {
+	h := randomCircuit(t, 5)
+	n := h.NumModules()
+	short := make([]int8, n-1)
+	badVal := make([]int8, n)
+	for i := range badVal {
+		badVal[i] = -1
+	}
+	badVal[0] = 3
+	manyU := make([]int8, n)
+	for i := range manyU {
+		manyU[i] = -1
+	}
+	for i := 0; i < 6; i++ {
+		manyU[i] = 0
+	}
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"short pin vector", Options{FixedSides: short}},
+		{"pin value out of range", Options{FixedSides: badVal}},
+		{"inverted window", Options{Balance: &Balance{MinU: 10, MaxU: 5}}},
+		{"window excludes pins", Options{FixedSides: manyU, Balance: &Balance{MinU: 1, MaxU: 3}}},
+	}
+	for _, tc := range cases {
+		if _, err := Partition(h, tc.opts); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+		if _, err := PartitionCandidates(h, 8, tc.opts); err == nil {
+			t.Errorf("%s (candidates): no error", tc.name)
+		}
+	}
+}
+
+// TestNoFeasibleCompletion pins the typed failure on a window no swept
+// split of the dense 3-pin ring can complete ([6,6] over 8 modules —
+// every completion's U side overshoots or undershoots the single allowed
+// size), and contrasts it with a tight window the balanced V_N
+// completion does satisfy ([1,1]).
+func TestNoFeasibleCompletion(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(8)
+	for v := 0; v < 8; v++ {
+		b.AddNet(v, (v+1)%8, (v+2)%8)
+	}
+	h := b.Build()
+	_, err := Partition(h, Options{Balance: &Balance{MinU: 6, MaxU: 6}})
+	if !errors.Is(err, ErrNoFeasibleCompletion) {
+		t.Fatalf("err = %v, want ErrNoFeasibleCompletion", err)
+	}
+	_, err = PartitionCandidates(h, 4, Options{Balance: &Balance{MinU: 6, MaxU: 6}})
+	if !errors.Is(err, ErrNoFeasibleCompletion) {
+		t.Fatalf("candidates err = %v, want ErrNoFeasibleCompletion", err)
+	}
+	// The [1,1] window IS reachable: the balanced completion can split
+	// the free V_N nets to hit an exact size the plain sweep never would.
+	res, err := Partition(h, Options{Balance: &Balance{MinU: 1, MaxU: 1}})
+	if err != nil {
+		t.Fatalf("[1,1] window: %v", err)
+	}
+	if res.Metrics.SizeU != 1 {
+		t.Fatalf("[1,1] window: SizeU=%d", res.Metrics.SizeU)
+	}
+}
+
+// TestNilConstraintsTakeLegacyPath asserts the structural parity
+// guarantee: with no Balance and no FixedSides, newConstraints resolves
+// to nil and the sweep output is bit-identical to the pre-constraint
+// code — including when a FixedSides vector is present but all-free,
+// which does engage the constrained completer.
+func TestNilConstraintsTakeLegacyPath(t *testing.T) {
+	h := randomCircuit(t, 6)
+	n := h.NumModules()
+	cons, err := newConstraints(Options{}, n)
+	if err != nil || cons != nil {
+		t.Fatalf("newConstraints(zero) = %v, %v; want nil, nil", cons, err)
+	}
+	allFree := make([]int8, n)
+	for i := range allFree {
+		allFree[i] = -1
+	}
+	cons, err = newConstraints(Options{FixedSides: allFree}, n)
+	if err != nil || cons == nil {
+		t.Fatalf("newConstraints(all free) = %v, %v; want non-nil, nil", cons, err)
+	}
+
+	base, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Partition(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.BestRank != again.BestRank || base.Metrics != again.Metrics {
+		t.Fatalf("unconstrained run not deterministic: %+v vs %+v", base.Metrics, again.Metrics)
+	}
+}

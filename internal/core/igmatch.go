@@ -81,6 +81,21 @@ type Options struct {
 	// default — disarms every point at zero cost; injection with a fixed
 	// seed is reproducible across runs.
 	Fault *fault.Injector
+	// Balance, when non-nil, restricts accepted completions to those
+	// whose U side holds between MinU and MaxU modules; the sweep is
+	// pruned to the rank window that can plausibly reach it, and splits
+	// whose completions all fall outside count as infeasible. nil — the
+	// production default — imposes nothing and keeps the sweep
+	// bit-identical to the paper engine. See constrained.go.
+	Balance *Balance
+	// FixedSides, when non-nil, pins modules before the sweep:
+	// FixedSides[v] = 0 pins module v to side U, 1 pins it to side W,
+	// and −1 leaves it free. A pinned module pre-assigns its nets'
+	// sides in every König completion and is never reassigned by
+	// Phase II. nil leaves every module free, bit-identical to the
+	// unpinned engine. Incompatible with RecursionDepth, which is
+	// ignored while constraints are active.
+	FixedSides []int8
 }
 
 // ctxErr polls an optional context: nil contexts never cancel.
@@ -257,6 +272,10 @@ func IGAdjacency(h *hypergraph.Hypergraph) [][]int {
 // only materialized when the split improves on the shard's best so far.
 func sweep(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) {
 	m := h.NumNets()
+	cons, err := newConstraints(opts, h.NumModules())
+	if err != nil {
+		return Result{}, err
+	}
 	rec := obs.OrNop(opts.Rec)
 	sp := rec.StartSpan("conflict-adjacency")
 	adj := IGAdjacency(h)
@@ -271,8 +290,15 @@ func sweep(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) 
 		trace = make([]SplitRecord, nSplits)
 	}
 
+	// A balance budget prunes the sweep to the rank window that can
+	// plausibly reach it; unconstrained runs sweep every rank as before.
+	loRank, hiRank := 1, nSplits
+	if cons != nil {
+		loRank, hiRank = balanceRankWindow(cons.bal, h.NumModules(), nSplits)
+	}
+
 	sw := rec.StartSpan("sweep")
-	shards := runShards(opts.Ctx, h, adj, order, nSplits, shardCount(opts.Parallelism, nSplits), trace, sw, opts.Fault)
+	shards := runShards(opts.Ctx, h, adj, order, loRank, hiRank, shardCount(opts.Parallelism, hiRank-loRank+1), trace, sw, opts.Fault, cons)
 
 	// Deterministic reduction: shards cover ascending rank ranges, and a
 	// later shard only displaces the incumbent on a strict metric
@@ -306,12 +332,17 @@ func sweep(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) 
 		*opts.Trace = append(*opts.Trace, trace...)
 	}
 	if !haveBest {
+		if cons != nil {
+			return Result{}, ErrNoFeasibleCompletion
+		}
 		return Result{}, errors.New("core: no proper completion found (every split left one side empty)")
 	}
 	rec.Metrics().Gauge("sweep.best_rank").Set(float64(best.BestRank))
 	rec.Metrics().Gauge("sweep.best_ratio").Set(best.Metrics.RatioCut)
 
-	if opts.RecursionDepth > 0 {
+	// The recursive extension's completion machinery is pin- and
+	// balance-oblivious, so it only augments unconstrained runs.
+	if opts.RecursionDepth > 0 && cons == nil {
 		if p2, met2, ok := completeRecursive(h, bestSets, opts); ok && better(met2, best.Metrics) {
 			best.Partition = p2
 			best.Metrics = met2
@@ -346,7 +377,7 @@ type shardBest struct {
 // regardless of tracing and are flushed to the span (and the run-wide
 // registry) once at shard exit, so the traced and untraced loops execute
 // the same per-split instructions.
-func sweepShard(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, order []int, lo, hi int, trace []SplitRecord, sp obs.Recorder) shardBest {
+func sweepShard(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, order []int, lo, hi int, trace []SplitRecord, sp obs.Recorder, cons *constraints) shardBest {
 	var matcher *bipartite.Matcher
 	if lo == 1 {
 		matcher = bipartite.NewMatcher(adj)
@@ -357,7 +388,7 @@ func sweepShard(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, orde
 		}
 		matcher = bipartite.NewMatcherAt(adj, inR)
 	}
-	comp := newCompleter(h)
+	comp := newCompleter(h, cons)
 
 	var sb shardBest
 	bestCost := partition.Metrics{RatioCut: inf()}
@@ -376,7 +407,14 @@ func sweepShard(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, orde
 		matcher.MoveToR(order[rank-1])
 		matcher.WinnersInto(&sets)
 		winners += int64(len(sets.EvenL) + len(sets.EvenR))
-		met, vnSide, ok := comp.evaluate(sets)
+		var met partition.Metrics
+		var vnSide partition.Side
+		var ok bool
+		if comp.cons == nil {
+			met, vnSide, ok = comp.evaluate(sets)
+		} else {
+			met, ok = comp.evaluateConstrained(sets)
+		}
 		if trace != nil {
 			rec := SplitRecord{
 				Rank:         rank,
@@ -399,7 +437,7 @@ func sweepShard(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, orde
 			improved++
 			sb.have = true
 			sb.met = met
-			sb.part = comp.materialize(vnSide)
+			sb.part = comp.materializeBest(vnSide)
 			sb.rank = rank
 			sb.matching = matcher.MatchingSize()
 			sb.sets = copySets(sets) // sets storage is reused next split
@@ -436,20 +474,46 @@ func copySets(s bipartite.Sets) bipartite.Sets {
 type completer struct {
 	h *hypergraph.Hypergraph
 	// assigned holds the winner coloring: 0 = unassigned (V_N),
-	// 1 = V_L (side U), 2 = V_R (side W).
+	// 1 = V_L (side U), 2 = V_R (side W). Pinned modules are pre-colored
+	// at construction and never reset.
 	assigned []uint8
-	touched  []int // modules colored at the current split, for O(1) reset
+	touched  []int // free modules colored at the current split, for O(1) reset
+
+	// Constrained-engine state; nil/unused on the paper path.
+	cons     *constraints
+	fixedCol []uint8        // alias of cons.fixed, nil when unpinned
+	affU     []int32        // per-V_N-module affinity to the colored U side
+	affW     []int32        // ... and to the colored W side
+	vn       []int          // V_N modules of the current split
+	vnPos    []int32        // module → position in the affinity-sorted V_N order
+	balX     int            // balanced completion: V_N prefix sent to U; −1 = bulk
+	balSide  partition.Side // bulk side when balX < 0
 }
 
-func newCompleter(h *hypergraph.Hypergraph) *completer {
-	return &completer{
+func newCompleter(h *hypergraph.Hypergraph, cons *constraints) *completer {
+	c := &completer{
 		h:        h,
 		assigned: make([]uint8, h.NumModules()),
 		touched:  make([]int, 0, h.NumModules()),
 	}
+	if cons != nil {
+		n := h.NumModules()
+		c.cons = cons
+		c.affU = make([]int32, n)
+		c.affW = make([]int32, n)
+		c.vn = make([]int, 0, n)
+		c.vnPos = make([]int32, n)
+		if cons.fixed != nil {
+			c.fixedCol = cons.fixed
+			copy(c.assigned, cons.fixed) // permanent colors; color() skips them
+		}
+	}
+	return c
 }
 
-// color applies the winner assignment for the given split.
+// color applies the winner assignment for the given split. Pinned modules
+// keep their permanent color: winner nets color only the free modules
+// around them, and the returned counts cover free modules only.
 func (c *completer) color(sets bipartite.Sets) (nU, nW int) {
 	for _, v := range c.touched {
 		c.assigned[v] = 0
@@ -457,6 +521,9 @@ func (c *completer) color(sets bipartite.Sets) (nU, nW int) {
 	c.touched = c.touched[:0]
 	for _, e := range sets.EvenL {
 		for _, v := range c.h.Pins(e) {
+			if c.fixedCol != nil && c.fixedCol[v] != 0 {
+				continue
+			}
 			if c.assigned[v] == 0 {
 				c.touched = append(c.touched, v)
 				nU++
@@ -469,6 +536,9 @@ func (c *completer) color(sets bipartite.Sets) (nU, nW int) {
 	}
 	for _, e := range sets.EvenR {
 		for _, v := range c.h.Pins(e) {
+			if c.fixedCol != nil && c.fixedCol[v] != 0 {
+				continue
+			}
 			if c.assigned[v] == 0 {
 				c.touched = append(c.touched, v)
 				nW++
@@ -480,6 +550,15 @@ func (c *completer) color(sets bipartite.Sets) (nU, nW int) {
 		}
 	}
 	return nU, nW
+}
+
+// materializeBest dispatches between the unconstrained and constrained
+// materializations for the completion chosen by the last evaluate call.
+func (c *completer) materializeBest(vnSide partition.Side) *partition.Bipartition {
+	if c.cons == nil {
+		return c.materialize(vnSide)
+	}
+	return c.materializeConstrained()
 }
 
 // evaluate colors the winners and scores both bulk placements of the

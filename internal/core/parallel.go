@@ -30,29 +30,31 @@ func shardCount(parallelism, nSplits int) int {
 	return par.Workers(parallelism, nSplits)
 }
 
-// runShards executes the sweep over p contiguous shards and returns the
-// per-shard winners in ascending rank order. p == 1 stays on the calling
+// runShards executes the sweep over the rank range [loRank, hiRank] in p
+// contiguous shards and returns the per-shard winners in ascending rank
+// order. Unconstrained sweeps pass the full range 1..m−1; a balance
+// budget narrows it (see balanceRankWindow). p == 1 stays on the calling
 // goroutine — the serial engine, with zero synchronization overhead.
 //
 // sw is the sweep stage span; each shard records under its own child
 // span. Child spans are opened before the workers launch so the stage
 // tree lists shards in ascending rank order regardless of scheduling.
-func runShards(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, order []int, nSplits, p int, trace []SplitRecord, sw obs.Recorder, inj *fault.Injector) []shardBest {
+func runShards(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, order []int, loRank, hiRank, p int, trace []SplitRecord, sw obs.Recorder, inj *fault.Injector, cons *constraints) []shardBest {
 	if p <= 1 {
-		return []shardBest{safeSweepShard(ctx, h, adj, order, 1, nSplits+1, trace, shardSpan(sw, 1, nSplits+1), inj)}
+		return []shardBest{safeSweepShard(ctx, h, adj, order, loRank, hiRank+1, trace, shardSpan(sw, loRank, hiRank+1), inj, cons)}
 	}
 	shards := make([]shardBest, p)
 	spans := make([]obs.Recorder, p)
-	bounds := par.Bounds(p, nSplits) // rank ranges, shifted by 1 below
+	bounds := par.Bounds(p, hiRank-loRank+1) // rank ranges, shifted below
 	var wg sync.WaitGroup
 	for i := 0; i < p; i++ {
-		lo := 1 + bounds[i][0]
-		hi := 1 + bounds[i][1]
+		lo := loRank + bounds[i][0]
+		hi := loRank + bounds[i][1]
 		spans[i] = shardSpan(sw, lo, hi)
 		wg.Add(1)
 		go func(i, lo, hi int) {
 			defer wg.Done()
-			shards[i] = safeSweepShard(ctx, h, adj, order, lo, hi, trace, spans[i], inj)
+			shards[i] = safeSweepShard(ctx, h, adj, order, lo, hi, trace, spans[i], inj, cons)
 		}(i, lo, hi)
 	}
 	wg.Wait()
@@ -74,7 +76,7 @@ const slowShardDelay = 20 * time.Millisecond
 //
 // The fault.SweepSlowShard injection point delays the shard's start to
 // exercise straggler skew deterministically; it never changes results.
-func safeSweepShard(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, order []int, lo, hi int, trace []SplitRecord, sp obs.Recorder, inj *fault.Injector) (sb shardBest) {
+func safeSweepShard(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, order []int, lo, hi int, trace []SplitRecord, sp obs.Recorder, inj *fault.Injector, cons *constraints) (sb shardBest) {
 	defer func() {
 		if r := recover(); r != nil {
 			sb = shardBest{err: fault.Recovered(r)}
@@ -84,7 +86,7 @@ func safeSweepShard(ctx context.Context, h *hypergraph.Hypergraph, adj [][]int, 
 	if inj.Active(fault.SweepSlowShard) {
 		time.Sleep(slowShardDelay)
 	}
-	return sweepShard(ctx, h, adj, order, lo, hi, trace, sp)
+	return sweepShard(ctx, h, adj, order, lo, hi, trace, sp, cons)
 }
 
 // shardSpan opens the stage span for one shard's rank range. The label

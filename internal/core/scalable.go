@@ -81,16 +81,39 @@ func candidateRanks(candidates, nSplits int) []int {
 	return ranks
 }
 
+// candidateRanksWindow spreads the candidate budget over the rank window
+// [lo, hi] instead of the whole ordering; the full-range call reduces to
+// candidateRanks exactly, keeping the unconstrained engine bit-identical.
+func candidateRanksWindow(candidates, lo, hi int) []int {
+	ranks := candidateRanks(candidates, hi-lo+1)
+	if lo != 1 {
+		for i := range ranks {
+			ranks[i] += lo - 1
+		}
+	}
+	return ranks
+}
+
 // candidateSweep completes the candidate splits of the given ordering
-// and reduces to the best, mirroring sweep()'s reduction semantics.
+// and reduces to the best, mirroring sweep()'s reduction semantics. A
+// balance budget concentrates the candidates on the rank window that can
+// plausibly reach it (see balanceRankWindow).
 func candidateSweep(h *hypergraph.Hypergraph, order []int, candidates int, opts Options) (Result, error) {
 	m := h.NumNets()
+	cons, err := newConstraints(opts, h.NumModules())
+	if err != nil {
+		return Result{}, err
+	}
 	rec := obs.OrNop(opts.Rec)
 	sp := rec.StartSpan("conflict-adjacency")
 	adj := IGAdjacency(h)
 	sp.End()
 
-	ranks := candidateRanks(candidates, m-1)
+	loRank, hiRank := 1, m-1
+	if cons != nil {
+		loRank, hiRank = balanceRankWindow(cons.bal, h.NumModules(), m-1)
+	}
+	ranks := candidateRanksWindow(candidates, loRank, hiRank)
 	sw := rec.StartSpan("candidate-sweep")
 	p := par.Workers(opts.Parallelism, len(ranks))
 	bounds := par.Bounds(p, len(ranks))
@@ -100,7 +123,7 @@ func candidateSweep(h *hypergraph.Hypergraph, order []int, candidates int, opts 
 	}
 	results := make([]shardBest, p)
 	par.Run(p, func(i int) {
-		results[i] = safeCandidateShard(h, adj, order, ranks[bounds[i][0]:bounds[i][1]], opts, spans[i])
+		results[i] = safeCandidateShard(h, adj, order, ranks[bounds[i][0]:bounds[i][1]], opts, spans[i], cons)
 	})
 
 	best := Result{NetOrder: order}
@@ -129,6 +152,9 @@ func candidateSweep(h *hypergraph.Hypergraph, order []int, candidates int, opts 
 	sw.Count("shards", int64(p))
 	sw.End()
 	if !haveBest {
+		if cons != nil {
+			return Result{}, ErrNoFeasibleCompletion
+		}
 		return Result{}, errors.New("core: no proper completion found (every candidate split left one side empty)")
 	}
 	reg := rec.Metrics()
@@ -136,7 +162,9 @@ func candidateSweep(h *hypergraph.Hypergraph, order []int, candidates int, opts 
 	reg.Gauge("sweep.best_rank").Set(float64(best.BestRank))
 	reg.Gauge("sweep.best_ratio").Set(best.Metrics.RatioCut)
 
-	if opts.RecursionDepth > 0 {
+	// The recursive extension is pin- and balance-oblivious; it only
+	// augments unconstrained runs.
+	if opts.RecursionDepth > 0 && cons == nil {
 		if p2, met2, ok := completeRecursive(h, bestSets, opts); ok && better(met2, best.Metrics) {
 			best.Partition = p2
 			best.Metrics = met2
@@ -150,22 +178,22 @@ func candidateSweep(h *hypergraph.Hypergraph, order []int, candidates int, opts 
 // behind the same recover barrier the sweep shards use: the worker runs
 // on its own goroutine, so a panic must become a structured shard error
 // here or it kills the process.
-func safeCandidateShard(h *hypergraph.Hypergraph, adj [][]int, order []int, ranks []int, opts Options, sp obs.Recorder) (sb shardBest) {
+func safeCandidateShard(h *hypergraph.Hypergraph, adj [][]int, order []int, ranks []int, opts Options, sp obs.Recorder, cons *constraints) (sb shardBest) {
 	defer func() {
 		if r := recover(); r != nil {
 			sb = shardBest{err: fault.Recovered(r)}
 			sp.Metrics().Counter("sweep.shard_panics").Add(1)
 		}
 	}()
-	return candidateShard(h, adj, order, ranks, opts, sp)
+	return candidateShard(h, adj, order, ranks, opts, sp, cons)
 }
 
 // candidateShard completes each rank in ranks (ascending) and keeps the
 // shard-local best. Each candidate gets its own Hopcroft–Karp bootstrap
 // at its boundary; the inR prefix marches forward incrementally, so the
 // whole shard fills it O(m) total.
-func candidateShard(h *hypergraph.Hypergraph, adj [][]int, order []int, ranks []int, opts Options, sp obs.Recorder) shardBest {
-	comp := newCompleter(h)
+func candidateShard(h *hypergraph.Hypergraph, adj [][]int, order []int, ranks []int, opts Options, sp obs.Recorder, cons *constraints) shardBest {
+	comp := newCompleter(h, cons)
 	inR := make([]bool, len(adj))
 	idx := 0
 
@@ -188,7 +216,14 @@ func candidateShard(h *hypergraph.Hypergraph, adj [][]int, order []int, ranks []
 		matcher.WinnersInto(&sets)
 		winners += int64(len(sets.EvenL) + len(sets.EvenR))
 		augmentations += int64(matcher.Augmentations())
-		met, vnSide, ok := comp.evaluate(sets)
+		var met partition.Metrics
+		var vnSide partition.Side
+		var ok bool
+		if comp.cons == nil {
+			met, vnSide, ok = comp.evaluate(sets)
+		} else {
+			met, ok = comp.evaluateConstrained(sets)
+		}
 		if !ok {
 			infeasible++
 			continue
@@ -197,7 +232,7 @@ func candidateShard(h *hypergraph.Hypergraph, adj [][]int, order []int, ranks []
 			bestCost = met
 			sb.have = true
 			sb.met = met
-			sb.part = comp.materialize(vnSide)
+			sb.part = comp.materializeBest(vnSide)
 			sb.rank = rank
 			sb.matching = matcher.MatchingSize()
 			sb.sets = copySets(sets)

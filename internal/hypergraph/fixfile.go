@@ -80,6 +80,47 @@ func WriteFix(w io.Writer, f FixAssignment) error {
 	return bw.Flush()
 }
 
+// FixPin names one pinned module for a k-way run: the module called
+// Module is pinned to part Part. It is the wire format the service's
+// fix-lists use, resolved against a netlist by FixFromPins.
+type FixPin struct {
+	Module string `json:"module"`
+	Part   int    `json:"part"`
+}
+
+// FixFromPins resolves a named pin list against h for a k-part run. It
+// rejects part indices outside [0,k), module names h does not contain,
+// and a module named twice with different parts; exact duplicates are
+// tolerated. The result leaves every unnamed module free (−1).
+func FixFromPins(h *Hypergraph, pins []FixPin, k int) (FixAssignment, error) {
+	n := h.NumModules()
+	f := FixAssignment{Part: make([]int, n)}
+	for v := range f.Part {
+		f.Part[v] = -1
+	}
+	if len(pins) == 0 {
+		return f, nil
+	}
+	idx := make(map[string]int, n)
+	for v := 0; v < n; v++ {
+		idx[h.ModuleName(v)] = v
+	}
+	for _, p := range pins {
+		if p.Part < 0 || p.Part >= k {
+			return FixAssignment{}, fmt.Errorf("fix: module %q pinned to part %d outside [0,%d)", p.Module, p.Part, k)
+		}
+		v, ok := idx[p.Module]
+		if !ok {
+			return FixAssignment{}, fmt.Errorf("fix: unknown module %q", p.Module)
+		}
+		if f.Part[v] >= 0 && f.Part[v] != p.Part {
+			return FixAssignment{}, fmt.Errorf("fix: module %q pinned to both part %d and part %d", p.Module, f.Part[v], p.Part)
+		}
+		f.Part[v] = p.Part
+	}
+	return f, nil
+}
+
 // LoadFix reads a .fix file for a netlist with n modules.
 func LoadFix(path string, n, maxPart int) (FixAssignment, error) {
 	fl, err := os.Open(path)

@@ -88,3 +88,49 @@ func TestLoadFix(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+func TestFixFromPins(t *testing.T) {
+	b := NewBuilder().SetNumModules(4)
+	b.NameModule(0, "cpu").NameModule(1, "ram")
+	b.AddNet(0, 1)
+	b.AddNet(2, 3)
+	h := b.Build()
+
+	f, err := FixFromPins(h, []FixPin{
+		{Module: "cpu", Part: 2},
+		{Module: "m3", Part: 0},  // unnamed modules answer to their synthesized name
+		{Module: "cpu", Part: 2}, // exact duplicate tolerated
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, -1, -1, 0}
+	for v, p := range want {
+		if f.Part[v] != p {
+			t.Errorf("Part[%d] = %d, want %d", v, f.Part[v], p)
+		}
+	}
+	if f.NumFixed() != 2 {
+		t.Errorf("NumFixed = %d, want 2", f.NumFixed())
+	}
+
+	if f, err := FixFromPins(h, nil, 3); err != nil || f.NumFixed() != 0 {
+		t.Errorf("empty pin list: %v, %d fixed", err, f.NumFixed())
+	}
+
+	bad := []struct {
+		name string
+		pins []FixPin
+		k    int
+	}{
+		{"unknown module", []FixPin{{Module: "gpu", Part: 0}}, 3},
+		{"part at k", []FixPin{{Module: "cpu", Part: 3}}, 3},
+		{"negative part", []FixPin{{Module: "cpu", Part: -1}}, 3},
+		{"conflicting duplicate", []FixPin{{Module: "cpu", Part: 0}, {Module: "cpu", Part: 1}}, 3},
+	}
+	for _, tc := range bad {
+		if _, err := FixFromPins(h, tc.pins, tc.k); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package multiway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"igpart/internal/core"
+	"igpart/internal/hypergraph"
+	"igpart/internal/netgen"
+	"igpart/internal/partition"
+)
+
+// randCircuit builds a connected random circuit: a spanning tree plus
+// extra 2–4-pin nets.
+func randCircuit(n, nets int, seed int64) *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(n)
+	for v := 1; v < n; v++ {
+		b.AddNet(rng.Intn(v), v)
+	}
+	for e := 0; e < nets; e++ {
+		switch rng.Intn(3) {
+		case 0:
+			b.AddNet(rng.Intn(n), rng.Intn(n))
+		case 1:
+			b.AddNet(rng.Intn(n), rng.Intn(n), rng.Intn(n))
+		default:
+			b.AddNet(rng.Intn(n), rng.Intn(n), rng.Intn(n), rng.Intn(n))
+		}
+	}
+	return b.Build()
+}
+
+// randomPins pins up to three distinct modules to random parts (odd
+// seeds only, so the battery covers the pin-free path too).
+func randomPins(rng *rand.Rand, n, k int) []int {
+	fixed := make([]int, n)
+	for v := range fixed {
+		fixed[v] = -1
+	}
+	nPins := 1 + rng.Intn(3)
+	for i := 0; i < nPins; i++ {
+		fixed[rng.Intn(n)] = rng.Intn(k)
+	}
+	return fixed
+}
+
+// checkContract asserts the full balanced k-way contract on a result:
+// exactly k non-empty parts, every part within the cap, every fixed
+// module in its pinned part, and internally consistent metrics.
+func checkContract(t *testing.T, h *hypergraph.Hypergraph, res Result, k int, eps float64, fixed []int) {
+	t.Helper()
+	n := h.NumModules()
+	if res.K != k || len(res.Sizes) != k {
+		t.Fatalf("K=%d len(Sizes)=%d, want %d", res.K, len(res.Sizes), k)
+	}
+	cap_ := PartCap(n, k, eps)
+	if res.Cap != cap_ {
+		t.Fatalf("Cap=%d, want %d", res.Cap, cap_)
+	}
+	if len(res.Part) != n {
+		t.Fatalf("len(Part)=%d, want %d", len(res.Part), n)
+	}
+	sizes := make([]int, k)
+	for v, p := range res.Part {
+		if p < 0 || p >= k {
+			t.Fatalf("Part[%d]=%d outside [0,%d)", v, p, k)
+		}
+		sizes[p]++
+	}
+	for p := 0; p < k; p++ {
+		if sizes[p] != res.Sizes[p] {
+			t.Fatalf("Sizes[%d]=%d, recount %d", p, res.Sizes[p], sizes[p])
+		}
+		if sizes[p] == 0 {
+			t.Fatalf("part %d empty", p)
+		}
+		if sizes[p] > cap_ {
+			t.Fatalf("part %d holds %d modules, cap %d (n=%d k=%d eps=%g)", p, sizes[p], cap_, n, k, eps)
+		}
+	}
+	for v, p := range fixed {
+		if p >= 0 && res.Part[v] != p {
+			t.Fatalf("module %d pinned to part %d, landed in %d", v, p, res.Part[v])
+		}
+	}
+}
+
+// TestKWayPropertyBattery is the contract battery: both engines, 20
+// seeds, k ∈ {2,3,4,8}, ε ∈ {0, 0.03, 0.10}, random circuits, random
+// pins on odd seeds. Run with -race it also shakes the sweep shards and
+// parallel matvecs under the constrained paths.
+func TestKWayPropertyBattery(t *testing.T) {
+	const seeds = 20
+	for _, spectral := range []bool{false, true} {
+		for _, k := range []int{2, 3, 4, 8} {
+			for _, eps := range []float64{0, 0.03, 0.10} {
+				spectral, k, eps := spectral, k, eps
+				name := "recursive"
+				if spectral {
+					name = "spectral"
+				}
+				t.Run(fmt.Sprintf("%s/k=%d/eps=%g", name, k, eps), func(t *testing.T) {
+					t.Parallel()
+					for seed := int64(0); seed < seeds; seed++ {
+						n := 3*k + int(seed%5)
+						h := randCircuit(n, n+n/2, 1000*seed+int64(k))
+						opts := Options{K: k, Eps: eps, Spectral: spectral}
+						if seed%2 == 1 {
+							rng := rand.New(rand.NewSource(seed))
+							opts.Fixed = randomPins(rng, n, k)
+						}
+						res, err := Partition(h, opts)
+						if err != nil {
+							t.Fatalf("seed %d: %v", seed, err)
+						}
+						checkContract(t, h, res, k, eps, opts.Fixed)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestKWayCandidatesBattery runs the candidate-sweep variant through the
+// same contract checks on a subset of the matrix.
+func TestKWayCandidatesBattery(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		for seed := int64(0); seed < 10; seed++ {
+			n := 6*k + int(seed%7)
+			h := randCircuit(n, 2*n, 7000+13*seed)
+			opts := Options{K: k, Eps: 0.10, Candidates: 8}
+			if seed%2 == 1 {
+				rng := rand.New(rand.NewSource(seed))
+				opts.Fixed = randomPins(rng, n, k)
+			}
+			res, err := Partition(h, opts)
+			if err != nil {
+				t.Fatalf("k=%d seed %d: %v", k, seed, err)
+			}
+			checkContract(t, h, res, k, 0.10, opts.Fixed)
+		}
+	}
+}
+
+// partHash condenses a part assignment into one pinnable integer.
+func partHash(part []int) uint64 {
+	h := fnv.New64a()
+	for _, p := range part {
+		h.Write([]byte{byte(p), byte(p >> 8)})
+	}
+	return h.Sum64()
+}
+
+// TestKTwoUnboundedParityWithIGMatch is the parity pin: k=2 with an
+// unbounded budget and no pins must reproduce the plain IG-Match
+// bisection bit for bit — same side for every module, pinned by a golden
+// FNV hash so any silent divergence (an accidental subgraph copy, a
+// constraint leaking into the unconstrained path) fails loudly.
+func TestKTwoUnboundedParityWithIGMatch(t *testing.T) {
+	h := blocks(2, 30, 11)
+	want, err := core.Partition(h, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Partition(h, Options{K: 2, Eps: Unbounded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < h.NumModules(); v++ {
+		wantPart := 0
+		if want.Partition.Side(v) == partition.W {
+			wantPart = 1
+		}
+		if got.Part[v] != wantPart {
+			t.Fatalf("module %d: kway part %d, IGMatch side %v", v, got.Part[v], want.Partition.Side(v))
+		}
+	}
+	if got.SpanningNets != want.Metrics.CutNets {
+		t.Fatalf("spanning nets %d != cut nets %d", got.SpanningNets, want.Metrics.CutNets)
+	}
+	const golden = uint64(0xbf8bb50830079c6d) // update only with a deliberate algorithm change
+	if gh := partHash(got.Part); gh != golden {
+		t.Fatalf("parity hash %#x, golden %#x", gh, golden)
+	}
+}
+
+// TestKTwoUnboundedParityCandidates pins the same parity for the
+// candidate-sweep configuration against core.PartitionCandidates.
+func TestKTwoUnboundedParityCandidates(t *testing.T) {
+	h := blocks(2, 30, 11)
+	want, err := core.PartitionCandidates(h, 8, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Partition(h, Options{K: 2, Eps: Unbounded, Candidates: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < h.NumModules(); v++ {
+		wantPart := 0
+		if want.Partition.Side(v) == partition.W {
+			wantPart = 1
+		}
+		if got.Part[v] != wantPart {
+			t.Fatalf("module %d: kway part %d, candidates side %v", v, got.Part[v], want.Partition.Side(v))
+		}
+	}
+}
+
+func TestPartCap(t *testing.T) {
+	cases := []struct {
+		n, k int
+		eps  float64
+		want int
+	}{
+		{100, 4, 0, 25},
+		{101, 4, 0, 26},
+		{100, 4, Unbounded, 100},
+		{100, 3, 0, 34},
+		// (1+0.1)·80/4 = 22.000000000000004 in binary: the cap must stay
+		// 22, not round the representation error up to 23.
+		{80, 4, 0.1, 22},
+		{10, 4, 0.03, 3},
+		{4, 4, 0, 1},
+	}
+	for _, c := range cases {
+		if got := PartCap(c.n, c.k, c.eps); got != c.want {
+			t.Errorf("PartCap(%d,%d,%g) = %d, want %d", c.n, c.k, c.eps, got, c.want)
+		}
+	}
+}
+
+func TestKWayValidation(t *testing.T) {
+	h := randCircuit(12, 20, 1)
+	bad := []Options{
+		{K: 1},
+		{K: 0},
+		{K: 13},                               // more parts than modules
+		{K: 4, Eps: -0.1},                     // negative budget
+		{K: 4, Eps: math.NaN()},               // NaN budget
+		{K: 4, Fixed: make([]int, 5)},         // wrong length
+		{K: 4, Fixed: pinAll(12, 4)},          // Fixed[v]=4 out of range
+		{K: 3, Fixed: overfull(12, 0, 5)},     // 5 pins on part 0 exceed the cap 4
+		{K: 4, Fixed: leaveNoFree(12, 4)},     // no free module for the pin-less part
+		{K: 4, Eps: 0, Fixed: pinNeg(12, -2)}, // Fixed[v]=-2 out of range
+	}
+	for i, o := range bad {
+		if _, err := Partition(h, o); err == nil {
+			t.Errorf("case %d (%+v): no error", i, o)
+		}
+		o.Spectral = true
+		if _, err := Partition(h, o); err == nil {
+			t.Errorf("case %d spectral (%+v): no error", i, o)
+		}
+	}
+}
+
+func pinAll(n, p int) []int {
+	f := make([]int, n)
+	for i := range f {
+		f[i] = p
+	}
+	return f
+}
+
+func pinNeg(n, v int) []int {
+	f := pinAll(n, -1)
+	f[0] = v
+	return f
+}
+
+func overfull(n, p, count int) []int {
+	f := pinAll(n, -1)
+	for i := 0; i < count; i++ {
+		f[i] = p
+	}
+	return f
+}
+
+// leaveNoFree pins every module to parts 0..k−2, starving part k−1.
+func leaveNoFree(n, k int) []int {
+	f := make([]int, n)
+	for i := range f {
+		f[i] = i % (k - 1)
+	}
+	return f
+}
+
+// TestKWayCancelledContext asserts both engines notice a pre-cancelled
+// context before doing any work.
+func TestKWayCancelledContext(t *testing.T) {
+	h := blocks(4, 20, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, spectral := range []bool{false, true} {
+		opts := Options{K: 4, Eps: Unbounded, Spectral: spectral}
+		opts.Core.Ctx = ctx
+		if _, err := Partition(h, opts); !errors.Is(err, context.Canceled) {
+			t.Errorf("spectral=%v: err = %v, want context.Canceled", spectral, err)
+		}
+	}
+}
+
+// TestKWayCancelMidRun mirrors the service's Prim2 cancellation test at
+// the engine level: a k=4 run over the full Prim2 benchmark, cancelled
+// shortly after it starts, must return a context error within 2 seconds
+// — the recursion polls its context between levels and the bisections
+// poll inside their sweeps.
+func TestKWayCancelMidRun(t *testing.T) {
+	cfg, ok := netgen.ByName("Prim2")
+	if !ok {
+		t.Fatal("Prim2 preset missing")
+	}
+	h, err := netgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := Options{K: 4, Eps: 0.10}
+	opts.Core.Ctx = ctx
+	opts.Core.Parallelism = 1
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Partition(h, opts)
+		errc <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // bite into the first bisection
+	t0 := time.Now()
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(t0); elapsed > 2*time.Second {
+			t.Fatalf("cancellation took %v, want < 2s", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run ignored cancellation")
+	}
+}
+
+// TestKWaySpectralRecoversBlocks sanity-checks the spectral engine's
+// quality: four planted clusters should come back (mostly) whole.
+func TestKWaySpectralRecoversBlocks(t *testing.T) {
+	h := blocks(4, 20, 3)
+	res, err := Partition(h, Options{K: 4, Eps: 0.10, Spectral: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkContract(t, h, res, 4, 0.10, nil)
+	for c := 0; c < 4; c++ {
+		counts := map[int]int{}
+		for v := c * 20; v < (c+1)*20; v++ {
+			counts[res.Part[v]]++
+		}
+		max := 0
+		for _, n := range counts {
+			if n > max {
+				max = n
+			}
+		}
+		if max < 15 {
+			t.Errorf("block %d scattered: %v", c, counts)
+		}
+	}
+}
+
+// TestKWayFixedModulesSteerParts pins one module of each planted block
+// to a distinct part and requires each whole block to follow its pin —
+// the fixed-module threading must reach every recursion level.
+func TestKWayFixedModulesSteerParts(t *testing.T) {
+	const size = 20
+	h := blocks(4, size, 3)
+	fixed := pinAll(4*size, -1)
+	// Pin block c's first module to part 3−c: the reverse of the layout
+	// order, so following the pins is never the accidental default.
+	for c := 0; c < 4; c++ {
+		fixed[c*size] = 3 - c
+	}
+	for _, spectral := range []bool{false, true} {
+		res, err := Partition(h, Options{K: 4, Eps: 0.10, Fixed: fixed, Spectral: spectral})
+		if err != nil {
+			t.Fatalf("spectral=%v: %v", spectral, err)
+		}
+		checkContract(t, h, res, 4, 0.10, fixed)
+		for c := 0; c < 4; c++ {
+			inPinned := 0
+			for v := c * size; v < (c+1)*size; v++ {
+				if res.Part[v] == 3-c {
+					inPinned++
+				}
+			}
+			if inPinned < size*3/4 {
+				t.Errorf("spectral=%v: block %d: only %d/%d modules followed the pin to part %d", spectral, c, inPinned, size, 3-c)
+			}
+		}
+	}
+}

@@ -1,33 +1,65 @@
-// Package multiway implements k-way circuit partitioning by recursive
-// IG-Match bisection — the natural extension of the paper's flow to the
-// multiple-way formulations of Sanchis [26] and Yeh–Cheng–Lin [35] that
-// Section 5 points toward (packaging, hardware simulation across many
-// boards, multi-FPGA mapping).
+// Package multiway implements balanced k-way circuit partitioning — the
+// extension of the paper's IG-Match flow to the multiple-way formulations
+// of Sanchis [26] and Yeh–Cheng–Lin [35] that Section 5 points toward
+// (packaging, hardware simulation across many boards, multi-FPGA
+// mapping), under the KaHyPar-style (k, ε, fixed-vertex) contract:
 //
-// The driver repeatedly bisects the currently largest part with IG-Match
-// on the induced sub-netlist until k parts exist (or no part can be split
-// further). Three standard quality metrics are reported: the number of
-// spanning nets, the connectivity (sum over nets of spans−1, the "λ−1"
-// metric), and the multiway ratio value Σᵢ ext(Vᵢ)/|Vᵢ|, which for k=2
-// is the ratio-cut cost scaled by the module count.
+//   - exactly K non-empty parts;
+//   - every part holds at most ⌈(1+ε)·n/K⌉ modules;
+//   - every fixed module sits in its pinned part.
+//
+// Two engines satisfy the contract. The default recursively bisects with
+// IG-Match, each level sweeping only the split window its share of the ε
+// budget allows (core.Balance) with the level's fixed modules pinned into
+// the König completion (core.FixedSides); when a level's sweep finds no
+// feasible completion, a deterministic fallback split repaired by
+// FM-gain moves keeps the contract. The alternative (Options.Spectral)
+// embeds the modules with the first K eigenvectors of the module
+// Laplacian and assigns parts by the Riolo–Newman vector-partitioning
+// construction.
+//
+// Three standard quality metrics are reported: the number of spanning
+// nets, the connectivity (sum over nets of spans−1, the "λ−1" metric),
+// and the multiway ratio value Σᵢ ext(Vᵢ)/|Vᵢ|, which for k=2 is the
+// ratio-cut cost scaled by the module count.
 package multiway
 
 import (
-	"errors"
-	"fmt"
+	"math"
 	"sort"
 
 	"igpart/internal/core"
 	"igpart/internal/hypergraph"
 )
 
+// Unbounded disables the imbalance budget ε: parts may be any size above
+// one module. With K=2 and no fixed modules this reproduces the plain
+// IG-Match bisection bit for bit.
+var Unbounded = math.Inf(1)
+
 // Options configures a k-way run.
 type Options struct {
 	// K is the number of parts (≥ 2).
 	K int
-	// MinPart refuses to split parts below this size (default 2).
-	MinPart int
-	// Core configures each IG-Match bisection.
+	// Eps is the imbalance budget ε ≥ 0: every part holds at most
+	// ⌈(1+ε)·n/K⌉ modules (PartCap). 0 demands perfect balance;
+	// Unbounded (+Inf) disables the budget.
+	Eps float64
+	// Fixed pins modules to parts: Fixed[v] ∈ [0,K) pins module v there,
+	// −1 leaves it free. nil leaves every module free.
+	Fixed []int
+	// Spectral selects the direct spectral-k engine — Riolo–Newman
+	// vector partitioning on the first K eigenvectors — instead of
+	// recursive bisection.
+	Spectral bool
+	// Candidates, when positive, makes each constrained bisection probe
+	// that many evenly spaced splits (core.PartitionCandidates) instead
+	// of sweeping the whole balance window — the scalable trade for big
+	// circuits. 0 sweeps the full window.
+	Candidates int
+	// Core configures each IG-Match bisection (parallelism, eigensolver,
+	// recorder, context, fault injection). Core.Balance and
+	// Core.FixedSides are owned by the driver and overwritten per level.
 	Core core.Options
 }
 
@@ -35,9 +67,12 @@ type Options struct {
 type Result struct {
 	// Part maps each module to its part index in [0, K).
 	Part []int
-	// K is the number of non-empty parts produced (may fall short of the
-	// request when the circuit cannot be split further).
+	// K is the number of parts produced. The balanced engines always
+	// deliver the requested K, each part non-empty.
 	K int
+	// Cap is the per-part module ceiling ⌈(1+ε)·n/K⌉ the run enforced
+	// (n when the budget was Unbounded).
+	Cap int
 	// SpanningNets counts nets touching at least two parts.
 	SpanningNets int
 	// Connectivity is Σ over nets of (parts spanned − 1) — the λ−1 metric;
@@ -51,114 +86,22 @@ type Result struct {
 	Sizes []int
 }
 
-// Partition produces a k-way module partition of h.
-func Partition(h *hypergraph.Hypergraph, opts Options) (Result, error) {
-	if opts.K < 2 {
-		return Result{}, errors.New("multiway: K must be at least 2")
+// PartCap returns the per-part module ceiling ⌈(1+ε)·n/k⌉ of the balance
+// contract (n when ε is Unbounded). A hair is shaved off before the
+// ceiling so binary-inexact ε values (0.1·n/k landing at 22.0000…04)
+// don't round a whole extra module into the cap.
+func PartCap(n, k int, eps float64) int {
+	if math.IsInf(eps, 1) {
+		return n
 	}
-	if opts.MinPart < 2 {
-		opts.MinPart = 2
+	c := int(math.Ceil((1+eps)*float64(n)/float64(k) - 1e-9))
+	if c < 1 {
+		c = 1
 	}
-	n := h.NumModules()
-	if n < opts.K {
-		return Result{}, fmt.Errorf("multiway: %d modules cannot form %d parts", n, opts.K)
+	if c > n {
+		c = n
 	}
-
-	part := make([]int, n)
-	members := [][]int{allModules(n)}
-
-	for len(members) < opts.K {
-		// Split the largest still-splittable, non-frozen part.
-		idx := -1
-		for i, m := range members {
-			if isFrozen(m) || len(m) < 2*opts.MinPart {
-				continue
-			}
-			if idx < 0 || len(m) > len(members[idx]) {
-				idx = i
-			}
-		}
-		if idx < 0 {
-			break
-		}
-		left, right, err := bisect(h, members[idx], opts.Core)
-		if err != nil {
-			// Degenerate sub-netlist: freeze this part so it is never
-			// retried, and keep splitting the others.
-			members[idx] = markFrozen(members[idx])
-			continue
-		}
-		members[idx] = left
-		members = append(members, right)
-	}
-
-	for p, m := range members {
-		for _, v := range unfreeze(m) {
-			part[v] = p
-		}
-	}
-	res := Evaluate(h, part, len(members))
-	return res, nil
-}
-
-// frozen parts are marked by negating indices−1 in a copy; helpers below
-// keep that encoding local to this file.
-func markFrozen(m []int) []int {
-	out := make([]int, len(m))
-	for i, v := range m {
-		out[i] = -v - 1
-	}
-	return out
-}
-
-func unfreeze(m []int) []int {
-	out := make([]int, len(m))
-	for i, v := range m {
-		if v < 0 {
-			out[i] = -v - 1
-		} else {
-			out[i] = v
-		}
-	}
-	return out
-}
-
-func isFrozen(m []int) bool { return len(m) > 0 && m[0] < 0 }
-
-func allModules(n int) []int {
-	m := make([]int, n)
-	for i := range m {
-		m[i] = i
-	}
-	return m
-}
-
-// bisect runs IG-Match on the sub-netlist induced by the given modules and
-// returns the two sides as original-module lists.
-func bisect(h *hypergraph.Hypergraph, modules []int, coreOpts core.Options) (left, right []int, err error) {
-	keep := make([]bool, h.NumModules())
-	for _, v := range modules {
-		keep[v] = true
-	}
-	sub, moduleMap, _ := hypergraph.SubHypergraph(h, keep)
-	if sub.NumNets() < 2 || sub.NumModules() < 2 {
-		return nil, nil, errors.New("multiway: sub-netlist too degenerate to bisect")
-	}
-	res, err := core.Partition(sub, coreOpts)
-	if err != nil {
-		return nil, nil, err
-	}
-	for i, orig := range moduleMap {
-		if res.Partition.Side(i) == 0 {
-			left = append(left, orig)
-		} else {
-			right = append(right, orig)
-		}
-	}
-	if len(left) == 0 || len(right) == 0 {
-		return nil, nil, errors.New("multiway: bisection left a side empty")
-	}
-	return left, right, nil
+	return c
 }
 
 // Evaluate computes the multiway metrics for an arbitrary part assignment
@@ -210,4 +153,12 @@ func (r Result) PartSizesSorted() []int {
 	s := append([]int(nil), r.Sizes...)
 	sort.Sort(sort.Reverse(sort.IntSlice(s)))
 	return s
+}
+
+func allModules(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
 }

@@ -5,18 +5,28 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"igpart"
+	"igpart/internal/hypergraph"
+	"igpart/internal/multiway"
 )
 
 // The algorithms the engine serves. Only the deterministic pipeline
 // entry points are exposed: a job is a pure function of (netlist,
 // normalized options), which is what makes results content-addressable.
 const (
-	AlgoIGMatch    = "igmatch"
-	AlgoMultilevel = "multilevel"
+	AlgoIGMatch      = "igmatch"
+	AlgoMultilevel   = "multilevel"
+	AlgoKWay         = "kway"
+	AlgoKWaySpectral = "kway-spectral"
 )
+
+// kwayAlgo reports whether the algorithm runs the balanced k-way engine.
+func kwayAlgo(algo string) bool {
+	return algo == AlgoKWay || algo == AlgoKWaySpectral
+}
 
 // Options are the solver knobs a job may set. The zero value runs flat
 // IG-Match with the paper's configuration.
@@ -40,6 +50,15 @@ type Options struct {
 	Levels int
 	// CoarseningRatio is the V-cycle stall threshold (default 0.9).
 	CoarseningRatio float64
+	// K is the part count for AlgoKWay/AlgoKWaySpectral (≥ 2, required).
+	K int
+	// Eps is the k-way imbalance budget ε ≥ 0: each part holds at most
+	// ⌈(1+ε)·n/K⌉ modules. 0 demands perfect balance.
+	Eps float64
+	// Fix pins named modules to parts for AlgoKWay/AlgoKWaySpectral.
+	// Names must exist in the netlist; a module may not be pinned to two
+	// different parts.
+	Fix []hypergraph.FixPin
 	// Timeout is the per-job deadline, measured from submission so that
 	// queue wait counts against it. 0 uses the engine default; the
 	// engine's MaxTimeout caps it. Not part of the cache key.
@@ -63,6 +82,8 @@ const (
 	maxBlockSize   = 1 << 10 // block Lanczos beyond this is never useful
 	maxLevels      = 64      // a 64-deep V-cycle exceeds any real netlist
 	maxParallelism = 1 << 16
+	maxK           = 1 << 12 // beyond 4096 parts the recursion is abuse, not CAD
+	maxFixPins     = 1 << 20
 )
 
 // badf wraps a formatted validation failure in ErrBadRequest.
@@ -105,6 +126,54 @@ func (r Request) Validate() error {
 		// than the matrix is a unit confusion on the caller's side.
 		return badf("block size %d exceeds net count %d", o.BlockSize, r.Netlist.NumNets())
 	}
+	if kwayAlgo(o.Algo) {
+		if o.K < 2 {
+			return badf("k=%d, need at least 2", o.K)
+		}
+		if o.K > maxK {
+			return badf("k %d exceeds %d", o.K, maxK)
+		}
+		if o.K > r.Netlist.NumModules() {
+			return badf("%d modules cannot form %d parts", r.Netlist.NumModules(), o.K)
+		}
+		if math.IsNaN(o.Eps) || o.Eps < 0 {
+			return badf("imbalance budget eps=%v, need >= 0", o.Eps)
+		}
+		if len(o.Fix) > maxFixPins {
+			return badf("%d fix pins exceed %d", len(o.Fix), maxFixPins)
+		}
+		// Resolving the pin list surfaces unknown module names, part
+		// indices outside [0,k), and modules pinned two different ways.
+		fix, err := hypergraph.FixFromPins(r.Netlist, o.Fix, o.K)
+		if err != nil {
+			return badf("%v", err)
+		}
+		// Reject infeasible pin loads up front (the engine would fail the
+		// job anyway, but a 400 beats a failed job): a part's pins must
+		// fit under the ε cap, and every pin-less part needs a free module.
+		n := r.Netlist.NumModules()
+		cap_ := multiway.PartCap(n, o.K, o.Eps)
+		count := make([]int, o.K)
+		nFixed := 0
+		for _, p := range fix.Part {
+			if p >= 0 {
+				count[p]++
+				nFixed++
+			}
+		}
+		needy := 0
+		for p, c := range count {
+			if c > cap_ {
+				return badf("%d modules pinned to part %d exceed the %d-module cap", c, p, cap_)
+			}
+			if c == 0 {
+				needy++
+			}
+		}
+		if n-nFixed < needy {
+			return badf("only %d free modules for %d parts with no pinned module", n-nFixed, needy)
+		}
+	}
 	return nil
 }
 
@@ -132,8 +201,35 @@ func (o Options) normalize() (Options, error) {
 		if o.CoarseningRatio <= 0 || o.CoarseningRatio > 1 {
 			o.CoarseningRatio = 0.9
 		}
+	case AlgoKWay, AlgoKWaySpectral:
+		o.Levels = 0
+		o.CoarseningRatio = 0
+		// Canonicalize the pin list so equivalent requests share a cache
+		// key: sorted by (module, part), exact duplicates dropped.
+		// Validate already rejected conflicting duplicates.
+		if len(o.Fix) > 0 {
+			fix := append([]hypergraph.FixPin(nil), o.Fix...)
+			sort.Slice(fix, func(a, b int) bool {
+				if fix[a].Module != fix[b].Module {
+					return fix[a].Module < fix[b].Module
+				}
+				return fix[a].Part < fix[b].Part
+			})
+			dedup := fix[:1]
+			for _, p := range fix[1:] {
+				if p != dedup[len(dedup)-1] {
+					dedup = append(dedup, p)
+				}
+			}
+			o.Fix = dedup
+		}
 	default:
 		return o, fmt.Errorf("service: unknown algorithm %q", o.Algo)
+	}
+	if !kwayAlgo(o.Algo) {
+		o.K = 0
+		o.Eps = 0
+		o.Fix = nil
 	}
 	if _, ok := schemes[o.Scheme]; !ok {
 		return o, fmt.Errorf("service: unknown weight scheme %q", o.Scheme)
@@ -161,6 +257,14 @@ func cacheKey(h *igpart.Netlist, o Options) string {
 		o.Algo, o.Scheme, o.Threshold, o.Seed, o.BlockSize)
 	if o.Algo == AlgoMultilevel {
 		fmt.Fprintf(sum, "|levels=%d|cratio=%g", o.Levels, o.CoarseningRatio)
+	}
+	if kwayAlgo(o.Algo) {
+		fmt.Fprintf(sum, "|k=%d|eps=%g", o.K, o.Eps)
+		for _, p := range o.Fix {
+			// %q-quoted names keep hostile module names from forging the
+			// delimiter structure.
+			fmt.Fprintf(sum, "|pin=%q:%d", p.Module, p.Part)
+		}
 	}
 	return fmt.Sprintf("%x", sum.Sum(nil))
 }

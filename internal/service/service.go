@@ -30,6 +30,7 @@ import (
 
 	"igpart"
 	"igpart/internal/fault"
+	"igpart/internal/hypergraph"
 	"igpart/internal/obs"
 )
 
@@ -166,6 +167,15 @@ type Result struct {
 	// (AlgoMultilevel).
 	Levels       int
 	CoarsestNets int
+	// The fields below describe a balanced k-way result
+	// (AlgoKWay/AlgoKWaySpectral); Parts is non-nil exactly then.
+	Parts        []int // per-module part index in [0, K)
+	K            int   // parts delivered
+	Cap          int   // per-part module ceiling ⌈(1+ε)·n/K⌉ enforced
+	PartSizes    []int
+	SpanningNets int
+	Connectivity int     // Σ over nets of (parts spanned − 1)
+	RatioValue   float64 // Σ_i ext(V_i)/|V_i|
 	// Stages is the solve's stage-span tree, recorded when the result
 	// was computed. Cache hits return the original tree — a cached job
 	// has no solve spans of its own.
@@ -622,6 +632,40 @@ func solve(ctx context.Context, req Request, o Options, inj *fault.Injector) (*R
 			Sides:        append([]igpart.Side(nil), r.Partition.Sides()...),
 			Levels:       r.Levels,
 			CoarsestNets: r.CoarsestNets,
+			Stages:       tr.Finish(),
+		}, nil
+	case AlgoKWay, AlgoKWaySpectral:
+		// Validate resolved this once already; a failure here means the
+		// request was mutated after Submit, which solve treats as fatal.
+		fix, err := hypergraph.FixFromPins(req.Netlist, o.Fix, o.K)
+		if err != nil {
+			return nil, err
+		}
+		r, err := igpart.KWay(req.Netlist, o.K, igpart.KWayOptions{
+			Eps:         o.Eps,
+			Fixed:       fix.Part,
+			Spectral:    o.Algo == AlgoKWaySpectral,
+			Scheme:      scheme,
+			Threshold:   o.Threshold,
+			Seed:        o.Seed,
+			BlockSize:   o.BlockSize,
+			Parallelism: o.Parallelism,
+			Rec:         tr,
+			Ctx:         ctx,
+			Fault:       inj,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Algo:         o.Algo,
+			Parts:        append([]int(nil), r.Part...),
+			K:            r.K,
+			Cap:          r.Cap,
+			PartSizes:    append([]int(nil), r.Sizes...),
+			SpanningNets: r.SpanningNets,
+			Connectivity: r.Connectivity,
+			RatioValue:   r.RatioValue,
 			Stages:       tr.Finish(),
 		}, nil
 	default: // AlgoIGMatch; Submit normalized and validated Algo already

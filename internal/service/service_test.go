@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"igpart"
+	"igpart/internal/hypergraph"
 )
 
 // genNetlist builds a small synthetic circuit for engine tests.
@@ -361,5 +362,119 @@ func TestOptionsNormalizeAndKey(t *testing.T) {
 	flatLv, _ := Options{Algo: AlgoIGMatch, Levels: 5}.normalize()
 	if cacheKey(h, flatLv) != k1 {
 		t.Fatal("levels leaked into the flat igmatch cache key")
+	}
+}
+
+// TestKWayJobEndToEnd drives a balanced k-way job with pins through the
+// real engine: the result must carry the multiway fields, honor the
+// pins, and hit the cache on resubmission.
+func TestKWayJobEndToEnd(t *testing.T) {
+	h := genNetlist(t, 40, 60, 9)
+	e := New(Config{Workers: 1})
+	defer shutdownNow(t, e)
+	req := Request{Netlist: h, Options: Options{
+		Algo: AlgoKWay, K: 4, Eps: 0.1,
+		Fix: []hypergraph.FixPin{
+			{Module: h.ModuleName(0), Part: 3},
+			{Module: h.ModuleName(1), Part: 0},
+		},
+	}}
+	j, err := e.Submit(req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	s := j.Wait(context.Background())
+	if s.State != StateDone {
+		t.Fatalf("state=%s err=%v, want done", s.State, s.Err)
+	}
+	res := s.Result
+	if res.Algo != AlgoKWay || res.K != 4 {
+		t.Fatalf("algo=%s k=%d, want kway/4", res.Algo, res.K)
+	}
+	if len(res.Parts) != 40 || len(res.PartSizes) != 4 {
+		t.Fatalf("parts=%d sizes=%d, want 40/4", len(res.Parts), len(res.PartSizes))
+	}
+	if res.Sides != nil {
+		t.Fatalf("kway result carries bipartition sides")
+	}
+	for p, sz := range res.PartSizes {
+		if sz == 0 || sz > res.Cap {
+			t.Fatalf("part %d size %d outside (0,%d]", p, sz, res.Cap)
+		}
+	}
+	if res.Parts[0] != 3 || res.Parts[1] != 0 {
+		t.Fatalf("pins ignored: Parts[0]=%d Parts[1]=%d, want 3/0", res.Parts[0], res.Parts[1])
+	}
+
+	// Same request, pins reordered: must be a cache hit.
+	req2 := req
+	req2.Options.Fix = []hypergraph.FixPin{
+		{Module: h.ModuleName(1), Part: 0},
+		{Module: h.ModuleName(0), Part: 3},
+	}
+	j2, err := e.Submit(req2)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if s2 := j2.Wait(context.Background()); s2.State != StateDone || !s2.Cached {
+		t.Fatalf("resubmission: state=%s cached=%v, want done/cached", s2.State, s2.Cached)
+	}
+}
+
+// TestKWaySpectralJob smokes the spectral engine through the service.
+func TestKWaySpectralJob(t *testing.T) {
+	h := genNetlist(t, 30, 45, 4)
+	e := New(Config{Workers: 1})
+	defer shutdownNow(t, e)
+	j, err := e.Submit(Request{Netlist: h, Options: Options{Algo: AlgoKWaySpectral, K: 3, Eps: 0.1}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	s := j.Wait(context.Background())
+	if s.State != StateDone {
+		t.Fatalf("state=%s err=%v, want done", s.State, s.Err)
+	}
+	if s.Result.K != 3 || len(s.Result.PartSizes) != 3 {
+		t.Fatalf("K=%d sizes=%v", s.Result.K, s.Result.PartSizes)
+	}
+}
+
+// TestKWayCancelMidSweep mirrors TestCancelMidSweep for the k-way
+// engine: a Prim2 k=4 job cancelled while running must reach the
+// cancelled state within 2 seconds.
+func TestKWayCancelMidSweep(t *testing.T) {
+	cfg, ok := igpart.Benchmark("Prim2")
+	if !ok {
+		t.Fatal("Prim2 preset missing")
+	}
+	h, err := igpart.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate Prim2: %v", err)
+	}
+	e := New(Config{Workers: 1})
+	defer shutdownNow(t, e)
+	j, err := e.Submit(Request{Netlist: h, Options: Options{
+		Algo: AlgoKWay, K: 4, Eps: 0.1, Parallelism: 1,
+	}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitState(t, j, StateRunning, 10*time.Second)
+	time.Sleep(30 * time.Millisecond)
+	t0 := time.Now()
+	if !e.Cancel(j.ID()) {
+		t.Fatal("cancel: unknown job")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	s := j.Wait(ctx)
+	if !s.State.Terminal() {
+		t.Fatalf("job not terminal %v after cancel", time.Since(t0))
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want < 2s", elapsed)
+	}
+	if s.State != StateCancelled {
+		t.Fatalf("state = %s (err %v), want cancelled", s.State, s.Err)
 	}
 }

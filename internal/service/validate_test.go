@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"igpart"
+	"igpart/internal/hypergraph"
 )
 
 // tinyNetlist builds a minimal valid netlist: two modules, one net.
@@ -109,6 +110,173 @@ func FuzzRequestValidate(f *testing.F) {
 			t.Fatalf("cache key %q not a sha256 hex digest", key)
 		}
 		// Validate must be deterministic.
+		if err2 := req.Validate(); err2 != nil {
+			t.Fatalf("second Validate disagreed: %v", err2)
+		}
+	})
+}
+
+// kwayNetlist builds a 6-module netlist whose modules carry the default
+// synthesized names m0..m5.
+func kwayNetlist() *igpart.Netlist {
+	b := igpart.NewBuilder().SetNumModules(6)
+	b.AddNet(0, 1)
+	b.AddNet(1, 2)
+	b.AddNet(2, 3)
+	b.AddNet(3, 4)
+	b.AddNet(4, 5)
+	b.AddNet(0, 5)
+	return b.Build()
+}
+
+func TestValidateKWayRequests(t *testing.T) {
+	h := kwayNetlist()
+	pin := func(m string, p int) hypergraph.FixPin { return hypergraph.FixPin{Module: m, Part: p} }
+	for _, algo := range []string{AlgoKWay, AlgoKWaySpectral} {
+		opt := func(mut func(*Options)) Options {
+			o := Options{Algo: algo, K: 3}
+			mut(&o)
+			return o
+		}
+		bad := []struct {
+			name string
+			o    Options
+		}{
+			{"k too small", opt(func(o *Options) { o.K = 1 })},
+			{"k zero", opt(func(o *Options) { o.K = 0 })},
+			{"k exceeds modules", opt(func(o *Options) { o.K = 7 })},
+			{"k absurd", opt(func(o *Options) { o.K = maxK + 1 })},
+			{"negative eps", opt(func(o *Options) { o.Eps = -0.01 })},
+			{"NaN eps", opt(func(o *Options) { o.Eps = math.NaN() })},
+			{"unknown module", opt(func(o *Options) { o.Fix = []hypergraph.FixPin{pin("bogus", 0)} })},
+			{"part out of range", opt(func(o *Options) { o.Fix = []hypergraph.FixPin{pin("m0", 3)} })},
+			{"negative part", opt(func(o *Options) { o.Fix = []hypergraph.FixPin{pin("m0", -1)} })},
+			{"conflicting duplicate", opt(func(o *Options) { o.Fix = []hypergraph.FixPin{pin("m0", 0), pin("m0", 1)} })},
+			{"pins exceed cap", opt(func(o *Options) { o.Fix = []hypergraph.FixPin{pin("m0", 0), pin("m1", 0), pin("m2", 0)} })},
+			{"no free module for a part", opt(func(o *Options) {
+				o.K = 2
+				o.Fix = []hypergraph.FixPin{pin("m0", 0), pin("m1", 0), pin("m2", 0),
+					pin("m3", 0), pin("m4", 0), pin("m5", 0)}
+			})},
+		}
+		for _, tc := range bad {
+			req := Request{Netlist: h, Options: tc.o}
+			if err := req.Validate(); !errors.Is(err, ErrBadRequest) {
+				t.Errorf("%s/%s: Validate = %v, want ErrBadRequest", algo, tc.name, err)
+			}
+		}
+		good := Request{Netlist: h, Options: opt(func(o *Options) {
+			o.Eps = 0.1
+			o.Fix = []hypergraph.FixPin{pin("m0", 0), pin("m5", 2), pin("m0", 0)}
+		})}
+		if err := good.Validate(); err != nil {
+			t.Errorf("%s: valid kway request rejected: %v", algo, err)
+		}
+	}
+}
+
+// TestKWayNormalizeCanonicalizesFix pins the cache-key contract: pin
+// order and exact duplicates must not split the cache, while k, eps, and
+// the pin set itself must.
+func TestKWayNormalizeCanonicalizesFix(t *testing.T) {
+	h := kwayNetlist()
+	base := Options{Algo: AlgoKWay, K: 3, Eps: 0.1,
+		Fix: []hypergraph.FixPin{{Module: "m5", Part: 2}, {Module: "m0", Part: 0}, {Module: "m5", Part: 2}}}
+	reordered := base
+	reordered.Fix = []hypergraph.FixPin{{Module: "m0", Part: 0}, {Module: "m5", Part: 2}}
+	n1, err := base.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := reordered.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1, k2 := cacheKey(h, n1), cacheKey(h, n2); k1 != k2 {
+		t.Errorf("reordered duplicate pins split the cache: %s vs %s", k1, k2)
+	}
+	distinct := []Options{
+		{Algo: AlgoKWay, K: 3, Eps: 0.1},
+		{Algo: AlgoKWay, K: 4, Eps: 0.1},
+		{Algo: AlgoKWay, K: 3, Eps: 0.2},
+		{Algo: AlgoKWaySpectral, K: 3, Eps: 0.1},
+		{Algo: AlgoKWay, K: 3, Eps: 0.1, Fix: []hypergraph.FixPin{{Module: "m0", Part: 0}}},
+	}
+	seen := map[string]int{cacheKey(h, n1): -1}
+	for i, o := range distinct {
+		norm, err := o.normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := cacheKey(h, norm)
+		if prev, dup := seen[key]; dup {
+			t.Errorf("options %d and %d share a cache key", i, prev)
+		}
+		seen[key] = i
+	}
+}
+
+// FuzzKWayRequest asserts k-way validation is total and typed: no input
+// panics, every rejection wraps ErrBadRequest, the documented rejections
+// (k<2, negative ε, unknown modules, conflicting duplicate pins) always
+// fire, and anything accepted survives normalize + cacheKey.
+func FuzzKWayRequest(f *testing.F) {
+	f.Add(true, 4, 0.03, "m0", 1, "m1", 2)
+	f.Add(false, 1, -0.5, "m9", -1, "m0", 4096)
+	f.Add(true, 2, math.NaN(), "m0", 0, "m0", 1)
+	f.Add(false, 6, 0.0, "m5", 5, "m5", 5)
+	f.Fuzz(func(t *testing.T, spectral bool, k int, eps float64, mod1 string, part1 int, mod2 string, part2 int) {
+		h := kwayNetlist()
+		algo := AlgoKWay
+		if spectral {
+			algo = AlgoKWaySpectral
+		}
+		req := Request{Netlist: h, Options: Options{
+			Algo: algo, K: k, Eps: eps,
+			Fix: []hypergraph.FixPin{
+				{Module: mod1, Part: part1},
+				{Module: mod2, Part: part2},
+			},
+		}}
+		err := req.Validate()
+		if err != nil && !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("Validate returned untyped error %v", err)
+		}
+		known := func(m string) bool {
+			return len(m) == 2 && m[0] == 'm' && m[1] >= '0' && m[1] <= '5'
+		}
+		switch {
+		case k < 2 || k > 6:
+			if err == nil {
+				t.Fatalf("accepted k=%d on a 6-module netlist", k)
+			}
+		case math.IsNaN(eps) || eps < 0:
+			if err == nil {
+				t.Fatalf("accepted eps=%v", eps)
+			}
+		case !known(mod1) || !known(mod2):
+			if err == nil {
+				t.Fatalf("accepted unknown module %q/%q", mod1, mod2)
+			}
+		case part1 < 0 || part1 >= k || part2 < 0 || part2 >= k:
+			if err == nil {
+				t.Fatalf("accepted out-of-range pin part %d/%d with k=%d", part1, part2, k)
+			}
+		case mod1 == mod2 && part1 != part2:
+			if err == nil {
+				t.Fatalf("accepted module %q pinned to both %d and %d", mod1, part1, part2)
+			}
+		}
+		if err != nil {
+			return
+		}
+		norm, nerr := req.Options.normalize()
+		if nerr != nil {
+			t.Fatalf("normalize rejected what Validate accepted: %v", nerr)
+		}
+		if key := cacheKey(h, norm); len(key) != 64 {
+			t.Fatalf("cache key %q not a sha256 hex digest", key)
+		}
 		if err2 := req.Validate(); err2 != nil {
 			t.Fatalf("second Validate disagreed: %v", err2)
 		}
