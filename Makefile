@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz fuzz-smoke bench-sanity scale-report scale-smoke experiments cover serve smoke chaos clean
+.PHONY: all build vet lint test race bench fuzz fuzz-smoke bench-sanity scale-report scale-smoke experiments cover serve smoke cluster-smoke chaos clean
 
 all: build vet lint test
 
@@ -25,12 +25,13 @@ lint:
 
 # Tier-1 chain: vet, full test run, a race pass over the concurrent
 # packages (the parallel sweep engine and matvec kernels, the matching
-# substrate, the job engine, and the HTTP daemon), and a 10-second fuzz
-# smoke of the Bookshelf writer round trip.
+# substrate, the job engine, the cluster coordinator, and the HTTP
+# daemon), and a 10-second fuzz smoke of the Bookshelf writer round
+# trip.
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core ./internal/bipartite ./internal/sparse ./internal/par ./internal/multiway ./internal/service ./cmd/igpartd
+	$(GO) test -race ./internal/core ./internal/bipartite ./internal/sparse ./internal/par ./internal/multiway ./internal/service ./internal/cluster ./cmd/igpartd
 	$(GO) test ./internal/hypergraph -run '^$$' -fuzz '^FuzzBookshelfRoundTrip$$' -fuzztime 10s
 
 # CI fuzz smoke: 10 seconds each on the Bookshelf writer round trip, the
@@ -45,14 +46,17 @@ fuzz-smoke:
 
 # Chaos suite: the seeded fault-injection and panic-isolation tests —
 # injector determinism, shard panic barriers, eigen fallback rungs, the
-# 100-panicking-jobs survival run, and the daemon's degraded-readiness
-# probes — all under the race detector.
+# 100-panicking-jobs survival run, the daemon's degraded-readiness
+# probes, and the cluster tier's failover and journal-recovery paths
+# (backend killed mid-batch, coordinator crash and replay) — all under
+# the race detector.
 chaos:
 	$(GO) test -race ./internal/fault
 	$(GO) test -race ./internal/core -run 'Panic|SlowShard|FaultThreaded'
 	$(GO) test -race ./internal/eigen -run 'Fallback|NoConverge|Rung|NonFinite'
 	$(GO) test -race ./internal/service -run 'Chaos|Retry|Backoff|Health|Validate|ShutdownRacingCancel'
-	$(GO) test -race ./cmd/igpartd -run 'Readyz|Liveness|IOReadErr|BadRequest'
+	$(GO) test -race ./internal/cluster -run 'Failover|Dead|JournalRecovery|Backpressure'
+	$(GO) test -race ./cmd/igpartd -run 'Readyz|Liveness|IOReadErr|BadRequest|ClusterChaos|ClusterCoordinatorRestart'
 
 # CI bench sanity: regenerate the small-circuit report and fail on any
 # ratio-cut regression beyond 10% of the checked-in baseline, hold the
@@ -107,9 +111,9 @@ experiments:
 
 # COVER_PKGS must each stay at or above COVER_MIN% statement coverage:
 # the pipeline core, the multilevel engine, the balanced k-way engine,
-# the observability layer, the matching substrate, and the
-# partition-service job engine.
-COVER_PKGS = igpart/internal/core igpart/internal/multilevel igpart/internal/multiway igpart/internal/obs igpart/internal/bipartite igpart/internal/service
+# the observability layer, the matching substrate, the partition-service
+# job engine, and the cluster coordinator.
+COVER_PKGS = igpart/internal/core igpart/internal/multilevel igpart/internal/multiway igpart/internal/obs igpart/internal/bipartite igpart/internal/service igpart/internal/cluster
 COVER_MIN  = 70
 
 cover:
@@ -135,6 +139,12 @@ serve:
 # verify SIGTERM drains cleanly.
 smoke:
 	./scripts/smoke.sh
+
+# Cluster-mode smoke: coordinator + two backends, a streamed batch, the
+# owner backend SIGKILLed mid-batch — every job must still complete and
+# the failover must show in the aggregated metrics.
+cluster-smoke:
+	./scripts/cluster-smoke.sh
 
 clean:
 	rm -f cover.out

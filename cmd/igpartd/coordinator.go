@@ -1,0 +1,436 @@
+// igpartd's cluster-mode HTTP layer: a coordinator façade over
+// internal/cluster that keeps the single-node wire API and adds batch
+// intake.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs      submit one job; routed to a backend by
+//	                     consistent hashing on the netlist's content
+//	                     address (202 + cluster job id)
+//	GET    /v1/jobs/{id} poll a cluster job; terminal jobs relay the
+//	                     backend's result verbatim
+//	DELETE /v1/jobs/{id} cancel (propagated to the owning backend)
+//	POST   /v1/batches   submit many jobs in one request; the chunked
+//	                     NDJSON response streams one event per job
+//	                     completion (with its obs span) as they finish
+//	GET    /healthz      liveness (alias /livez)
+//	GET    /readyz       fleet readiness: 503 until >= 1 backend ready
+//	GET    /metrics      coordinator counters + proxied per-backend
+//	                     /metrics, one aggregate document
+//
+// Submissions are re-serialized with the netlist inlined before
+// forwarding, so backends need no shared filesystem; the -data flag
+// only governs what the coordinator itself may read.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"igpart"
+	"igpart/internal/cluster"
+	"igpart/internal/obs"
+)
+
+// maxBatchJobs bounds one /v1/batches request; beyond this the client
+// should split the batch (the limit exists to bound journal write
+// bursts and the streamed response's lifetime, not memory).
+const maxBatchJobs = 256
+
+// coordServer routes HTTP requests onto a cluster.Coordinator.
+type coordServer struct {
+	coord   *cluster.Coordinator
+	dataDir string
+	maxBody int64
+	mux     *http.ServeMux
+}
+
+func newCoordServer(coord *cluster.Coordinator, dataDir string, maxBody int64) *coordServer {
+	if maxBody <= 0 {
+		maxBody = 32 << 20
+	}
+	s := &coordServer{coord: coord, dataDir: dataDir, maxBody: maxBody, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/batches", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleLive)
+	s.mux.HandleFunc("GET /livez", s.handleLive)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *coordServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// prepare resolves one submission into its routing key and the
+// backend-ready forward body: the netlist is loaded here (inline or
+// via the coordinator's -data directory), its content address becomes
+// the ring key — the very key the backends' result caches use, so the
+// cache shards across the fleet with zero invalidation protocol — and
+// the request is re-marshalled with the netlist inlined.
+func (s *coordServer) prepare(req *submitRequest) (key string, body []byte, err error) {
+	h, err := loadNetlist(req, s.dataDir, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	var nodes, nets bytes.Buffer
+	if err := igpart.WriteBookshelf(&nodes, &nets, h); err != nil {
+		return "", nil, fmt.Errorf("serialize netlist: %v", err)
+	}
+	fwd := *req
+	fwd.Path = ""
+	fwd.Bookshelf = &bookshelfPair{Nodes: nodes.String(), Nets: nets.String()}
+	body, err = json.Marshal(&fwd)
+	if err != nil {
+		return "", nil, err
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(h.CanonicalBytes())), body, nil
+}
+
+// coordJobJSON is the wire form of a cluster job snapshot. The result
+// field relays the backend's result object verbatim, so cluster-mode
+// clients parse the same shape as single-node ones.
+type coordJobJSON struct {
+	ID         string          `json:"id"`
+	Batch      string          `json:"batch,omitempty"`
+	State      string          `json:"state"`
+	Backend    string          `json:"backend,omitempty"`
+	BackendJob string          `json:"backend_job,omitempty"`
+	Attempts   int             `json:"attempts"`
+	Resubmits  int             `json:"resubmits"`
+	Cached     bool            `json:"cached,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Submitted  time.Time       `json:"submitted"`
+	Finished   *time.Time      `json:"finished,omitempty"`
+}
+
+func coordSnapshotJSON(snap cluster.Snapshot) coordJobJSON {
+	j := coordJobJSON{
+		ID:         snap.ID,
+		Batch:      snap.Batch,
+		State:      snap.State,
+		Backend:    snap.Backend,
+		BackendJob: snap.BackendJob,
+		Attempts:   snap.Attempts,
+		Resubmits:  snap.Resubmits,
+		Cached:     snap.Cached,
+		Error:      snap.Err,
+		Result:     snap.Result,
+		Submitted:  snap.Submitted,
+	}
+	if !snap.Finished.IsZero() {
+		t := snap.Finished
+		j.Finished = &t
+	}
+	return j
+}
+
+func (s *coordServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeSubmit(w, r)
+	if !ok {
+		return
+	}
+	key, body, err := s.prepare(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	job, err := s.coord.Submit(key, body)
+	if errors.Is(err, cluster.ErrShutdown) {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "journal write failed: "+err.Error())
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	writeJSON(w, http.StatusAccepted, coordSnapshotJSON(job.Snapshot()))
+}
+
+// decodeSubmit parses one submitRequest body with the size cap.
+func (s *coordServer) decodeSubmit(w http.ResponseWriter, r *http.Request) (*submitRequest, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return nil, false
+		}
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return nil, false
+	}
+	return &req, true
+}
+
+func (s *coordServer) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.coord.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, coordSnapshotJSON(job.Snapshot()))
+}
+
+func (s *coordServer) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.coord.Cancel(id) {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	job, _ := s.coord.Get(id)
+	writeJSON(w, http.StatusOK, coordSnapshotJSON(job.Snapshot()))
+}
+
+// batchRequest is the POST /v1/batches payload.
+type batchRequest struct {
+	Jobs []submitRequest `json:"jobs"`
+}
+
+// batchEvent is one NDJSON line of the streamed batch response. The
+// first line is event "accepted" (job IDs in submission order); then
+// one "job" event per completion as it happens, carrying the job's obs
+// span (wall time from acceptance to completion, attempt/resubmit
+// counters); finally one "batch" summary event.
+type batchEvent struct {
+	Event string `json:"event"`
+	Batch string `json:"batch,omitempty"`
+	// Accepted event: the job IDs.
+	Jobs []string `json:"jobs,omitempty"`
+	// Job event: the completed job's snapshot fields.
+	ID        string          `json:"id,omitempty"`
+	State     string          `json:"state,omitempty"`
+	Backend   string          `json:"backend,omitempty"`
+	Attempts  int             `json:"attempts,omitempty"`
+	Resubmits int             `json:"resubmits,omitempty"`
+	Cached    bool            `json:"cached,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	// Span is the obs stage for this job (or, on the summary event, the
+	// whole batch): name, wall time, counters.
+	Span *obs.Stage `json:"span,omitempty"`
+	// Batch summary event tallies.
+	Done   int `json:"done,omitempty"`
+	Failed int `json:"failed,omitempty"`
+}
+
+func (s *coordServer) handleBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	var req batchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, "batch carries no jobs")
+		return
+	}
+	if len(req.Jobs) > maxBatchJobs {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d jobs exceeds the %d-job limit", len(req.Jobs), maxBatchJobs))
+		return
+	}
+	// Resolve every netlist before accepting anything: a batch is
+	// all-or-nothing at intake, so a typo in job 17 cannot strand 16
+	// journaled jobs the client thinks were rejected.
+	keys := make([]string, len(req.Jobs))
+	bodies := make([]json.RawMessage, len(req.Jobs))
+	for i := range req.Jobs {
+		key, body, err := s.prepare(&req.Jobs[i])
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("job %d: %v", i, err))
+			return
+		}
+		keys[i], bodies[i] = key, json.RawMessage(body)
+	}
+	batch, err := s.coord.SubmitBatch(keys, bodies)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+
+	// From here on the response is a chunked NDJSON stream; errors can
+	// only be conveyed in-band.
+	tr := obs.NewTrace("batch:" + batch.ID)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusAccepted)
+	flusher, _ := w.(http.Flusher)
+	emit := func(ev batchEvent) bool {
+		if err := json.NewEncoder(w).Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	ids := make([]string, len(batch.Jobs))
+	spans := make([]obs.Recorder, len(batch.Jobs))
+	for i, j := range batch.Jobs {
+		ids[i] = j.ID()
+		spans[i] = tr.StartSpan("job:" + j.ID())
+	}
+	if !emit(batchEvent{Event: "accepted", Batch: batch.ID, Jobs: ids}) {
+		return
+	}
+
+	// Fan the per-job completions into one stream, in completion order.
+	type doneMsg struct {
+		idx  int
+		snap cluster.Snapshot
+	}
+	completions := make(chan doneMsg)
+	for i, j := range batch.Jobs {
+		go func(i int, j *cluster.Job) {
+			select {
+			case <-j.Done():
+			case <-r.Context().Done():
+				return
+			}
+			select {
+			case completions <- doneMsg{i, j.Snapshot()}:
+			case <-r.Context().Done():
+			}
+		}(i, j)
+	}
+	done, failed := 0, 0
+	for n := 0; n < len(batch.Jobs); n++ {
+		var msg doneMsg
+		select {
+		case msg = <-completions:
+		case <-r.Context().Done():
+			return // client went away; the jobs keep running
+		}
+		sp := spans[msg.idx]
+		sp.Count("attempts", int64(msg.snap.Attempts))
+		sp.Count("resubmits", int64(msg.snap.Resubmits))
+		sp.End()
+		stage := tr.Report().Children[msg.idx]
+		if msg.snap.State == cluster.StateDone {
+			done++
+		} else {
+			failed++
+		}
+		if !emit(batchEvent{
+			Event:     "job",
+			ID:        msg.snap.ID,
+			State:     msg.snap.State,
+			Backend:   msg.snap.Backend,
+			Attempts:  msg.snap.Attempts,
+			Resubmits: msg.snap.Resubmits,
+			Cached:    msg.snap.Cached,
+			Error:     msg.snap.Err,
+			Result:    msg.snap.Result,
+			Span:      &stage,
+		}) {
+			return
+		}
+	}
+	root := tr.Finish()
+	emit(batchEvent{Event: "batch", Batch: batch.ID, Done: done, Failed: failed, Span: &root})
+}
+
+func (s *coordServer) handleLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "mode": "coordinator"})
+}
+
+// clusterHealthJSON is the coordinator's /readyz payload: per-backend
+// readiness plus the rollup. The coordinator is ready while at least
+// one backend can take work — a degraded fleet routes around its dead
+// nodes, which is the whole point of the tier.
+type clusterHealthJSON struct {
+	Status   string                  `json:"status"`
+	Ready    int                     `json:"ready"`
+	Total    int                     `json:"total"`
+	Backends []cluster.BackendStatus `json:"backends"`
+}
+
+func (s *coordServer) handleReady(w http.ResponseWriter, r *http.Request) {
+	statuses := s.coord.Status(r.Context())
+	ready := 0
+	for _, st := range statuses {
+		if st.Ready {
+			ready++
+		}
+	}
+	h := clusterHealthJSON{Ready: ready, Total: len(statuses), Backends: statuses}
+	code := http.StatusOK
+	switch {
+	case ready == len(statuses):
+		h.Status = "ok"
+	case ready > 0:
+		h.Status = "degraded"
+	default:
+		h.Status = "down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// clusterMetricsJSON aggregates the fleet's metrics: the coordinator's
+// own registry (routing, failover, journal counters) plus each
+// backend's /metrics document verbatim (null for unreachable nodes).
+type clusterMetricsJSON struct {
+	Coordinator obs.MetricsSnapshot        `json:"coordinator"`
+	Backends    map[string]json.RawMessage `json:"backends"`
+}
+
+func (s *coordServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, clusterMetricsJSON{
+		Coordinator: s.coord.Metrics().Snapshot(),
+		Backends:    s.coord.GatherMetrics(r.Context()),
+	})
+}
+
+// runCoordinator boots cluster mode: build the fleet clients and ring,
+// replay the journal, serve the coordinator API, and on SIGTERM drain
+// in-flight routed jobs (grace-bounded; jobs the drain abandons are
+// replayed by the next boot).
+func runCoordinator(addr, dataDir string, maxBody int64, grace, readTO, writeTO time.Duration, cfg cluster.Config, journalPath string) error {
+	var replay []cluster.Record
+	if journalPath != "" {
+		j, recs, err := cluster.OpenJournal(journalPath)
+		if err != nil {
+			return err
+		}
+		cfg.Journal = j
+		replay = recs
+	}
+	coord, err := cluster.New(cfg)
+	if err != nil {
+		return err
+	}
+	if n := coord.Recover(replay); n > 0 {
+		log.Printf("igpartd: journal replay resubmitted %d unfinished job(s)", n)
+	}
+	backends := make([]string, len(cfg.Backends))
+	for i, b := range cfg.Backends {
+		backends[i] = b.Name + "=" + b.URL
+	}
+	log.Printf("igpartd: coordinator over %d backend(s): %v", len(backends), backends)
+
+	handler := newCoordServer(coord, dataDir, maxBody)
+	return serveHTTP(addr, readTO, writeTO, handler, coord.Shutdown, grace)
+}

@@ -8,6 +8,17 @@
 // request body size cap, and per-job deadlines. SIGTERM/SIGINT starts
 // a graceful drain — intake stops, queued and running jobs finish (up
 // to -shutdown-grace), then the process exits.
+//
+// Cluster mode turns the process into a coordinator instead:
+//
+//	igpartd -coordinator -backends http://n1:8080,http://n2:8080 \
+//	        -journal /var/lib/igpartd/journal.jsonl
+//
+// The coordinator keeps the same /v1/jobs API, adds POST /v1/batches
+// with streamed per-job completions, routes every job to a backend by
+// consistent hashing on the netlist's content address, fails work over
+// when a backend dies, and journals accepted jobs durably so its own
+// restart loses nothing.
 package main
 
 import (
@@ -23,6 +34,7 @@ import (
 	"time"
 
 	"igpart"
+	"igpart/internal/cluster"
 	"igpart/internal/service"
 )
 
@@ -38,12 +50,44 @@ func main() {
 		maxJobTimeout = flag.Duration("max-job-timeout", 0, "cap on per-request deadlines (0 = uncapped)")
 		shutdownGrace = flag.Duration("shutdown-grace", 30*time.Second, "drain budget after SIGTERM before cancelling jobs")
 		readTimeout   = flag.Duration("read-timeout", 30*time.Second, "per-request read timeout")
-		writeTimeout  = flag.Duration("write-timeout", 30*time.Second, "per-request write timeout")
+		writeTimeout  = flag.Duration("write-timeout", 30*time.Second, "per-request write timeout (0 = none; batch streams need it off or generous)")
 		retry         = flag.Int("retry", 0, "solve attempts per job (0 = default 2, negative disables retrying)")
 		inject        = flag.String("inject", "", "fault-injection spec, e.g. 'worker.panic:limit=1,eigen.noconverge:p=0.5' (empty = off)")
 		injectSeed    = flag.Int64("inject-seed", 1, "seed for the deterministic fault-injection streams")
+
+		// Cluster-mode flags. With -coordinator the engine flags above
+		// (-workers, -queue, -cache, -retry, -inject, job timeouts) are
+		// unused: the coordinator computes nothing itself.
+		coordinator     = flag.Bool("coordinator", false, "run as a cluster coordinator over -backends instead of solving locally")
+		backendsFlag    = flag.String("backends", "", "comma-separated backend URLs, each optionally name= prefixed (coordinator mode)")
+		journalPath     = flag.String("journal", "", "durable job journal path (JSONL, fsync'd; replayed on boot; empty disables)")
+		clusterAttempts = flag.Int("cluster-attempts", 0, "max submissions per job across failover hops (0 = 2x backend count)")
+		pollInterval    = flag.Duration("poll-interval", 50*time.Millisecond, "backend job status poll cadence")
+		probeInterval   = flag.Duration("probe-interval", 500*time.Millisecond, "backend /readyz health probe cadence (negative disables)")
 	)
 	flag.Parse()
+
+	if *coordinator {
+		backends, err := cluster.ParseBackends(*backendsFlag)
+		if err != nil {
+			log.Fatalf("igpartd: -backends: %v", err)
+		}
+		err = runCoordinator(*addr, *dataDir, *maxBody, *shutdownGrace, *readTimeout, *writeTimeout, cluster.Config{
+			Backends:      backends,
+			Attempts:      *clusterAttempts,
+			PollInterval:  *pollInterval,
+			ProbeInterval: *probeInterval,
+			Metrics:       new(igpart.MetricsRegistry),
+		}, *journalPath)
+		if err != nil {
+			log.Fatalf("igpartd: %v", err)
+		}
+		return
+	}
+	if *backendsFlag != "" || *journalPath != "" {
+		log.Fatalf("igpartd: -backends/-journal require -coordinator")
+	}
+
 	reg := new(igpart.MetricsRegistry)
 	inj, err := igpart.ParseFaultSpec(*inject, *injectSeed, reg)
 	if err != nil {
@@ -67,16 +111,25 @@ func main() {
 }
 
 func run(addr, dataDir string, maxBody int64, grace, readTO, writeTO time.Duration, cfg service.Config) error {
-	// Listen before building the engine so "port in use" fails fast, and
-	// so -addr :0 can report the chosen port (the smoke script and tests
-	// parse this line).
+	engine := service.New(cfg)
+	handler := newServer(engine, serverConfig{dataDir: dataDir, maxBody: maxBody, inj: cfg.Fault})
+	return serveHTTP(addr, readTO, writeTO, handler, engine.Shutdown, grace)
+}
+
+// serveHTTP is the shared daemon skeleton for both modes: listen, log
+// the bound address (the smoke scripts and tests parse this line),
+// serve until SIGTERM/SIGINT, then drain — first HTTP (so no new
+// submission can race past the engine close), then the engine or
+// coordinator behind it, both bounded by grace.
+func serveHTTP(addr string, readTO, writeTO time.Duration, handler http.Handler, drain func(context.Context) error, grace time.Duration) error {
+	// Listen before building anything else so "port in use" fails fast,
+	// and so -addr :0 can report the chosen port.
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	engine := service.New(cfg)
 	srv := &http.Server{
-		Handler:           newServer(engine, serverConfig{dataDir: dataDir, maxBody: maxBody, inj: cfg.Fault}),
+		Handler:           handler,
 		ReadTimeout:       readTO,
 		WriteTimeout:      writeTO,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -95,16 +148,14 @@ func run(addr, dataDir string, maxBody int64, grace, readTO, writeTO time.Durati
 	}
 	stop() // a second signal kills the process the default way
 
-	// Drain order matters: first stop accepting HTTP (so no new Submit
-	// can race past the engine close), then drain the engine.
 	log.Printf("igpartd: shutting down, draining for up to %v", grace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("igpartd: http shutdown: %v", err)
 	}
-	if err := engine.Shutdown(shutdownCtx); err != nil {
-		log.Printf("igpartd: engine drain incomplete, jobs cancelled: %v", err)
+	if err := drain(shutdownCtx); err != nil {
+		log.Printf("igpartd: drain incomplete: %v", err)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("serve: %w", err)

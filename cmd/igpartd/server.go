@@ -73,11 +73,8 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // source must be set: an inline Bookshelf pair or a server-side path
 // (relative to the daemon's -data directory).
 type submitRequest struct {
-	Path      string `json:"path,omitempty"`
-	Bookshelf *struct {
-		Nodes string `json:"nodes"`
-		Nets  string `json:"nets"`
-	} `json:"bookshelf,omitempty"`
+	Path      string         `json:"path,omitempty"`
+	Bookshelf *bookshelfPair `json:"bookshelf,omitempty"`
 
 	Algo            string  `json:"algo,omitempty"`
 	Scheme          string  `json:"scheme,omitempty"`
@@ -94,6 +91,12 @@ type submitRequest struct {
 	K   int             `json:"k,omitempty"`
 	Eps float64         `json:"eps,omitempty"`
 	Fix []igpart.FixPin `json:"fix,omitempty"`
+}
+
+// bookshelfPair is an inline UCLA Bookshelf netlist.
+type bookshelfPair struct {
+	Nodes string `json:"nodes"`
+	Nets  string `json:"nets"`
 }
 
 // jobJSON is the wire form of a job snapshot.
@@ -194,7 +197,14 @@ var errTransientIO = errors.New("transient read error loading netlist")
 
 // loadNetlist resolves the submission's netlist source.
 func (s *server) loadNetlist(req *submitRequest) (*igpart.Netlist, error) {
-	if s.cfg.inj.Active(fault.IOReadErr) {
+	return loadNetlist(req, s.cfg.dataDir, s.cfg.inj)
+}
+
+// loadNetlist is shared between the single-node server and the cluster
+// coordinator (which inlines the netlist before forwarding, so the
+// backends need no shared filesystem).
+func loadNetlist(req *submitRequest, dataDir string, inj *fault.Injector) (*igpart.Netlist, error) {
+	if inj.Active(fault.IOReadErr) {
 		return nil, errTransientIO
 	}
 	switch {
@@ -205,7 +215,7 @@ func (s *server) loadNetlist(req *submitRequest) (*igpart.Netlist, error) {
 			strings.NewReader(req.Bookshelf.Nodes),
 			strings.NewReader(req.Bookshelf.Nets))
 	case req.Path != "":
-		if s.cfg.dataDir == "" {
+		if dataDir == "" {
 			return nil, errors.New("server-side paths are disabled (daemon started without -data)")
 		}
 		// filepath.IsLocal rejects absolute paths and any ".." escape, so
@@ -213,7 +223,7 @@ func (s *server) loadNetlist(req *submitRequest) (*igpart.Netlist, error) {
 		if !filepath.IsLocal(req.Path) {
 			return nil, fmt.Errorf("path %q is not local to the data directory", req.Path)
 		}
-		return igpart.Load(filepath.Join(s.cfg.dataDir, req.Path))
+		return igpart.Load(filepath.Join(dataDir, req.Path))
 	default:
 		return nil, errors.New("request carries no netlist: set \"path\" or \"bookshelf\"")
 	}

@@ -1,0 +1,732 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"igpart/internal/fault"
+	"igpart/internal/obs"
+)
+
+// The cluster job lifecycle mirrors the backend engine's: queued and
+// running are transient, the other three terminal. A cluster job is
+// "running" from first submission attempt onward — routing, failover
+// hops, and backoff all count as running time.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// terminalState reports whether a state string is final.
+func terminalState(s string) bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Sentinel errors of the coordinator.
+var (
+	// ErrShutdown rejects submissions after Shutdown began.
+	ErrShutdown = errors.New("cluster: coordinator shutting down")
+	// ErrCancelled is the cancel cause of a user-requested Cancel.
+	ErrCancelled = errors.New("cluster: job cancelled")
+	// errAborted is the internal cancel cause of a crash-style abort
+	// (drain deadline expired): runners exit without journaling a
+	// completion, leaving their jobs for the next boot's replay.
+	errAborted = errors.New("cluster: coordinator aborted")
+)
+
+// Config sizes a Coordinator. Backends is the only required field.
+type Config struct {
+	// Backends is the static fleet, routed by consistent hashing.
+	Backends []Backend
+	// Replicas is the ring's virtual-node count per backend
+	// (default DefaultReplicas).
+	Replicas int
+	// Attempts bounds submissions per job across failover hops
+	// (default 2·len(Backends): every backend gets a second chance
+	// after a full lap of backoff).
+	Attempts int
+	// MaxInflight bounds concurrently dispatched jobs; accepted jobs
+	// beyond it wait, already journaled (default 128).
+	MaxInflight int
+	// PollInterval paces job status polls (default 50ms).
+	PollInterval time.Duration
+	// ProbeInterval paces the background /readyz prober; 0 disables it
+	// (health then updates only from request outcomes). Default 500ms.
+	ProbeInterval time.Duration
+	// RequestTimeout bounds each backend HTTP call (default 10s).
+	RequestTimeout time.Duration
+	// RetryBaseDelay and RetryMaxDelay shape the capped exponential
+	// backoff between failover hops (defaults 100ms and 2s), computed
+	// by the shared fault.BackoffDelay machinery.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// MaxFinished bounds how many terminal jobs stay queryable
+	// (default 4096).
+	MaxFinished int
+	// Metrics receives the coordinator's counters and gauges; nil gets
+	// a private registry.
+	Metrics *obs.Registry
+	// Journal is the durable intake log; nil runs without durability.
+	Journal *Journal
+	// HTTPClient overrides the backend transport (tests); nil uses a
+	// fresh http.Client.
+	HTTPClient *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 2 * len(c.Backends)
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 128
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 50 * time.Millisecond
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 100 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 2 * time.Second
+	}
+	if c.MaxFinished <= 0 {
+		c.MaxFinished = 4096
+	}
+	if c.Metrics == nil {
+		c.Metrics = new(obs.Registry)
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	return c
+}
+
+// Snapshot is the externally visible state of a cluster job.
+type Snapshot struct {
+	ID    string
+	Batch string
+	State string
+	// Backend is the node currently (or last) responsible for the job;
+	// BackendJob its job ID there.
+	Backend    string
+	BackendJob string
+	// Attempts counts submissions tried; Resubmits the failover hops
+	// beyond the first.
+	Attempts  int
+	Resubmits int
+	// Cached reports the backend served the result from its cache.
+	Cached bool
+	Err    string
+	// Result is the backend's result JSON, relayed verbatim.
+	Result    json.RawMessage
+	Submitted time.Time
+	Finished  time.Time
+}
+
+// Job is one routed partitioning request tracked by the coordinator.
+type Job struct {
+	id    string
+	batch string
+	key   string
+	body  json.RawMessage
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	done   chan struct{}
+
+	mu         sync.Mutex
+	state      string
+	backend    string
+	backendJob string
+	attempts   int
+	resubmits  int
+	cached     bool
+	errMsg     string
+	result     json.RawMessage
+	submitted  time.Time
+	finished   time.Time
+}
+
+// ID returns the coordinator-assigned job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state. It stays open
+// across a crash-style abort — such jobs complete on the next boot.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot returns the job's current externally visible state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID:         j.id,
+		Batch:      j.batch,
+		State:      j.state,
+		Backend:    j.backend,
+		BackendJob: j.backendJob,
+		Attempts:   j.attempts,
+		Resubmits:  j.resubmits,
+		Cached:     j.cached,
+		Err:        j.errMsg,
+		Result:     j.result,
+		Submitted:  j.submitted,
+		Finished:   j.finished,
+	}
+}
+
+// Batch groups jobs accepted by one SubmitBatch call.
+type Batch struct {
+	ID   string
+	Jobs []*Job
+}
+
+// Coordinator routes jobs across the backend fleet: consistent-hash
+// placement, health-aware failover with bounded backed-off
+// resubmission, and a durable journal so accepted work survives a
+// coordinator restart.
+type Coordinator struct {
+	cfg     Config
+	reg     *obs.Registry
+	ring    *Ring
+	clients map[string]*client
+	journal *Journal
+
+	ctx       context.Context
+	abort     context.CancelCauseFunc
+	wg        sync.WaitGroup // job runners
+	probeWG   sync.WaitGroup
+	probeStop chan struct{}
+	sem       chan struct{} // MaxInflight dispatch slots
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int64
+	jobs     map[string]*Job
+	finished []string
+}
+
+// New builds a coordinator over the configured backends and starts its
+// health prober. Call Recover next when booting with a journal.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	names := make([]string, len(cfg.Backends))
+	for i, b := range cfg.Backends {
+		names[i] = b.Name
+	}
+	ring, err := NewRing(names, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	ctx, abort := context.WithCancelCause(context.Background())
+	c := &Coordinator{
+		cfg:       cfg,
+		reg:       cfg.Metrics,
+		ring:      ring,
+		clients:   make(map[string]*client, len(cfg.Backends)),
+		journal:   cfg.Journal,
+		ctx:       ctx,
+		abort:     abort,
+		probeStop: make(chan struct{}),
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		jobs:      make(map[string]*Job),
+	}
+	for _, b := range cfg.Backends {
+		c.clients[b.Name] = newClient(b, cfg.HTTPClient, cfg.RequestTimeout)
+	}
+	c.reg.Gauge("cluster.backends_healthy").Set(float64(len(cfg.Backends)))
+	if cfg.ProbeInterval > 0 {
+		c.probeWG.Add(1)
+		go c.prober()
+	}
+	return c, nil
+}
+
+// Metrics returns the coordinator's metrics registry.
+func (c *Coordinator) Metrics() *obs.Registry { return c.reg }
+
+// Ring returns the routing ring (read-only).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// prober re-probes every backend's /readyz on a fixed cadence so dead
+// nodes are skipped at routing time rather than discovered one failed
+// submission at a time.
+func (c *Coordinator) prober() {
+	defer c.probeWG.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.probeStop:
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+// probeAll probes all backends concurrently and updates the healthy
+// gauge.
+func (c *Coordinator) probeAll() {
+	var wg sync.WaitGroup
+	for _, cl := range c.clients {
+		wg.Add(1)
+		go func(cl *client) {
+			defer wg.Done()
+			cl.probe(c.ctx)
+		}(cl)
+	}
+	wg.Wait()
+	healthy := 0
+	for _, cl := range c.clients {
+		if cl.Healthy() {
+			healthy++
+		}
+	}
+	c.reg.Gauge("cluster.backends_healthy").Set(float64(healthy))
+}
+
+// Submit accepts one job: journal the acceptance durably, then route
+// and dispatch it. key is the routing key — the hex SHA-256 of the
+// netlist's CanonicalBytes — and body the backend-ready request JSON
+// (netlist inlined, so the backend needs no shared filesystem).
+func (c *Coordinator) Submit(key string, body json.RawMessage) (*Job, error) {
+	return c.submit("", key, body)
+}
+
+// SubmitBatch accepts many jobs as one batch. Every job is journaled
+// before the call returns; per-job completion is observed via
+// (*Job).Done.
+func (c *Coordinator) SubmitBatch(keys []string, bodies []json.RawMessage) (*Batch, error) {
+	if len(keys) != len(bodies) {
+		return nil, fmt.Errorf("cluster: %d keys for %d bodies", len(keys), len(bodies))
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	c.nextID++
+	batch := &Batch{ID: fmt.Sprintf("batch-%d", c.nextID)}
+	c.mu.Unlock()
+	for i := range keys {
+		j, err := c.submit(batch.ID, keys[i], bodies[i])
+		if err != nil {
+			// Already-accepted jobs keep running; the caller learns which
+			// prefix was accepted from the partial batch.
+			return batch, err
+		}
+		batch.Jobs = append(batch.Jobs, j)
+	}
+	c.reg.Counter("cluster.batches").Add(1)
+	return batch, nil
+}
+
+func (c *Coordinator) submit(batch, key string, body json.RawMessage) (*Job, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	c.nextID++
+	id := fmt.Sprintf("cjob-%d", c.nextID)
+	c.mu.Unlock()
+	if err := c.journal.Accept(id, batch, key, body); err != nil {
+		// An unjournaled acceptance must not be acknowledged: the whole
+		// point of the journal is that accepted == durable.
+		return nil, err
+	}
+	return c.start(id, batch, key, body), nil
+}
+
+// start registers and dispatches a job (newly accepted or replayed).
+func (c *Coordinator) start(id, batch, key string, body json.RawMessage) *Job {
+	ctx, cancel := context.WithCancelCause(c.ctx)
+	j := &Job{
+		id:        id,
+		batch:     batch,
+		key:       key,
+		body:      body,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	c.mu.Lock()
+	c.jobs[id] = j
+	c.pruneFinishedLocked()
+	c.mu.Unlock()
+	c.reg.Counter("cluster.jobs_submitted").Add(1)
+	c.wg.Add(1)
+	go c.run(j)
+	return j
+}
+
+// Recover replays journal records from boot: every accepted job with
+// no completion record is resubmitted under its original ID, and the
+// ID counter advances past everything seen so new IDs never collide.
+// Completed jobs are NOT re-run — their completion records prove the
+// work was delivered. Returns the number of jobs resubmitted.
+func (c *Coordinator) Recover(recs []Record) int {
+	maxID := int64(0)
+	for _, r := range recs {
+		for _, id := range []string{r.Job, r.Batch} {
+			if i := strings.LastIndexByte(id, '-'); i >= 0 {
+				if n, err := strconv.ParseInt(id[i+1:], 10, 64); err == nil && n > maxID {
+					maxID = n
+				}
+			}
+		}
+	}
+	c.mu.Lock()
+	if c.nextID < maxID {
+		c.nextID = maxID
+	}
+	c.mu.Unlock()
+	unfinished := Unfinished(recs)
+	for _, r := range unfinished {
+		c.start(r.Job, r.Batch, r.Key, r.Body)
+	}
+	c.reg.Counter("cluster.journal.replayed").Add(int64(len(unfinished)))
+	return len(unfinished)
+}
+
+// Get returns the job with the given ID.
+func (c *Coordinator) Get(id string) (*Job, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a job: the runner stops at its next
+// step and best-effort cancels the backend copy. Reports whether the
+// ID was known.
+func (c *Coordinator) Cancel(id string) bool {
+	j, ok := c.Get(id)
+	if !ok {
+		return false
+	}
+	j.cancel(ErrCancelled)
+	return true
+}
+
+// run drives one job to a terminal state: submit to the ring owner,
+// poll to completion, and on node death resubmit to the next backend
+// in ring order with capped, jittered backoff — at most cfg.Attempts
+// submissions in total.
+func (c *Coordinator) run(j *Job) {
+	defer c.wg.Done()
+	select {
+	case c.sem <- struct{}{}:
+	case <-j.ctx.Done():
+		c.finishAborted(j)
+		return
+	}
+	defer func() { <-c.sem }()
+	c.reg.Gauge("cluster.jobs_inflight").Set(float64(len(c.sem)))
+
+	order := c.ring.Route(j.key)
+	// FNV-1a over the job ID: per-job deterministic jitter streams, the
+	// same scheme the backend engine uses for its solve retries.
+	seed := uint64(14695981039346656037)
+	for i := 0; i < len(j.id); i++ {
+		seed = (seed ^ uint64(j.id[i])) * 1099511628211
+	}
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.Attempts; attempt++ {
+		if j.ctx.Err() != nil {
+			c.finishAborted(j)
+			return
+		}
+		if attempt > 1 {
+			c.reg.Counter("cluster.failover.resubmits").Add(1)
+			j.mu.Lock()
+			j.resubmits++
+			j.mu.Unlock()
+			if sleepCtx(j.ctx, fault.BackoffDelay(attempt-1, c.cfg.RetryBaseDelay, c.cfg.RetryMaxDelay, seed)) != nil {
+				c.finishAborted(j)
+				return
+			}
+		}
+		cl := c.pick(order, attempt-1)
+		j.mu.Lock()
+		j.state = StateRunning
+		j.backend = cl.b.Name
+		j.backendJob = ""
+		j.attempts = attempt
+		j.mu.Unlock()
+
+		bid, err := cl.submit(j.ctx, j.body)
+		if err != nil {
+			if j.ctx.Err() != nil {
+				c.finishAborted(j)
+				return
+			}
+			if isNodeError(err) {
+				lastErr = err
+				continue
+			}
+			// Permanent rejection (a 400): no backend would accept it.
+			c.finish(j, StateFailed, nil, err)
+			return
+		}
+		j.mu.Lock()
+		j.backendJob = bid
+		j.mu.Unlock()
+
+		bj, err := c.pollUntilTerminal(j, cl, bid)
+		switch {
+		case err != nil && j.ctx.Err() != nil:
+			// Cancelled (or aborted) mid-poll: pass the cancel on to the
+			// backend so it stops computing a result nobody wants.
+			c.cancelBackend(cl, bid)
+			c.finishAborted(j)
+			return
+		case err != nil:
+			lastErr = err
+			continue
+		default:
+			c.finish(j, bj.State, bj, nil)
+			return
+		}
+	}
+	c.finish(j, StateFailed, nil,
+		fmt.Errorf("cluster: no backend completed the job after %d attempts: %w", c.cfg.Attempts, lastErr))
+}
+
+// pollErrLimit is how many consecutive poll failures declare the
+// backend dead. One transient blip should not trigger a resubmission;
+// three in a row (with the poll interval between them) is a node that
+// stopped answering.
+const pollErrLimit = 3
+
+// pollUntilTerminal polls the backend until the job is terminal there.
+// It returns a node-level error when the backend stops answering.
+func (c *Coordinator) pollUntilTerminal(j *Job, cl *client, bid string) (*backendJob, error) {
+	consecutive := 0
+	for {
+		if err := sleepCtx(j.ctx, c.cfg.PollInterval); err != nil {
+			return nil, err
+		}
+		bj, err := cl.poll(j.ctx, bid)
+		if err != nil {
+			if j.ctx.Err() != nil {
+				return nil, err
+			}
+			consecutive++
+			// A node error that also flipped the client unhealthy (e.g.
+			// connection refused) fails over at once; anything softer gets
+			// pollErrLimit chances to be a blip.
+			if consecutive >= pollErrLimit || (isNodeError(err) && !cl.Healthy()) {
+				return nil, err
+			}
+			continue
+		}
+		consecutive = 0
+		if terminalState(bj.State) {
+			return bj, nil
+		}
+	}
+}
+
+// pick chooses the backend for a given failover hop: ring order from
+// the hop offset, preferring the first backend currently believed
+// healthy, falling back to the nominal choice when the whole fleet
+// looks down (it may have recovered since the last probe).
+func (c *Coordinator) pick(order []string, hop int) *client {
+	n := len(order)
+	for i := 0; i < n; i++ {
+		cl := c.clients[order[(hop+i)%n]]
+		if cl.Healthy() {
+			return cl
+		}
+	}
+	return c.clients[order[hop%n]]
+}
+
+// cancelBackend best-effort cancels the backend's copy of a job; the
+// job's own context is already dead, so use a short independent one.
+func (c *Coordinator) cancelBackend(cl *client, bid string) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	cl.cancel(ctx, bid)
+}
+
+// finish freezes the job in a terminal state, journals the completion,
+// and counts the outcome.
+func (c *Coordinator) finish(j *Job, state string, bj *backendJob, err error) {
+	j.mu.Lock()
+	j.state = state
+	if bj != nil {
+		j.cached = bj.Cached
+		j.result = bj.Result
+		j.errMsg = bj.Error
+	}
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	j.finished = time.Now()
+	j.mu.Unlock()
+	if jerr := c.journal.Complete(j.id, state); jerr != nil {
+		// A completion that could not be journaled means the job will be
+		// re-run on the next boot — wasteful (the backend cache usually
+		// absorbs it) but never wrong.
+		c.reg.Counter("cluster.journal.write_errors").Add(1)
+	}
+	switch state {
+	case StateDone:
+		c.reg.Counter("cluster.jobs_completed").Add(1)
+	case StateCancelled:
+		c.reg.Counter("cluster.jobs_cancelled").Add(1)
+	default:
+		c.reg.Counter("cluster.jobs_failed").Add(1)
+	}
+	c.recordFinished(j)
+	close(j.done)
+}
+
+// finishAborted resolves a job whose context died, by cause: a user
+// Cancel becomes a journaled "cancelled"; a coordinator abort (crash
+// simulation, drain deadline) leaves the job non-terminal and
+// unjournaled so the next boot replays it.
+func (c *Coordinator) finishAborted(j *Job) {
+	if errors.Is(context.Cause(j.ctx), errAborted) {
+		return
+	}
+	c.finish(j, StateCancelled, nil, context.Cause(j.ctx))
+}
+
+// recordFinished appends to the terminal list for pruning.
+func (c *Coordinator) recordFinished(j *Job) {
+	c.mu.Lock()
+	c.finished = append(c.finished, j.id)
+	c.pruneFinishedLocked()
+	c.mu.Unlock()
+}
+
+// pruneFinishedLocked forgets the oldest terminal jobs beyond
+// MaxFinished.
+func (c *Coordinator) pruneFinishedLocked() {
+	for len(c.finished) > c.cfg.MaxFinished {
+		delete(c.jobs, c.finished[0])
+		c.finished = c.finished[1:]
+	}
+}
+
+// BackendStatus is one backend's aggregated health view.
+type BackendStatus struct {
+	Name    string          `json:"name"`
+	URL     string          `json:"url"`
+	Ready   bool            `json:"ready"`
+	Healthy bool            `json:"healthy"`
+	Detail  json.RawMessage `json:"detail,omitempty"`
+}
+
+// Status live-probes every backend's /readyz and returns per-backend
+// readiness in configuration order.
+func (c *Coordinator) Status(ctx context.Context) []BackendStatus {
+	out := make([]BackendStatus, len(c.cfg.Backends))
+	var wg sync.WaitGroup
+	for i, b := range c.cfg.Backends {
+		wg.Add(1)
+		go func(i int, b Backend) {
+			defer wg.Done()
+			cl := c.clients[b.Name]
+			ready, detail := cl.readyz(ctx)
+			out[i] = BackendStatus{Name: b.Name, URL: b.URL, Ready: ready, Healthy: cl.Healthy(), Detail: detail}
+		}(i, b)
+	}
+	wg.Wait()
+	return out
+}
+
+// GatherMetrics fetches every backend's /metrics concurrently; a dead
+// backend maps to null so the aggregate never blocks on fleet health.
+func (c *Coordinator) GatherMetrics(ctx context.Context) map[string]json.RawMessage {
+	out := make(map[string]json.RawMessage, len(c.clients))
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for name, cl := range c.clients {
+		wg.Add(1)
+		go func(name string, cl *client) {
+			defer wg.Done()
+			m, err := cl.metrics(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				out[name] = nil
+				return
+			}
+			out[name] = m
+		}(name, cl)
+	}
+	wg.Wait()
+	return out
+}
+
+// Shutdown stops intake and drains: in-flight jobs keep running to
+// completion. If ctx fires first the remaining runners abort without
+// journaling completions — exactly a crash from the journal's point of
+// view, so the next boot replays them; the ctx error is returned.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	first := !c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if first {
+		close(c.probeStop)
+	}
+	c.probeWG.Wait()
+
+	drained := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		c.abort(errAborted)
+		<-drained
+		err = ctx.Err()
+	}
+	if jerr := c.journal.Close(); err == nil && jerr != nil {
+		err = jerr
+	}
+	return err
+}
+
+// sleepCtx sleeps for d or until ctx fires.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Record is one journal line. Two kinds exist:
+//
+//   - accept: the coordinator took responsibility for a job — the full
+//     forwarded request body and routing key are stored, so the job can
+//     be resubmitted from the journal alone;
+//   - done: the job reached a terminal state (done/failed/cancelled).
+//
+// A job that has an accept but no done record is unfinished: a
+// coordinator crash happened between accepting and completing it, and
+// boot-time replay resubmits it. Re-running a job whose completion
+// record was lost in the crash window is safe — the solve is a pure
+// function of the request and the backends' content-addressed caches
+// usually turn the re-run into a hit.
+type Record struct {
+	T     string          `json:"t"` // "accept" | "done"
+	Job   string          `json:"job"`
+	Batch string          `json:"batch,omitempty"`
+	Key   string          `json:"key,omitempty"`
+	Body  json.RawMessage `json:"body,omitempty"`
+	State string          `json:"state,omitempty"`
+}
+
+// Journal is the coordinator's durable intake log: append-only JSONL,
+// fsync'd per record, replayed on boot. Durability before
+// acknowledgement is the contract — Accept returns only after the
+// record is on disk, so an accepted batch survives a SIGKILL. A nil
+// *Journal is a disabled journal: appends succeed as no-ops.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (creating if absent) the journal at path and
+// returns the records already in it. A torn final line — the crash
+// happened mid-write — is ignored: its job, necessarily unfinished,
+// is either absent entirely (torn accept: the coordinator never
+// acknowledged it, so nothing is lost) or replayed (torn done: the
+// job re-runs, which is idempotent).
+func OpenJournal(path string) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: open journal: %w", err)
+	}
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			// Only the torn tail of a crashed write is tolerated; garbage
+			// followed by valid records means the file is not ours.
+			if sc.Scan() {
+				f.Close()
+				return nil, nil, fmt.Errorf("cluster: corrupt journal record: %v", err)
+			}
+			break
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("cluster: read journal: %w", err)
+	}
+	return &Journal{f: f}, recs, nil
+}
+
+// append writes one record and fsyncs before returning.
+func (j *Journal) append(r Record) error {
+	if j == nil {
+		return nil
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil // closed: the coordinator is past the point of journaling
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("cluster: journal write: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("cluster: journal fsync: %w", err)
+	}
+	return nil
+}
+
+// Accept journals responsibility for a job; it must succeed before the
+// submission is acknowledged to the client.
+func (j *Journal) Accept(job, batch, key string, body json.RawMessage) error {
+	return j.append(Record{T: "accept", Job: job, Batch: batch, Key: key, Body: body})
+}
+
+// Complete journals a job's terminal state.
+func (j *Journal) Complete(job, state string) error {
+	return j.append(Record{T: "done", Job: job, State: state})
+}
+
+// Close releases the journal file. Appends after Close are dropped —
+// by then the coordinator is shutting down and unfinished jobs are
+// deliberately left for the next boot's replay.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Unfinished filters the replayed records down to accepted jobs with
+// no completion record, in acceptance order.
+func Unfinished(recs []Record) []Record {
+	done := make(map[string]bool)
+	for _, r := range recs {
+		if r.T == "done" {
+			done[r.Job] = true
+		}
+	}
+	var out []Record
+	for _, r := range recs {
+		if r.T == "accept" && !done[r.Job] {
+			out = append(out, r)
+		}
+	}
+	return out
+}

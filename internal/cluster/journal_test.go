@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal has %d records", len(recs))
+	}
+	body := json.RawMessage(`{"seed":7}`)
+	for _, id := range []string{"cjob-1", "cjob-2", "cjob-3"} {
+		if err := j.Accept(id, "batch-0", "key-"+id, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Complete("cjob-2", StateDone); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	un := Unfinished(recs)
+	if len(un) != 2 || un[0].Job != "cjob-1" || un[1].Job != "cjob-3" {
+		t.Fatalf("unfinished = %+v, want cjob-1 and cjob-3", un)
+	}
+	if un[0].Batch != "batch-0" || string(un[0].Body) != `{"seed":7}` || un[0].Key != "key-cjob-1" {
+		t.Fatalf("accept payload not preserved: %+v", un[0])
+	}
+}
+
+// A torn final line — the fsync'd write was interrupted mid-crash — is
+// tolerated and dropped; the journal stays usable.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept("cjob-1", "", "k", json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: append half a record with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"done","job":"cj`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	defer j2.Close()
+	if len(recs) != 1 || recs[0].Job != "cjob-1" {
+		t.Fatalf("replayed %+v, want just the accept", recs)
+	}
+	if un := Unfinished(recs); len(un) != 1 {
+		t.Fatalf("torn completion must leave the job unfinished, got %+v", un)
+	}
+}
+
+// Garbage in the middle of the file is not a torn write — it means the
+// file is not our journal, and replaying it would silently lose work.
+func TestJournalRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	if err := os.WriteFile(path, []byte("not json\n{\"t\":\"accept\",\"job\":\"cjob-1\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+// Appends after Close are dropped, not crashed on — the shutdown path
+// races runners finishing against the journal closing.
+func TestJournalAppendAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Complete("cjob-9", StateDone); err != nil {
+		t.Fatalf("append after close: %v", err)
+	}
+	var nilJ *Journal
+	if err := nilJ.Accept("x", "", "", nil); err != nil {
+		t.Fatalf("nil journal accept: %v", err)
+	}
+	if err := nilJ.Close(); err != nil {
+		t.Fatalf("nil journal close: %v", err)
+	}
+}

@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"time"
+
+	"igpart/internal/fault"
 )
 
 // clock is the engine's time source, a seam so retry/backoff schedules
@@ -31,33 +33,13 @@ func (realClock) Sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// splitmix64 is the jitter hash: a single mixing step of the splitmix
-// generator, enough to decorrelate attempt indices.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
+// splitmix64 and backoffDelay live in internal/fault now, shared with
+// the cluster coordinator's failover resubmission; these aliases keep
+// the engine's call sites (and the schedule tests) unchanged.
+func splitmix64(x uint64) uint64 { return fault.Splitmix64(x) }
 
-// backoffDelay returns the wait before retry number attempt (1-based):
-// exponential base·2^(attempt−1), capped at max, scaled by a
-// deterministic jitter factor in [½, 1) derived from seed — so
-// schedules are reproducible in tests yet staggered across jobs.
 func backoffDelay(attempt int, base, max time.Duration, seed uint64) time.Duration {
-	if attempt < 1 {
-		attempt = 1
-	}
-	d := base
-	for i := 1; i < attempt && d < max; i++ {
-		d *= 2
-	}
-	if d > max {
-		d = max
-	}
-	// Jitter scales into [½, 1): keep half the delay, randomize the rest.
-	frac := float64(splitmix64(seed^uint64(attempt))>>11) / (1 << 53)
-	return d/2 + time.Duration(frac*float64(d/2))
+	return fault.BackoffDelay(attempt, base, max, seed)
 }
 
 // Health is the engine's self-assessment, split the way an orchestrator

@@ -1,0 +1,144 @@
+#!/bin/sh
+# End-to-end smoke test of igpartd cluster mode, suitable for CI:
+#
+#   1. build igpartd and netgen; generate a benchmark netlist;
+#   2. boot two single-worker backends and a coordinator over them
+#      (consistent-hash routing, fsync'd job journal);
+#   3. submit a probe job to learn which backend owns the netlist's
+#      routing key (all jobs on one netlist route to its ring owner);
+#   4. stream a POST /v1/batches of 8 jobs (same netlist, distinct
+#      seeds) and SIGKILL the owner backend as soon as the batch is
+#      accepted — mid-batch, before the serialized solves can finish;
+#   5. assert every job in the stream completes "done" on the survivor,
+#      the batch summary counts 8 done / 0 failed, and the aggregated
+#      /metrics shows cluster.failover.resubmits > 0;
+#   6. SIGTERM the coordinator and the survivor and require clean,
+#      prompt exits.
+#
+# Requires only the Go toolchain and POSIX sh + curl + grep + sed.
+set -eu
+
+TAG=cluster-smoke
+workdir=$(mktemp -d)
+. "$(dirname "$0")/lib.sh"
+curl_pid=""
+cleanup() {
+    [ -n "$curl_pid" ] && kill "$curl_pid" 2>/dev/null || true
+    cleanup_daemons
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+say "building binaries"
+go build -o "$workdir/igpartd" igpart/cmd/igpartd
+go build -o "$workdir/netgen" igpart/cmd/netgen
+IGPARTD=$workdir/igpartd
+
+mkdir "$workdir/data"
+"$workdir/netgen" -bench bm1 -out "$workdir/data/bm1.hgr"
+
+say "starting backends"
+boot_daemon "$workdir/n1.log" -workers 1
+n1_pid=$daemon_pid n1_addr=$addr
+boot_daemon "$workdir/n2.log" -workers 1
+n2_pid=$daemon_pid n2_addr=$addr
+say "backends up at n1=$n1_addr n2=$n2_addr"
+
+say "starting coordinator"
+boot_daemon "$workdir/coord.log" -coordinator \
+    -backends "n1=http://$n1_addr,n2=http://$n2_addr" \
+    -journal "$workdir/journal.jsonl" \
+    -data "$workdir/data" \
+    -write-timeout 0 -poll-interval 20ms -probe-interval 100ms
+coord_pid=$daemon_pid coord_addr=$addr
+say "coordinator up at $coord_addr"
+wait_ready
+
+# Learn the ring owner of the netlist: routing hashes the netlist's
+# content address, so the probe job and the whole batch land on the
+# same backend.
+say "probing for the netlist's ring owner"
+fetch POST /v1/jobs '{"path": "bm1.hgr"}'
+[ "$status" = 202 ] || die "probe submit -> $status ($resp)"
+probe_id=$(job_field id)
+poll_job "$probe_id"
+[ "$state" = done ] || die "probe job ended '$state': $resp"
+owner=$(job_field backend)
+case "$owner" in
+    n1) owner_pid=$n1_pid; survivor=n2; survivor_pid=$n2_pid; survivor_log=$workdir/n2.log ;;
+    n2) owner_pid=$n2_pid; survivor=n1; survivor_pid=$n1_pid; survivor_log=$workdir/n1.log ;;
+    *) die "probe job reports no backend: $resp" ;;
+esac
+say "owner is $owner, survivor is $survivor"
+
+# Batch of 8 jobs on the owner's netlist, distinct seeds so each is a
+# distinct solve (and a distinct backend cache entry).
+jobs=""
+for seed in 1 2 3 4 5 6 7 8; do
+    jobs="$jobs{\"path\": \"bm1.hgr\", \"seed\": $seed},"
+done
+printf '{"jobs": [%s]}' "${jobs%,}" >"$workdir/batch.json"
+
+say "streaming the batch"
+curl -sS -N -X POST -H 'Content-Type: application/json' \
+    -d @"$workdir/batch.json" -o "$workdir/stream.ndjson" \
+    "http://$coord_addr/v1/batches" &
+curl_pid=$!
+
+# SIGKILL the owner the moment the batch is accepted: with one worker
+# the 8 solves serialize, so the kill necessarily lands mid-batch.
+i=0
+while ! grep -q '"event":"accepted"' "$workdir/stream.ndjson" 2>/dev/null; do
+    if [ $i -ge 100 ]; then
+        kill "$curl_pid" 2>/dev/null || true
+        die "batch never accepted: $(cat "$workdir/stream.ndjson" 2>/dev/null)"
+    fi
+    if ! kill -0 "$curl_pid" 2>/dev/null; then
+        die "batch stream ended prematurely: $(cat "$workdir/stream.ndjson" 2>/dev/null)"
+    fi
+    sleep 0.05
+    i=$((i + 1))
+done
+say "batch accepted; SIGKILLing owner $owner (pid $owner_pid)"
+kill -9 "$owner_pid"
+
+say "waiting for the batch stream to finish"
+i=0
+while ! grep -q '"event":"batch"' "$workdir/stream.ndjson" 2>/dev/null; do
+    if [ $i -ge 1200 ]; then
+        kill "$curl_pid" 2>/dev/null || true
+        die "batch never finished: $(cat "$workdir/stream.ndjson")"
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+wait "$curl_pid" || die "batch stream curl failed"
+curl_pid=""
+
+# Every accepted job completed despite the node death.
+n_jobs=$(grep -c '"event":"job"' "$workdir/stream.ndjson")
+[ "$n_jobs" = 8 ] || die "stream carries $n_jobs job events, want 8: $(cat "$workdir/stream.ndjson")"
+if grep '"event":"job"' "$workdir/stream.ndjson" | grep -qv '"state":"done"'; then
+    die "a batch job did not complete: $(cat "$workdir/stream.ndjson")"
+fi
+summary=$(grep '"event":"batch"' "$workdir/stream.ndjson")
+printf '%s' "$summary" | grep -q '"done":8' || die "summary not 8 done: $summary"
+printf '%s' "$summary" | grep -q '"failed"' && die "summary reports failures: $summary"
+say "all 8 jobs completed after the owner died"
+
+# The failover is visible in the aggregated metrics, and the fleet
+# reports itself degraded but serving.
+addr=$coord_addr
+fetch GET /metrics
+printf '%s' "$resp" | grep -q '"cluster.failover.resubmits":[1-9]' || \
+    die "metrics show no failover resubmits: $resp"
+fetch GET /readyz
+[ "$status" = 200 ] || die "degraded fleet /readyz -> $status ($resp)"
+printf '%s' "$resp" | grep -q '"status":"degraded"' || \
+    die "readyz not degraded with one backend dead: $resp"
+say "failover visible in metrics; fleet degraded but ready"
+
+say "draining coordinator and survivor"
+stop_daemon "$coord_pid" "$workdir/coord.log"
+stop_daemon "$survivor_pid" "$survivor_log"
+say "PASS"

@@ -11,197 +11,91 @@
 #      with a recovered panic, the daemon stays live on /healthz, the
 #      next job completes clean, and the panic shows in /metrics.
 #
-# Requires only the Go toolchain and POSIX sh + grep + sed.
+# Requires only the Go toolchain and POSIX sh + curl + grep + sed.
 set -eu
 
+TAG=smoke
 workdir=$(mktemp -d)
-daemon_pid=""
+. "$(dirname "$0")/lib.sh"
 cleanup() {
-    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
-        kill -9 "$daemon_pid" 2>/dev/null || true
-    fi
+    cleanup_daemons
     rm -rf "$workdir"
 }
 trap cleanup EXIT
 
-echo "smoke: building binaries"
+say "building binaries"
 go build -o "$workdir/igpartd" igpart/cmd/igpartd
 go build -o "$workdir/netgen" igpart/cmd/netgen
+IGPARTD=$workdir/igpartd
 
 mkdir "$workdir/data"
 "$workdir/netgen" -bench bm1 -out "$workdir/data/bm1.hgr"
 
-# boot_daemon LOGFILE [EXTRA_FLAGS...]: start igpartd, wait for the
-# "listening on HOST:PORT" line, and set $daemon_pid and $addr.
-boot_daemon() {
-    logfile=$1
-    shift
-    "$workdir/igpartd" -addr 127.0.0.1:0 -data "$workdir/data" "$@" >"$logfile" 2>&1 &
-    daemon_pid=$!
-    addr=""
-    i=0
-    while [ $i -lt 100 ]; do
-        addr=$(sed -n 's/.*igpartd: listening on \([0-9.:]*\)$/\1/p' "$logfile" | head -1)
-        [ -n "$addr" ] && break
-        if ! kill -0 "$daemon_pid" 2>/dev/null; then
-            echo "smoke: daemon died during startup" >&2
-            cat "$logfile" >&2
-            exit 1
-        fi
-        sleep 0.1
-        i=$((i + 1))
-    done
-    if [ -z "$addr" ]; then
-        echo "smoke: daemon never logged its address" >&2
-        cat "$logfile" >&2
-        exit 1
-    fi
-}
-
-echo "smoke: starting igpartd"
-boot_daemon "$workdir/igpartd.log"
-echo "smoke: daemon up at $addr"
-
-# fetch METHOD PATH [BODY]: response body lands in $resp, HTTP status
-# in $status. Runs in the current shell (no command substitution) so
-# both variables survive the call.
-fetch() {
-    method=$1 path=$2 body=${3:-}
-    if [ -n "$body" ]; then
-        status=$(curl -sS -o "$workdir/resp" -w '%{http_code}' -X "$method" \
-            -H 'Content-Type: application/json' -d "$body" "http://$addr$path")
-    else
-        status=$(curl -sS -o "$workdir/resp" -w '%{http_code}' -X "$method" "http://$addr$path")
-    fi
-    resp=$(cat "$workdir/resp")
-}
+say "starting igpartd"
+boot_daemon "$workdir/igpartd.log" -data "$workdir/data"
+say "daemon up at $addr"
 
 fetch GET /healthz
-[ "$status" = 200 ] || { echo "smoke: /healthz -> $status ($resp)" >&2; exit 1; }
+[ "$status" = 200 ] || die "/healthz -> $status ($resp)"
 
-echo "smoke: submitting job"
+say "submitting job"
 fetch POST /v1/jobs '{"path": "bm1.hgr"}'
-[ "$status" = 202 ] || { echo "smoke: submit -> $status ($resp)" >&2; exit 1; }
-job_id=$(printf '%s' "$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
-[ -n "$job_id" ] || { echo "smoke: no job id in $resp" >&2; exit 1; }
+[ "$status" = 202 ] || die "submit -> $status ($resp)"
+job_id=$(job_field id)
+[ -n "$job_id" ] || die "no job id in $resp"
 
-echo "smoke: polling $job_id"
-state=""
-i=0
-while [ $i -lt 300 ]; do
-    fetch GET "/v1/jobs/$job_id"
-    [ "$status" = 200 ] || { echo "smoke: poll -> $status ($resp)" >&2; exit 1; }
-    state=$(printf '%s' "$resp" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
-    case "$state" in
-        done) break ;;
-        failed|cancelled) echo "smoke: job ended $state: $resp" >&2; exit 1 ;;
-    esac
-    sleep 0.2
-    i=$((i + 1))
-done
-[ "$state" = done ] || { echo "smoke: job stuck in state '$state'" >&2; exit 1; }
+say "polling $job_id"
+poll_job "$job_id"
+[ "$state" = done ] || die "job ended '$state': $resp"
 
 ratio=$(printf '%s' "$resp" | sed -n 's/.*"ratio_cut":\([0-9.e+-]*\).*/\1/p')
-[ -n "$ratio" ] || { echo "smoke: no ratio_cut in result: $resp" >&2; exit 1; }
+[ -n "$ratio" ] || die "no ratio_cut in result: $resp"
 case "$ratio" in
-    0|0.0|-*) echo "smoke: implausible ratio cut $ratio" >&2; exit 1 ;;
+    0|0.0|-*) die "implausible ratio cut $ratio" ;;
 esac
-echo "smoke: job done, ratio cut $ratio"
+say "job done, ratio cut $ratio"
 
 fetch GET /metrics
-printf '%s' "$resp" | grep -q '"service.jobs_completed":1' || {
-    echo "smoke: metrics missing completed job: $resp" >&2; exit 1; }
+printf '%s' "$resp" | grep -q '"service.jobs_completed":1' || \
+    die "metrics missing completed job: $resp"
 
-echo "smoke: sending SIGTERM"
-kill -TERM "$daemon_pid"
-i=0
-while kill -0 "$daemon_pid" 2>/dev/null; do
-    if [ $i -ge 100 ]; then
-        echo "smoke: daemon did not exit within 10s of SIGTERM" >&2
-        cat "$workdir/igpartd.log" >&2
-        exit 1
-    fi
-    sleep 0.1
-    i=$((i + 1))
-done
-wait "$daemon_pid" 2>/dev/null || true
-daemon_pid=""
-grep -q 'shutdown complete' "$workdir/igpartd.log" || {
-    echo "smoke: no clean shutdown in log" >&2
-    cat "$workdir/igpartd.log" >&2
-    exit 1
-}
+say "sending SIGTERM"
+stop_daemon "$daemon_pid" "$workdir/igpartd.log"
 
 # Phase 2: chaos. Reboot with one worker panic armed and retries off;
 # the first job must fail with a recovered panic while the daemon stays
 # up and completes the next, clean job.
-echo "smoke: restarting igpartd with worker.panic injection"
-boot_daemon "$workdir/igpartd-chaos.log" -inject 'worker.panic:limit=1' -retry=-1
-echo "smoke: chaos daemon up at $addr"
-
-# poll_job JOB_ID: poll until terminal; leaves the state in $state and
-# the last response in $resp.
-poll_job() {
-    job=$1
-    state=""
-    i=0
-    while [ $i -lt 300 ]; do
-        fetch GET "/v1/jobs/$job"
-        [ "$status" = 200 ] || { echo "smoke: poll -> $status ($resp)" >&2; exit 1; }
-        state=$(printf '%s' "$resp" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
-        case "$state" in
-            done|failed|cancelled) return 0 ;;
-        esac
-        sleep 0.2
-        i=$((i + 1))
-    done
-    echo "smoke: job $job stuck in state '$state'" >&2
-    exit 1
-}
+say "restarting igpartd with worker.panic injection"
+boot_daemon "$workdir/igpartd-chaos.log" -data "$workdir/data" \
+    -inject 'worker.panic:limit=1' -retry=-1
+say "chaos daemon up at $addr"
 
 fetch POST /v1/jobs '{"path": "bm1.hgr"}'
-[ "$status" = 202 ] || { echo "smoke: chaos submit -> $status ($resp)" >&2; exit 1; }
-job_id=$(printf '%s' "$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ "$status" = 202 ] || die "chaos submit -> $status ($resp)"
+job_id=$(job_field id)
 poll_job "$job_id"
-[ "$state" = failed ] || { echo "smoke: injected-panic job ended '$state', want failed: $resp" >&2; exit 1; }
-printf '%s' "$resp" | grep -q 'panic' || {
-    echo "smoke: failed job carries no panic error: $resp" >&2; exit 1; }
-echo "smoke: injected panic recovered as a failed job"
+[ "$state" = failed ] || die "injected-panic job ended '$state', want failed: $resp"
+printf '%s' "$resp" | grep -q 'panic' || \
+    die "failed job carries no panic error: $resp"
+say "injected panic recovered as a failed job"
 
 # The daemon survived the panic: liveness still answers and a clean job
 # (injection budget spent) completes.
 fetch GET /healthz
-[ "$status" = 200 ] || { echo "smoke: /healthz after panic -> $status" >&2; exit 1; }
+[ "$status" = 200 ] || die "/healthz after panic -> $status"
 
 fetch POST /v1/jobs '{"path": "bm1.hgr", "seed": 7}'
-[ "$status" = 202 ] || { echo "smoke: post-panic submit -> $status ($resp)" >&2; exit 1; }
-job_id=$(printf '%s' "$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ "$status" = 202 ] || die "post-panic submit -> $status ($resp)"
+job_id=$(job_field id)
 poll_job "$job_id"
-[ "$state" = done ] || { echo "smoke: post-panic job ended '$state': $resp" >&2; exit 1; }
+[ "$state" = done ] || die "post-panic job ended '$state': $resp"
 
 fetch GET /metrics
-printf '%s' "$resp" | grep -q '"service.panics_recovered":1' || {
-    echo "smoke: metrics missing recovered panic: $resp" >&2; exit 1; }
-printf '%s' "$resp" | grep -q '"fault.fired.worker.panic":1' || {
-    echo "smoke: metrics missing fault fire count: $resp" >&2; exit 1; }
+printf '%s' "$resp" | grep -q '"service.panics_recovered":1' || \
+    die "metrics missing recovered panic: $resp"
+printf '%s' "$resp" | grep -q '"fault.fired.worker.panic":1' || \
+    die "metrics missing fault fire count: $resp"
 
-echo "smoke: draining chaos daemon"
-kill -TERM "$daemon_pid"
-i=0
-while kill -0 "$daemon_pid" 2>/dev/null; do
-    if [ $i -ge 100 ]; then
-        echo "smoke: chaos daemon did not exit within 10s of SIGTERM" >&2
-        cat "$workdir/igpartd-chaos.log" >&2
-        exit 1
-    fi
-    sleep 0.1
-    i=$((i + 1))
-done
-wait "$daemon_pid" 2>/dev/null || true
-daemon_pid=""
-grep -q 'shutdown complete' "$workdir/igpartd-chaos.log" || {
-    echo "smoke: no clean chaos shutdown in log" >&2
-    cat "$workdir/igpartd-chaos.log" >&2
-    exit 1
-}
-echo "smoke: PASS"
+say "draining chaos daemon"
+stop_daemon "$daemon_pid" "$workdir/igpartd-chaos.log"
+say "PASS"
