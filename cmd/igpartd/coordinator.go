@@ -187,12 +187,15 @@ func (s *coordServer) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *coordServer) handleCancel(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if !s.coord.Cancel(id) {
+	// Resolve the *Job once and cancel through it: a second Get after
+	// Cancel(id) could miss if MaxFinished pruning evicts the job in
+	// between.
+	job, ok := s.coord.Get(r.PathValue("id"))
+	if !ok {
 		httpError(w, http.StatusNotFound, "unknown job")
 		return
 	}
-	job, _ := s.coord.Get(id)
+	job.Cancel()
 	writeJSON(w, http.StatusOK, coordSnapshotJSON(job.Snapshot()))
 }
 
@@ -277,7 +280,13 @@ func (s *coordServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusAccepted)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	emit := func(ev batchEvent) bool {
+		// The server's WriteTimeout (when set) is absolute from request
+		// start; push the deadline out at every event so a long batch is
+		// bounded by inactivity, not total stream lifetime. Best-effort:
+		// not every ResponseWriter supports it.
+		rc.SetWriteDeadline(time.Now().Add(time.Minute))
 		if err := json.NewEncoder(w).Encode(ev); err != nil {
 			return false
 		}

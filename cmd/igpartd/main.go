@@ -50,7 +50,7 @@ func main() {
 		maxJobTimeout = flag.Duration("max-job-timeout", 0, "cap on per-request deadlines (0 = uncapped)")
 		shutdownGrace = flag.Duration("shutdown-grace", 30*time.Second, "drain budget after SIGTERM before cancelling jobs")
 		readTimeout   = flag.Duration("read-timeout", 30*time.Second, "per-request read timeout")
-		writeTimeout  = flag.Duration("write-timeout", 30*time.Second, "per-request write timeout (0 = none; batch streams need it off or generous)")
+		writeTimeout  = flag.Duration("write-timeout", 30*time.Second, "per-request write timeout (0 = none; coordinator mode defaults to 0 so batch streams are not cut off)")
 		retry         = flag.Int("retry", 0, "solve attempts per job (0 = default 2, negative disables retrying)")
 		inject        = flag.String("inject", "", "fault-injection spec, e.g. 'worker.panic:limit=1,eigen.noconverge:p=0.5' (empty = off)")
 		injectSeed    = flag.Int64("inject-seed", 1, "seed for the deterministic fault-injection streams")
@@ -68,6 +68,18 @@ func main() {
 	flag.Parse()
 
 	if *coordinator {
+		// http.Server's WriteTimeout is absolute from request start, which
+		// would kill a chunked /v1/batches stream mid-flight; unless the
+		// operator explicitly asked for one, run the coordinator without.
+		wtSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "write-timeout" {
+				wtSet = true
+			}
+		})
+		if !wtSet {
+			*writeTimeout = 0
+		}
 		backends, err := cluster.ParseBackends(*backendsFlag)
 		if err != nil {
 			log.Fatalf("igpartd: -backends: %v", err)

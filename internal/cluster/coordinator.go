@@ -60,8 +60,9 @@ type Config struct {
 	MaxInflight int
 	// PollInterval paces job status polls (default 50ms).
 	PollInterval time.Duration
-	// ProbeInterval paces the background /readyz prober; 0 disables it
-	// (health then updates only from request outcomes). Default 500ms.
+	// ProbeInterval paces the background /readyz prober; negative
+	// disables it (health then updates only from request outcomes),
+	// 0 means the default 500ms.
 	ProbeInterval time.Duration
 	// RequestTimeout bounds each backend HTTP call (default 10s).
 	RequestTimeout time.Duration
@@ -172,6 +173,10 @@ func (j *Job) ID() string { return j.id }
 // Done is closed when the job reaches a terminal state. It stays open
 // across a crash-style abort — such jobs complete on the next boot.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cancellation of the job: its runner stops at the
+// next step and best-effort cancels the backend copy.
+func (j *Job) Cancel() { j.cancel(ErrCancelled) }
 
 // Snapshot returns the job's current externally visible state.
 func (j *Job) Snapshot() Snapshot {
@@ -426,7 +431,7 @@ func (c *Coordinator) Cancel(id string) bool {
 	if !ok {
 		return false
 	}
-	j.cancel(ErrCancelled)
+	j.Cancel()
 	return true
 }
 
@@ -442,7 +447,10 @@ func (c *Coordinator) run(j *Job) {
 		c.finishAborted(j)
 		return
 	}
-	defer func() { <-c.sem }()
+	defer func() {
+		<-c.sem
+		c.reg.Gauge("cluster.jobs_inflight").Set(float64(len(c.sem)))
+	}()
 	c.reg.Gauge("cluster.jobs_inflight").Set(float64(len(c.sem)))
 
 	order := c.ring.Route(j.key)

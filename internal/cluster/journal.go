@@ -2,8 +2,11 @@ package cluster
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 )
@@ -42,38 +45,64 @@ type Journal struct {
 
 // OpenJournal opens (creating if absent) the journal at path and
 // returns the records already in it. A torn final line — the crash
-// happened mid-write — is ignored: its job, necessarily unfinished,
-// is either absent entirely (torn accept: the coordinator never
-// acknowledged it, so nothing is lost) or replayed (torn done: the
-// job re-runs, which is idempotent).
+// happened mid-write — is truncated away: its job, necessarily
+// unfinished, is either absent entirely (torn accept: the coordinator
+// never acknowledged it, so nothing is lost) or replayed (torn done:
+// the job re-runs, which is idempotent). Truncation matters because
+// the file is O_APPEND — without it the first post-recovery append
+// would concatenate onto the partial line, corrupting the journal for
+// the boot after this one.
 func OpenJournal(path string) (*Journal, []Record, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cluster: open journal: %w", err)
 	}
 	var recs []Record
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	br := bufio.NewReaderSize(f, 64*1024)
+	var off int64 // byte offset just past the last fully-persisted line
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			f.Close()
+			return nil, nil, fmt.Errorf("cluster: read journal: %w", rerr)
 		}
-		var r Record
-		if err := json.Unmarshal(line, &r); err != nil {
-			// Only the torn tail of a crashed write is tolerated; garbage
-			// followed by valid records means the file is not ours.
-			if sc.Scan() {
-				f.Close()
-				return nil, nil, fmt.Errorf("cluster: corrupt journal record: %v", err)
+		complete := rerr == nil // the line carries its terminating newline
+		if body := bytes.TrimSuffix(line, []byte{'\n'}); len(body) > 0 {
+			var r Record
+			if jerr := json.Unmarshal(body, &r); jerr != nil {
+				// Only the torn tail of a crashed write is tolerated; garbage
+				// followed by valid records means the file is not ours.
+				if complete {
+					if _, perr := br.Peek(1); perr == nil {
+						f.Close()
+						return nil, nil, fmt.Errorf("cluster: corrupt journal record: %v", jerr)
+					}
+				}
+				break
 			}
+			if !complete {
+				// Parseable JSON but no newline: the write (line then Sync)
+				// never finished, so the record was never acknowledged —
+				// drop it with the rest of the torn tail.
+				break
+			}
+			recs = append(recs, r)
+		}
+		if !complete {
 			break
 		}
-		recs = append(recs, r)
+		off += int64(len(line))
 	}
-	if err := sc.Err(); err != nil {
+	if end, serr := f.Seek(0, io.SeekEnd); serr != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("cluster: read journal: %w", err)
+		return nil, nil, fmt.Errorf("cluster: seek journal: %w", serr)
+	} else if end != off {
+		// Drop the torn tail so appends (O_APPEND: always at EOF) start
+		// on a clean line.
+		if terr := f.Truncate(off); terr != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("cluster: truncate torn journal tail: %w", terr)
+		}
 	}
 	return &Journal{f: f}, recs, nil
 }

@@ -74,12 +74,79 @@ func TestJournalTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatalf("torn tail rejected: %v", err)
 	}
-	defer j2.Close()
 	if len(recs) != 1 || recs[0].Job != "cjob-1" {
 		t.Fatalf("replayed %+v, want just the accept", recs)
 	}
 	if un := Unfinished(recs); len(un) != 1 {
 		t.Fatalf("torn completion must leave the job unfinished, got %+v", un)
+	}
+	// The torn tail must be truncated, not just skipped: an append after
+	// recovery has to start on a clean line, or the NEXT boot would see
+	// mid-file corruption and refuse the journal entirely.
+	if err := j2.Complete("cjob-1", StateDone); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("journal corrupted by post-recovery append: %v", err)
+	}
+	defer j3.Close()
+	if len(recs) != 2 || recs[1].T != "done" || recs[1].Job != "cjob-1" {
+		t.Fatalf("after recovery+append replayed %+v, want accept then done", recs)
+	}
+	if un := Unfinished(recs); len(un) != 0 {
+		t.Fatalf("completed job still unfinished: %+v", un)
+	}
+}
+
+// A crash can also cut the write exactly between the record and its
+// newline: the tail parses as JSON but was never acknowledged (Sync
+// follows the full line), so it is dropped and truncated like any
+// other torn tail.
+func TestJournalTornTailMissingNewline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept("cjob-1", "", "k", json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"done","job":"cjob-1"}`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("newline-less tail rejected: %v", err)
+	}
+	if len(recs) != 1 || recs[0].T != "accept" {
+		t.Fatalf("replayed %+v, want just the accept", recs)
+	}
+	if err := j2.Accept("cjob-2", "", "k2", json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("journal corrupted by post-recovery append: %v", err)
+	}
+	defer j3.Close()
+	if len(recs) != 2 || recs[1].Job != "cjob-2" {
+		t.Fatalf("after recovery+append replayed %+v, want the two accepts", recs)
 	}
 }
 
