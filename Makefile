@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz fuzz-smoke bench-sanity scale-report scale-smoke experiments cover serve smoke cluster-smoke chaos clean
+.PHONY: all build vet lint test race bench fuzz fuzz-smoke bench-sanity scale-report scale-smoke experiments cover serve smoke cluster-smoke eco-smoke chaos clean
 
 all: build vet lint test
 
@@ -25,23 +25,25 @@ lint:
 
 # Tier-1 chain: vet, full test run, a race pass over the concurrent
 # packages (the parallel sweep engine and matvec kernels, the matching
-# substrate, the job engine, the cluster coordinator, and the HTTP
-# daemon), and a 10-second fuzz smoke of the Bookshelf writer round
-# trip.
+# substrate, the portfolio racer, the job engine, the cluster
+# coordinator, and the HTTP daemon), and a 10-second fuzz smoke of the
+# Bookshelf writer round trip.
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core ./internal/bipartite ./internal/sparse ./internal/par ./internal/multiway ./internal/service ./internal/cluster ./cmd/igpartd
+	$(GO) test -race ./internal/core ./internal/bipartite ./internal/sparse ./internal/par ./internal/multiway ./internal/portfolio ./internal/features ./internal/service ./internal/cluster ./cmd/igpartd
 	$(GO) test ./internal/hypergraph -run '^$$' -fuzz '^FuzzBookshelfRoundTrip$$' -fuzztime 10s
 
 # CI fuzz smoke: 10 seconds each on the Bookshelf writer round trip, the
-# multilevel V-cycle invariants, service request validation (generic and
-# k-way), and the benchmark generator's structural contract.
+# multilevel V-cycle invariants, service request validation (generic,
+# k-way, and ECO delta), and the benchmark generator's structural
+# contract.
 fuzz-smoke:
 	$(GO) test ./internal/hypergraph -run '^$$' -fuzz '^FuzzBookshelfRoundTrip$$' -fuzztime 10s
 	$(GO) test ./internal/multilevel -run '^$$' -fuzz '^FuzzVCycle$$' -fuzztime 10s
 	$(GO) test ./internal/service -run '^$$' -fuzz '^FuzzRequestValidate$$' -fuzztime 10s
 	$(GO) test ./internal/service -run '^$$' -fuzz '^FuzzKWayRequest$$' -fuzztime 10s
+	$(GO) test ./internal/service -run '^$$' -fuzz '^FuzzDeltaRequest$$' -fuzztime 10s
 	$(GO) test ./internal/netgen -run '^$$' -fuzz '^FuzzNetgen$$' -fuzztime 10s
 
 # Chaos suite: the seeded fault-injection and panic-isolation tests —
@@ -61,13 +63,16 @@ chaos:
 # CI bench sanity: regenerate the small-circuit report and fail on any
 # ratio-cut regression beyond 10% of the checked-in baseline, hold the
 # checked-in scale report to the million-net gate (>=100k nets, selective
-# reorth >=3x faster than full at equal ratio cut), then the kway-sanity
-# step: rerun both balanced k-way engines at k in {2,4,8} and fail on
-# spanning-net regressions against the checked-in k-way baseline.
+# reorth >=3x faster than full at equal ratio cut) and the checked-in
+# portfolio report to the ECO gate (warm re-partition >=3x faster than a
+# cold re-solve at matching ratio cut), then the kway-sanity step: rerun
+# both balanced k-way engines at k in {2,4,8} and fail on spanning-net
+# regressions against the checked-in k-way baseline.
 bench-sanity:
 	$(GO) run igpart/cmd/experiments -report ci -scale 0.25 -p 1 \
 		-baseline results/BENCH_baseline.json -tolerance 0.10
 	$(GO) run igpart/cmd/experiments -verify-scale results/BENCH_scale.json
+	$(GO) run igpart/cmd/experiments -verify-portfolio results/BENCH_portfolio.json
 	$(GO) run igpart/cmd/experiments -kway-report kway-ci -results /tmp/igpart-kway \
 		-scale 0.25 -p 1 -kway-baseline results/BENCH_kway.json -tolerance 0.10
 
@@ -103,6 +108,7 @@ fuzz:
 	$(GO) test ./internal/multilevel -fuzz FuzzVCycle -fuzztime 30s
 	$(GO) test ./internal/service -fuzz FuzzRequestValidate -fuzztime 30s
 	$(GO) test ./internal/service -fuzz FuzzKWayRequest -fuzztime 30s
+	$(GO) test ./internal/service -fuzz FuzzDeltaRequest -fuzztime 30s
 	$(GO) test ./internal/netgen -fuzz FuzzNetgen -fuzztime 30s
 
 # Regenerate every paper table at full size.
@@ -111,9 +117,10 @@ experiments:
 
 # COVER_PKGS must each stay at or above COVER_MIN% statement coverage:
 # the pipeline core, the multilevel engine, the balanced k-way engine,
-# the observability layer, the matching substrate, the partition-service
-# job engine, and the cluster coordinator.
-COVER_PKGS = igpart/internal/core igpart/internal/multilevel igpart/internal/multiway igpart/internal/obs igpart/internal/bipartite igpart/internal/service igpart/internal/cluster
+# the observability layer, the matching substrate, the portfolio racer
+# and its feature extractor, the partition-service job engine, and the
+# cluster coordinator.
+COVER_PKGS = igpart/internal/core igpart/internal/multilevel igpart/internal/multiway igpart/internal/obs igpart/internal/bipartite igpart/internal/portfolio igpart/internal/features igpart/internal/service igpart/internal/cluster
 COVER_MIN  = 70
 
 cover:
@@ -145,6 +152,12 @@ smoke:
 # the failover must show in the aggregated metrics.
 cluster-smoke:
 	./scripts/cluster-smoke.sh
+
+# Incremental-ECO smoke: boot igpartd, solve a base netlist, PATCH a
+# small delta against it, and assert the warm re-partition beat a cold
+# resubmission of the edited netlist while landing a sane cut.
+eco-smoke:
+	./scripts/eco-smoke.sh
 
 clean:
 	rm -f cover.out

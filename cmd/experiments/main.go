@@ -23,6 +23,13 @@
 //	experiments -verify-scale results/BENCH_scale.json
 //	                               # gate: ≥100k nets, selective ≥3×
 //	                               # faster at equal ratio cut
+//	experiments -portfolio-report portfolio
+//	                               # portfolio/ECO harness: race vs fixed
+//	                               # IG-Match, warm vs cold ECO re-solve,
+//	                               # write results/BENCH_portfolio.json
+//	experiments -verify-portfolio results/BENCH_portfolio.json
+//	                               # gate: warm ECO ≥3× faster than cold
+//	                               # at matching ratio cut
 package main
 
 import (
@@ -65,6 +72,11 @@ func main() {
 		candidates  = flag.Int("candidates", 0, "candidate splits for -scale-report (0 = default 32)")
 		scaleBudget = flag.Float64("scale-budget", 3.0, "with -scale-report -baseline: wall-clock budget factor (<=0 disables)")
 		verifyScale = flag.String("verify-scale", "", "verify an existing scale report against the >=100k-net, >=3x-speedup gate and exit")
+
+		portfolioReport = flag.String("portfolio-report", "", "run the portfolio/ECO harness and write BENCH_<name>.json instead of tables")
+		portfolioPreset = flag.String("portfolio-preset", "scale10k", "netgen preset for -portfolio-report")
+		deltaNets       = flag.Int("delta-nets", 0, "nets removed by the ECO delta for -portfolio-report (0 = 1% of the circuit)")
+		verifyPortfolio = flag.String("verify-portfolio", "", "verify an existing portfolio report against the warm>=3x-speedup gate and exit")
 	)
 	flag.Parse()
 	reorthMode, err := eigen.ParseReorthMode(*reorth)
@@ -88,6 +100,55 @@ func main() {
 		}
 		fmt.Printf("verify-scale: %s passes (>=%d nets, >=%.1fx selective speedup, ratio cuts within %.0f%%)\n",
 			*verifyScale, bench.ScaleMinNets, bench.ScaleMinSpeedup, bench.ScaleRatioTol*100)
+		return
+	}
+
+	if *verifyPortfolio != "" {
+		rep, err := bench.ReadReportFile(*verifyPortfolio)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: verify-portfolio:", err)
+			os.Exit(1)
+		}
+		if violations := bench.VerifyPortfolioReport(rep); len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: %s fails the portfolio gate:\n", *verifyPortfolio)
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "  ", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("verify-portfolio: %s passes (warm ECO >=%.1fx faster than cold, ratio cuts within %.0f%%, portfolio no worse than fixed IG-Match)\n",
+			*verifyPortfolio, bench.PortfolioWarmSpeedup, bench.PortfolioRatioTol*100)
+		return
+	}
+
+	if *portfolioReport != "" {
+		rep, err := bench.PortfolioReport(*portfolioReport, bench.PortfolioConfig{
+			Preset:      *portfolioPreset,
+			DeltaNets:   *deltaNets,
+			Parallelism: *par,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: portfolio-report:", err)
+			os.Exit(1)
+		}
+		path, err := rep.WriteFile(*resultsDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: portfolio-report:", err)
+			os.Exit(1)
+		}
+		c := rep.Circuits[0]
+		fmt.Printf("wrote %s (%s: %d modules, %d nets)\n", path, c.Name, c.Modules, c.Nets)
+		for _, run := range c.Runs {
+			fmt.Printf("  %-24s wall=%-14s ratio=%.6g cut=%d\n",
+				run.Alg, fmtNS(run.WallNS), run.RatioCut, run.Metrics.CutNets)
+		}
+		if violations := bench.VerifyPortfolioReport(rep); len(violations) > 0 {
+			fmt.Fprintln(os.Stderr, "experiments: fresh portfolio report fails its own gate:")
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "  ", v)
+			}
+			os.Exit(1)
+		}
 		return
 	}
 

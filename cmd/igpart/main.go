@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	igpart -in design.hgr [-algo igmatch|multilevel|igvote|eig1|rcut|kl|refined|condensed|multiway|kway|kway-spectral]
+//	igpart -in design.hgr [-algo igmatch|multilevel|portfolio|igvote|eig1|rcut|kl|refined|condensed|multiway|kway|kway-spectral]
 //	       [-levels 3] [-cratio 0.9] [-starts 10] [-seed 1] [-p 0] [-assign] [-stats]
 //	       [-k 4] [-eps 0.03] [-fix design.fix]
 //	       [-reorth auto|full|selective] [-matvec-p 0] [-candidates 0]
+//	       [-portfolio-budget 30s] [-portfolio-accept 0]
 //	       [-trace] [-metrics] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The input format is selected by extension: ".hgr" for the hMETIS-style
@@ -25,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"igpart"
 	"igpart/internal/fm"
@@ -36,7 +38,7 @@ func main() {
 		in     = flag.String("in", "", "input netlist path (.hgr or named format)")
 		nodes  = flag.String("nodes", "", "Bookshelf .nodes path (use with -nets instead of -in)")
 		nets   = flag.String("nets", "", "Bookshelf .nets path (use with -nodes instead of -in)")
-		algo   = flag.String("algo", "igmatch", "algorithm: igmatch, multilevel, igvote, eig1, rcut, kl, refined, condensed, multiway, kway, kway-spectral")
+		algo   = flag.String("algo", "igmatch", "algorithm: igmatch, multilevel, portfolio, igvote, eig1, rcut, kl, refined, condensed, multiway, kway, kway-spectral")
 		k      = flag.Int("k", 4, "part count for -algo multiway/kway/kway-spectral")
 		eps    = flag.Float64("eps", 0, "imbalance budget for -algo kway/kway-spectral: each part holds at most ceil((1+eps)*n/k) modules (0 = perfect balance)")
 		levels = flag.Int("levels", 3, "V-cycle depth for -algo multilevel (1 = flat igmatch)")
@@ -48,6 +50,8 @@ func main() {
 		matvecP    = flag.Int("matvec-p", 0, "eigensolver matvec workers (0 = auto, 1 = serial; results bit-identical)")
 		candidates = flag.Int("candidates", 0, "for -algo igmatch on huge netlists: complete only this many evenly spaced splits instead of the full sweep (0 = full sweep)")
 		seed       = flag.Int64("seed", 1, "seed for randomized algorithms")
+		budget     = flag.Duration("portfolio-budget", 0, "for -algo portfolio: race deadline; losers are cancelled and the best finished result wins (0 = wait for all)")
+		accept     = flag.Float64("portfolio-accept", 0, "for -algo portfolio: acceptance ratio-cut bound — the first contender at or under it wins immediately (0 = best of lineup)")
 		assign     = flag.Bool("assign", false, "print the per-module side assignment")
 		stats      = flag.Bool("stats", false, "print netlist statistics before partitioning")
 		fixIn      = flag.String("fix", "", "hMETIS .fix file pinning modules to sides; applied with FM refinement after the chosen algorithm")
@@ -163,6 +167,27 @@ func main() {
 		res = r.Result
 		fmt.Printf("levels=%d coarsest-nets=%d/%d coarsest-on-input=%v\n",
 			r.Levels, r.CoarsestNets, h.NumNets(), r.CoarsestOnInput)
+	case "portfolio":
+		r, err := igpart.Portfolio(h, igpart.PortfolioOptions{
+			Budget: *budget, Accept: *accept, Seed: *seed,
+			Parallelism: *par, Rec: rec,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		res = igpart.Result{Partition: r.Partition, Metrics: r.Metrics}
+		fmt.Printf("features: %s\n", r.Features)
+		for _, c := range r.Contenders {
+			status := "finished"
+			switch {
+			case c.Cancelled:
+				status = "cancelled"
+			case c.Err != nil:
+				status = "failed: " + c.Err.Error()
+			}
+			fmt.Printf("contender %-14s %-9s wall=%v ratio=%.6g\n", c.Alg, status, c.Wall.Round(time.Microsecond), c.Metrics.RatioCut)
+		}
+		fmt.Printf("winner=%s accepted=%v\n", r.Winner, r.Accepted)
 	case "igvote":
 		end := span("igvote")
 		res, err = igpart.IGVote(h)

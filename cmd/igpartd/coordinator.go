@@ -9,6 +9,9 @@
 //	                     address (202 + cluster job id)
 //	GET    /v1/jobs/{id} poll a cluster job; terminal jobs relay the
 //	                     backend's result verbatim
+//	PATCH  /v1/jobs/{id} submit an ECO delta against a finished cluster
+//	                     job; forwarded to the backend that solved the
+//	                     base (pinned — its cache holds the warm state)
 //	DELETE /v1/jobs/{id} cancel (propagated to the owning backend)
 //	POST   /v1/batches   submit many jobs in one request; the chunked
 //	                     NDJSON response streams one event per job
@@ -29,6 +32,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"time"
@@ -58,6 +62,7 @@ func newCoordServer(coord *cluster.Coordinator, dataDir string, maxBody int64) *
 	s := &coordServer{coord: coord, dataDir: dataDir, maxBody: maxBody, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("PATCH /v1/jobs/{id}", s.handlePatch)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/batches", s.handleBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleLive)
@@ -175,6 +180,45 @@ func (s *coordServer) decodeSubmit(w http.ResponseWriter, r *http.Request) (*sub
 		return nil, false
 	}
 	return &req, true
+}
+
+// handlePatch forwards an ECO delta to the backend that solved the
+// base cluster job. The body is relayed verbatim — the backend's
+// SubmitDelta does the delta validation, and its verdict maps back
+// onto the same status codes single-node clients see.
+func (s *coordServer) handlePatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	job, err := s.coord.SubmitDelta(r.Context(), r.PathValue("id"), body)
+	switch {
+	case errors.Is(err, cluster.ErrShutdown):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, cluster.ErrUnknownBase):
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	case errors.Is(err, cluster.ErrNotWarmStartable):
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	case cluster.IsNodeError(err):
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	writeJSON(w, http.StatusAccepted, coordSnapshotJSON(job.Snapshot()))
 }
 
 func (s *coordServer) handleGet(w http.ResponseWriter, r *http.Request) {

@@ -4,6 +4,8 @@
 //
 //	POST   /v1/jobs      submit a partitioning job (202 + job id)
 //	GET    /v1/jobs/{id} poll status; terminal jobs carry the result
+//	PATCH  /v1/jobs/{id} submit an ECO delta against a finished job
+//	                     (202 + new job id, warm-started from the cache)
 //	DELETE /v1/jobs/{id} request cooperative cancellation
 //	GET    /healthz      liveness probe (alias of /livez)
 //	GET    /livez        liveness probe: 200 while the process serves
@@ -57,6 +59,7 @@ func newServer(engine *service.Engine, cfg serverConfig) *server {
 	s := &server{engine: engine, cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("PATCH /v1/jobs/{id}", s.handlePatch)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleLive)
 	s.mux.HandleFunc("GET /livez", s.handleLive)
@@ -91,6 +94,18 @@ type submitRequest struct {
 	K   int             `json:"k,omitempty"`
 	Eps float64         `json:"eps,omitempty"`
 	Fix []igpart.FixPin `json:"fix,omitempty"`
+
+	// Portfolio options (algo "portfolio"): race budget and acceptance
+	// ratio-cut bound.
+	BudgetMS int64   `json:"budget_ms,omitempty"`
+	Accept   float64 `json:"accept,omitempty"`
+}
+
+// deltaRequest is the PATCH /v1/jobs/{id} payload: an ECO delta to
+// apply against the identified finished job.
+type deltaRequest struct {
+	Delta     *igpart.NetlistDelta `json:"delta"`
+	TimeoutMS int64                `json:"timeout_ms,omitempty"`
 }
 
 // bookshelfPair is an inline UCLA Bookshelf netlist.
@@ -124,6 +139,12 @@ type resultJSON struct {
 	BestRank     int     `json:"best_rank,omitempty"`
 	Levels       int     `json:"levels,omitempty"`
 	CoarsestNets int     `json:"coarsest_nets,omitempty"`
+	// Winner names the portfolio race's winning engine (algo
+	// "portfolio"); Warm and TouchedNets describe an ECO delta job's
+	// warm start.
+	Winner      string `json:"winner,omitempty"`
+	Warm        bool   `json:"warm,omitempty"`
+	TouchedNets int    `json:"touched_nets,omitempty"`
 	// Sides is per-module 0/1; an explicit int array rather than
 	// []igpart.Side, which (being a byte slice) would marshal as base64.
 	Sides []int `json:"sides,omitempty"`
@@ -176,6 +197,9 @@ func snapshotJSON(snap service.Snapshot) jobJSON {
 			BestRank:     res.BestRank,
 			Levels:       res.Levels,
 			CoarsestNets: res.CoarsestNets,
+			Winner:       res.Winner,
+			Warm:         res.Warm,
+			TouchedNets:  res.TouchedNets,
 			Sides:        sides,
 			K:            res.K,
 			Cap:          res.Cap,
@@ -268,6 +292,8 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			K:               req.K,
 			Eps:             req.Eps,
 			Fix:             req.Fix,
+			Budget:          time.Duration(req.BudgetMS) * time.Millisecond,
+			Accept:          req.Accept,
 			Timeout:         time.Duration(req.TimeoutMS) * time.Millisecond,
 		},
 	})
@@ -281,6 +307,52 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, service.ErrBadRequest):
 		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	writeJSON(w, http.StatusAccepted, snapshotJSON(job.Snapshot()))
+}
+
+// handlePatch submits an ECO delta against a finished job. The engine
+// warm-starts from the base result's cached net ordering; the response
+// is a brand-new job (202) polled like any other.
+func (s *server) handlePatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBody)
+	var req deltaRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Delta == nil {
+		httpError(w, http.StatusBadRequest, "request carries no delta")
+		return
+	}
+	job, err := s.engine.SubmitDelta(r.PathValue("id"), *req.Delta,
+		time.Duration(req.TimeoutMS)*time.Millisecond)
+	switch {
+	case errors.Is(err, service.ErrUnknownBase):
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	case errors.Is(err, service.ErrNotWarmStartable):
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	case errors.Is(err, service.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, service.ErrShutdown):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case err != nil:
 		httpError(w, http.StatusBadRequest, err.Error())

@@ -37,12 +37,14 @@ package igpart
 import (
 	"context"
 	"io"
+	"time"
 
 	"igpart/internal/anneal"
 	"igpart/internal/cluster"
 	"igpart/internal/core"
 	"igpart/internal/eigen"
 	"igpart/internal/fault"
+	"igpart/internal/features"
 	"igpart/internal/flow"
 	"igpart/internal/fm"
 	"igpart/internal/hypergraph"
@@ -56,6 +58,7 @@ import (
 	"igpart/internal/obs"
 	"igpart/internal/partition"
 	"igpart/internal/place"
+	"igpart/internal/portfolio"
 	"igpart/internal/refine"
 	"igpart/internal/spectral"
 )
@@ -387,6 +390,108 @@ func MultilevelIGMatch(h *Netlist, opts ...MultilevelOptions) (MultilevelResult,
 		CoarsestNets:    res.CoarsestNets,
 		CoarsestOnInput: res.CoarsestOnInput,
 	}, nil
+}
+
+// PortfolioOptions tunes Portfolio.
+type PortfolioOptions struct {
+	// Budget bounds the whole race; contenders still running when it
+	// expires are cancelled and the best finished result wins. 0 waits
+	// for every contender.
+	Budget time.Duration
+	// Accept, when positive, is the acceptance ratio-cut bound: the
+	// first contender finishing at or under it wins immediately and
+	// the rest are cancelled. Note this makes the winner depend on
+	// contender timing; leave it 0 for a deterministic best-of-lineup.
+	Accept float64
+	// Lineup overrides the feature-driven lineup with explicit
+	// contender names (PortfolioAlg* constants).
+	Lineup []string
+	// Parallelism bounds each contender's sweep shards.
+	Parallelism int
+	// Seed seeds the contenders' eigensolvers.
+	Seed int64
+	// Rec records one span per contender plus portfolio.* counters.
+	Rec Recorder
+	// Ctx cancels the whole race when it fires.
+	Ctx context.Context
+}
+
+// The portfolio contender names.
+const (
+	PortfolioAlgIGMatch    = portfolio.AlgIGMatch
+	PortfolioAlgMultilevel = portfolio.AlgMultilevel
+	PortfolioAlgEIG1       = portfolio.AlgEIG1
+	PortfolioAlgCandidates = portfolio.AlgCandidates
+)
+
+// PortfolioResult is the outcome of a portfolio race.
+type PortfolioResult = portfolio.Result
+
+// NetlistFeatures is the cheap structural feature vector (size, pin
+// density, distribution shape) driving portfolio lineup selection.
+type NetlistFeatures = features.Vector
+
+// ExtractFeatures computes the feature vector of h in one O(pins) walk.
+func ExtractFeatures(h *Netlist) NetlistFeatures { return features.Extract(h) }
+
+// Portfolio partitions h adaptively: it extracts the netlist's feature
+// vector, picks a starting lineup of engines suited to the instance
+// class ({IG-Match, ML-IGMatch, EIG1, candidate sweep}), and races them
+// under one budgeted context — first result under the acceptance bound
+// wins and cancels the losers, otherwise the best result standing at
+// the deadline wins.
+func Portfolio(h *Netlist, opts ...PortfolioOptions) (PortfolioResult, error) {
+	var o PortfolioOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return portfolio.Race(h, portfolio.Options{
+		Budget:      o.Budget,
+		Accept:      o.Accept,
+		Lineup:      o.Lineup,
+		Parallelism: o.Parallelism,
+		Seed:        o.Seed,
+		Rec:         o.Rec,
+		Ctx:         o.Ctx,
+	})
+}
+
+// NetlistDelta is an ECO (engineering change order) against a base
+// netlist: nets added or removed, pins added or removed on surviving
+// nets. Apply one incrementally with WarmStart, or PATCH it to a
+// running igpartd.
+type NetlistDelta = portfolio.Delta
+
+// DeltaPin names one (net, module) incidence in a NetlistDelta.
+type DeltaPin = portfolio.PinRef
+
+// WarmStartResult is the outcome of a WarmStart solve.
+type WarmStartResult = portfolio.WarmResult
+
+// WarmStart re-partitions a previously solved netlist after an ECO
+// delta, reusing the cached net ordering and best split from the base
+// IGMatch result: only a rank window around the carried-over winner is
+// swept (plus a sparse global probe) — no eigensolve at all. Deltas
+// perturbing more than a quarter of the nets fall back to a cold solve.
+// An empty delta reproduces the base result bit for bit.
+func WarmStart(h *Netlist, base IGMatchResult, d NetlistDelta, opts ...IGMatchOptions) (WarmStartResult, error) {
+	var o IGMatchOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return portfolio.WarmStart(h, base.NetOrder, base.BestRank, d, portfolio.WarmOptions{
+		Core: core.Options{
+			IG: netmodel.IGOptions{Scheme: o.Scheme, Threshold: o.Threshold},
+			Eigen: eigen.Options{
+				Seed: o.Seed, BlockSize: o.BlockSize,
+				ReorthMode: o.Reorth, MatvecWorkers: o.MatvecParallelism,
+			},
+			Parallelism: o.Parallelism,
+			Rec:         o.Rec,
+			Ctx:         o.Ctx,
+			Fault:       o.Fault,
+		},
+	})
 }
 
 // IGVote partitions h with the Hagen–Kahng IG-Vote heuristic (the EIG1-IG

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"igpart/internal/obs"
+)
+
+// syntheticPortfolio fabricates a report shaped like
+// results/BENCH_portfolio.json.
+func syntheticPortfolio(raceRatio, fixedRatio float64, warmNS, coldNS int64, warmRatio, coldRatio float64, warmStarts int64) *RunReport {
+	return &RunReport{
+		Name: "portfolio",
+		Circuits: []CircuitReport{{
+			Name: "scale10k",
+			Nets: 10_000,
+			Runs: []AlgRun{
+				{Alg: AlgPortfolioRace, WallNS: 3e9, RatioCut: raceRatio},
+				{Alg: AlgPortfolioFixed, WallNS: 9e9, RatioCut: fixedRatio},
+				{Alg: AlgECOWarm, WallNS: warmNS, RatioCut: warmRatio},
+				{Alg: AlgECOCold, WallNS: coldNS, RatioCut: coldRatio},
+			},
+		}},
+		Metrics: obs.MetricsSnapshot{Counters: map[string]int64{"portfolio.warm_start": warmStarts}},
+	}
+}
+
+func TestVerifyPortfolioReportGate(t *testing.T) {
+	ok := syntheticPortfolio(2e-5, 2e-5, 1e9, 4e9, 2.00e-5, 2.01e-5, 1)
+	if v := VerifyPortfolioReport(ok); len(v) != 0 {
+		t.Fatalf("clean report flagged: %v", v)
+	}
+
+	cases := []struct {
+		name string
+		r    *RunReport
+		want string
+	}{
+		{"warm-too-slow", syntheticPortfolio(2e-5, 2e-5, 2e9, 4e9, 2e-5, 2e-5, 1), "speedup"},
+		{"eco-ratio-drift", syntheticPortfolio(2e-5, 2e-5, 1e9, 4e9, 2.3e-5, 2.0e-5, 1), "ratio cuts diverge"},
+		{"no-warm-starts", syntheticPortfolio(2e-5, 2e-5, 1e9, 4e9, 2e-5, 2e-5, 0), "warm_start"},
+		{"race-loses", syntheticPortfolio(2.3e-5, 2.0e-5, 1e9, 4e9, 2e-5, 2e-5, 1), "loses to fixed"},
+		{"missing-runs", &RunReport{Name: "portfolio"}, "no circuit"},
+	}
+	for _, tc := range cases {
+		v := VerifyPortfolioReport(tc.r)
+		found := false
+		for _, msg := range v {
+			if strings.Contains(msg, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: violations %v do not mention %q", tc.name, v, tc.want)
+		}
+	}
+}
+
+// TestPortfolioReportSmoke runs the real pipeline on a small preset:
+// all four rows complete, the ECO delta warm-starts, and the warm-start
+// counter lands in the report's metrics snapshot (the 3x speedup gate
+// itself is only meaningful at the checked-in report's scale).
+func TestPortfolioReportSmoke(t *testing.T) {
+	rep, err := PortfolioReport("portfolio-smoke", PortfolioConfig{Preset: "Prim1", DeltaNets: 5})
+	if err != nil {
+		t.Fatalf("PortfolioReport: %v", err)
+	}
+	c, runs := findPortfolioRuns(rep)
+	if c == nil {
+		t.Fatal("report lacks the four portfolio/ECO rows")
+	}
+	for _, alg := range []string{AlgPortfolioRace, AlgPortfolioFixed, AlgECOWarm, AlgECOCold} {
+		run := runs[alg]
+		if run.WallNS <= 0 {
+			t.Errorf("%s: wall time not recorded", alg)
+		}
+		if run.Metrics.SizeU <= 0 || run.Metrics.SizeW <= 0 {
+			t.Errorf("%s: degenerate bipartition %d:%d", alg, run.Metrics.SizeU, run.Metrics.SizeW)
+		}
+	}
+	if rep.Metrics.Counters["portfolio.warm_start"] != 1 {
+		t.Fatalf("warm_start counter = %d, want 1 (counters %v)",
+			rep.Metrics.Counters["portfolio.warm_start"], rep.Metrics.Counters)
+	}
+	// Portfolio's winner is the best of a lineup that includes IG-Match,
+	// so with Accept=0 it can never be worse than the fixed row.
+	if runs[AlgPortfolioRace].RatioCut > runs[AlgPortfolioFixed].RatioCut {
+		t.Fatalf("portfolio ratio %.9g worse than fixed IG-Match %.9g",
+			runs[AlgPortfolioRace].RatioCut, runs[AlgPortfolioFixed].RatioCut)
+	}
+}

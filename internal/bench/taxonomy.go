@@ -8,6 +8,7 @@ import (
 
 	"igpart/internal/anneal"
 	"igpart/internal/core"
+	"igpart/internal/features"
 	"igpart/internal/flow"
 	"igpart/internal/fm"
 	"igpart/internal/kl"
@@ -19,12 +20,17 @@ import (
 // spectral-on-the-dual (IG-Match), iterative greedy (FM ratio cut and KL),
 // stochastic (simulated annealing), and exact min-cut via max-flow.
 type TaxonomyRow struct {
-	Name    string
-	IGMatch partition.Metrics
-	RCut    partition.Metrics
-	KL      partition.Metrics
-	Anneal  partition.Metrics
-	MinCut  partition.Metrics
+	Name string
+	// Features is the instance's structural feature vector — the same
+	// one the portfolio lineup heuristic consumes, extracted by the
+	// shared internal/features package so bench and serving can never
+	// drift on feature definitions.
+	Features features.Vector
+	IGMatch  partition.Metrics
+	RCut     partition.Metrics
+	KL       partition.Metrics
+	Anneal   partition.Metrics
+	MinCut   partition.Metrics
 	// MinCutSmallSide records how unevenly the flow min cut divides the
 	// circuit (Section 1.1's criticism of the formulation).
 	MinCutSmallSide int
@@ -41,7 +47,7 @@ func (s Suite) TaxonomyTable() ([]TaxonomyRow, error) {
 	rows := make([]TaxonomyRow, len(hs))
 	for i, h := range hs {
 		t0 := time.Now()
-		row := TaxonomyRow{Name: cfgs[i].Name}
+		row := TaxonomyRow{Name: cfgs[i].Name, Features: features.Extract(h)}
 
 		ig, err := core.Partition(h, core.Options{})
 		if err != nil {
@@ -88,10 +94,11 @@ func FormatTaxonomy(rows []TaxonomyRow) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Taxonomy (Section 1.1): one representative per approach class (ratio cut; min-cut column also shows cut/small-side)")
 	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "Test\tIG-Match\tRCut(FM)\tKL\tAnneal\tMinCut(flow)\tcut/small\t")
+	fmt.Fprintln(w, "Test\tclass\tdensity\tIG-Match\tRCut(FM)\tKL\tAnneal\tMinCut(flow)\tcut/small\t")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%d/%d\t\n",
-			r.Name, ratioStr(r.IGMatch.RatioCut), ratioStr(r.RCut.RatioCut),
+		fmt.Fprintf(w, "%s\t%s\t%.4f\t%s\t%s\t%s\t%s\t%s\t%d/%d\t\n",
+			r.Name, r.Features.Class, r.Features.PinDensity,
+			ratioStr(r.IGMatch.RatioCut), ratioStr(r.RCut.RatioCut),
 			ratioStr(r.KL.RatioCut), ratioStr(r.Anneal.RatioCut),
 			ratioStr(r.MinCut.RatioCut), r.MinCut.CutNets, r.MinCutSmallSide)
 	}

@@ -70,6 +70,11 @@ func isNodeError(err error) bool {
 	return errors.As(err, &ne)
 }
 
+// IsNodeError reports whether err is a backend node-level failure
+// (connection refused, 5xx, 429, lost job) rather than a request-level
+// rejection — the HTTP layer maps these to 502.
+func IsNodeError(err error) bool { return isNodeError(err) }
+
 // backendJob is the slice of a backend's job JSON the coordinator
 // reads; the result payload is relayed opaquely.
 type backendJob struct {
@@ -171,6 +176,32 @@ func (c *client) submit(ctx context.Context, body []byte) (string, error) {
 		return "", &nodeError{backend: c.b.Name, err: fmt.Errorf("unparseable submit response %q", out)}
 	}
 	return bj.ID, nil
+}
+
+// patch submits an ECO delta against a backend job and returns the new
+// backend job ID. Unlike submit there is no failover retry semantics
+// at the call site: the warm-start cache entry lives only on the node
+// that solved the base job, so the delta is pinned there and a node
+// failure fails the delta (the caller re-PATCHes). The HTTP status is
+// returned so the coordinator can classify 404/409 rejections.
+func (c *client) patch(ctx context.Context, id string, body []byte) (string, int, error) {
+	status, out, err := c.do(ctx, http.MethodPatch, "/v1/jobs/"+id, body)
+	if err != nil {
+		return "", status, err
+	}
+	switch status {
+	case http.StatusAccepted:
+		var bj backendJob
+		if err := json.Unmarshal(out, &bj); err != nil || bj.ID == "" {
+			return "", status, &nodeError{backend: c.b.Name, err: fmt.Errorf("unparseable patch response %q", out)}
+		}
+		return bj.ID, status, nil
+	case http.StatusTooManyRequests:
+		return "", status, &nodeError{backend: c.b.Name, err: errors.New("queue full (429)")}
+	default:
+		return "", status, fmt.Errorf("cluster: backend %s rejected delta: %d: %s",
+			c.b.Name, status, strings.TrimSpace(string(out)))
+	}
 }
 
 // poll fetches the backend's view of a job. A 404 means the backend

@@ -38,6 +38,12 @@ var (
 	ErrShutdown = errors.New("cluster: coordinator shutting down")
 	// ErrCancelled is the cancel cause of a user-requested Cancel.
 	ErrCancelled = errors.New("cluster: job cancelled")
+	// ErrUnknownBase rejects a delta naming a cluster job the
+	// coordinator does not track.
+	ErrUnknownBase = errors.New("cluster: unknown base job")
+	// ErrNotWarmStartable rejects a delta whose base job cannot seed a
+	// warm start on its backend: not done, or the backend lost it.
+	ErrNotWarmStartable = errors.New("cluster: base job not warm-startable")
 	// errAborted is the internal cancel cause of a crash-style abort
 	// (drain deadline expired): runners exit without journaling a
 	// completion, leaving their jobs for the next boot's replay.
@@ -153,6 +159,11 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelCauseFunc
 	done   chan struct{}
+
+	// ephemeral jobs (ECO deltas) are never journaled: their warm-start
+	// state is node-local and cannot be re-pinned by a fresh boot, so
+	// finish() skips the completion record too.
+	ephemeral bool
 
 	mu         sync.Mutex
 	state      string
@@ -360,6 +371,110 @@ func (c *Coordinator) submit(batch, key string, body json.RawMessage) (*Job, err
 		return nil, err
 	}
 	return c.start(id, batch, key, body), nil
+}
+
+// SubmitDelta routes an ECO delta to the backend holding the base
+// job's warm-start state. Routing is pinned, not ring-hashed: the base
+// result's cached net ordering lives only in the engine cache of the
+// node that solved it, so the delta must land there and a dead node
+// fails the delta instead of failing over (the caller re-submits the
+// base elsewhere and re-PATCHes). The backend call happens
+// synchronously so its 400/404/409 verdicts relay to the caller; the
+// returned job then polls to completion like any other. Delta jobs are
+// ephemeral — never journaled — because a restarted coordinator could
+// not re-pin them.
+func (c *Coordinator) SubmitDelta(ctx context.Context, baseID string, body json.RawMessage) (*Job, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	base, ok := c.jobs[baseID]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownBase, baseID)
+	}
+	snap := base.Snapshot()
+	if snap.State != StateDone || snap.Backend == "" || snap.BackendJob == "" {
+		return nil, fmt.Errorf("%w: job %s is %s", ErrNotWarmStartable, baseID, snap.State)
+	}
+	cl, ok := c.clients[snap.Backend]
+	if !ok {
+		return nil, fmt.Errorf("%w: backend %s left the fleet", ErrNotWarmStartable, snap.Backend)
+	}
+	bid, status, err := cl.patch(ctx, snap.BackendJob, body)
+	switch {
+	case err != nil && (status == http.StatusNotFound || status == http.StatusConflict):
+		// The backend no longer holds (or cannot warm-start from) the
+		// base job — typically it restarted and lost its registry.
+		return nil, fmt.Errorf("%w: %v", ErrNotWarmStartable, err)
+	case err != nil:
+		return nil, err
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		// Accepted on the backend but the coordinator is going away; the
+		// backend still runs it, we just cannot track it.
+		return nil, ErrShutdown
+	}
+	c.nextID++
+	id := fmt.Sprintf("cjob-%d", c.nextID)
+	c.mu.Unlock()
+
+	jctx, cancel := context.WithCancelCause(c.ctx)
+	j := &Job{
+		id:        id,
+		key:       snap.ID, // lineage, not a ring key: deltas never route
+		body:      body,
+		ephemeral: true,
+		ctx:       jctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateRunning,
+		submitted: time.Now(),
+	}
+	j.backend = snap.Backend
+	j.backendJob = bid
+	j.attempts = 1
+	c.mu.Lock()
+	c.jobs[id] = j
+	c.pruneFinishedLocked()
+	c.mu.Unlock()
+	c.reg.Counter("cluster.deltas_submitted").Add(1)
+	c.wg.Add(1)
+	go c.runPinned(j, cl)
+	return j, nil
+}
+
+// runPinned drives a delta job already accepted by its pinned backend:
+// poll to terminal, no failover.
+func (c *Coordinator) runPinned(j *Job, cl *client) {
+	defer c.wg.Done()
+	select {
+	case c.sem <- struct{}{}:
+	case <-j.ctx.Done():
+		c.finishAborted(j)
+		return
+	}
+	defer func() {
+		<-c.sem
+		c.reg.Gauge("cluster.jobs_inflight").Set(float64(len(c.sem)))
+	}()
+	c.reg.Gauge("cluster.jobs_inflight").Set(float64(len(c.sem)))
+
+	bj, err := c.pollUntilTerminal(j, cl, j.backendJob)
+	switch {
+	case err != nil && j.ctx.Err() != nil:
+		c.cancelBackend(cl, j.backendJob)
+		c.finishAborted(j)
+	case err != nil:
+		c.finish(j, StateFailed, nil,
+			fmt.Errorf("cluster: pinned backend %s lost the delta job: %w", cl.b.Name, err))
+	default:
+		c.finish(j, bj.State, bj, nil)
+	}
 }
 
 // start registers and dispatches a job (newly accepted or replayed).
@@ -595,7 +710,7 @@ func (c *Coordinator) finish(j *Job, state string, bj *backendJob, err error) {
 	}
 	j.finished = time.Now()
 	j.mu.Unlock()
-	if jerr := c.journal.Complete(j.id, state); jerr != nil {
+	if jerr := c.completeJournal(j, state); jerr != nil {
 		// A completion that could not be journaled means the job will be
 		// re-run on the next boot — wasteful (the backend cache usually
 		// absorbs it) but never wrong.
@@ -611,6 +726,16 @@ func (c *Coordinator) finish(j *Job, state string, bj *backendJob, err error) {
 	}
 	c.recordFinished(j)
 	close(j.done)
+}
+
+// completeJournal writes the job's completion record; ephemeral jobs
+// (deltas) were never accepted in the journal, so completing them
+// would strand a done-without-accept record for nothing.
+func (c *Coordinator) completeJournal(j *Job, state string) error {
+	if j.ephemeral {
+		return nil
+	}
+	return c.journal.Complete(j.id, state)
 }
 
 // finishAborted resolves a job whose context died, by cause: a user

@@ -8,15 +8,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 )
 
-// Record is one journal line. Two kinds exist:
+// Record is one journal line. Three kinds exist:
 //
 //   - accept: the coordinator took responsibility for a job — the full
 //     forwarded request body and routing key are stored, so the job can
 //     be resubmitted from the journal alone;
-//   - done: the job reached a terminal state (done/failed/cancelled).
+//   - done: the job reached a terminal state (done/failed/cancelled);
+//   - mark: a compaction watermark. Boot-time compaction drops
+//     accept/done pairs, which would otherwise regress the ID counter
+//     Recover derives from the highest ID seen; the mark pins that
+//     high-water ID in the compacted file. Unfinished ignores marks.
 //
 // A job that has an accept but no done record is unfinished: a
 // coordinator crash happened between accepting and completing it, and
@@ -25,7 +31,7 @@ import (
 // function of the request and the backends' content-addressed caches
 // usually turn the re-run into a hit.
 type Record struct {
-	T     string          `json:"t"` // "accept" | "done"
+	T     string          `json:"t"` // "accept" | "done" | "mark"
 	Job   string          `json:"job"`
 	Batch string          `json:"batch,omitempty"`
 	Key   string          `json:"key,omitempty"`
@@ -52,6 +58,14 @@ type Journal struct {
 // the file is O_APPEND — without it the first post-recovery append
 // would concatenate onto the partial line, corrupting the journal for
 // the boot after this one.
+//
+// The journal is then compacted: completed accept/done pairs are
+// dropped (their request bodies dominate the file's size and replay
+// never reads them), keeping only a mark record pinning the high-water
+// job ID plus the unfinished accepts. The rewrite is atomic — tmp
+// file, fsync, rename — so a crash mid-compaction leaves the old
+// journal intact; the returned records are the compacted set, which
+// yields the same Unfinished replay set as the original.
 func OpenJournal(path string) (*Journal, []Record, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
@@ -104,7 +118,95 @@ func OpenJournal(path string) (*Journal, []Record, error) {
 			return nil, nil, fmt.Errorf("cluster: truncate torn journal tail: %w", terr)
 		}
 	}
+
+	kept := compactRecords(recs)
+	if len(kept) < len(recs) {
+		if err := rewriteJournal(path, kept); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		// The open handle still points at the renamed-over inode; reopen
+		// so appends land in the compacted file.
+		f.Close()
+		f, err = os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: reopen compacted journal: %w", err)
+		}
+		recs = kept
+	}
 	return &Journal{f: f}, recs, nil
+}
+
+// compactRecords reduces a replayed record set to what future boots
+// need: a mark pinning the high-water job/batch ID (so dropping
+// completed jobs cannot regress Recover's ID counter) plus the
+// unfinished accepts in order. Returns the input-sized slice when
+// compaction would not shrink the file.
+func compactRecords(recs []Record) []Record {
+	maxID := int64(0)
+	for _, r := range recs {
+		for _, id := range []string{r.Job, r.Batch} {
+			if i := strings.LastIndexByte(id, '-'); i >= 0 {
+				if n, err := strconv.ParseInt(id[i+1:], 10, 64); err == nil && n > maxID {
+					maxID = n
+				}
+			}
+		}
+	}
+	unfinished := Unfinished(recs)
+	kept := make([]Record, 0, len(unfinished)+1)
+	if maxID > 0 {
+		kept = append(kept, Record{T: "mark", Job: fmt.Sprintf("cjob-%d", maxID)})
+	}
+	kept = append(kept, unfinished...)
+	if len(kept) >= len(recs) {
+		return recs
+	}
+	return kept
+}
+
+// rewriteJournal atomically replaces the journal at path with the
+// given records: write a sibling tmp file, fsync it, rename over.
+func rewriteJournal(path string, recs []Record) error {
+	tmp := path + ".compact.tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: create compaction tmp: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	for _, r := range recs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("cluster: marshal compacted record: %w", err)
+		}
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("cluster: write compacted journal: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: flush compacted journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: fsync compacted journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: close compacted journal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: swap compacted journal: %w", err)
+	}
+	return nil
 }
 
 // append writes one record and fsyncs before returning.

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -34,8 +36,10 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j2.Close()
-	if len(recs) != 4 {
-		t.Fatalf("replayed %d records, want 4", len(recs))
+	// Boot-time compaction drops the completed cjob-2 pair, leaving the
+	// high-water mark plus the two unfinished accepts.
+	if len(recs) != 3 || recs[0].T != "mark" || recs[0].Job != "cjob-3" {
+		t.Fatalf("replayed %+v, want mark(cjob-3) + 2 accepts", recs)
 	}
 	un := Unfinished(recs)
 	if len(un) != 2 || un[0].Job != "cjob-1" || un[1].Job != "cjob-3" {
@@ -94,8 +98,9 @@ func TestJournalTornTail(t *testing.T) {
 		t.Fatalf("journal corrupted by post-recovery append: %v", err)
 	}
 	defer j3.Close()
-	if len(recs) != 2 || recs[1].T != "done" || recs[1].Job != "cjob-1" {
-		t.Fatalf("after recovery+append replayed %+v, want accept then done", recs)
+	// The completed pair compacts away; only the high-water mark remains.
+	if len(recs) != 1 || recs[0].T != "mark" || recs[0].Job != "cjob-1" {
+		t.Fatalf("after recovery+append replayed %+v, want just mark(cjob-1)", recs)
 	}
 	if un := Unfinished(recs); len(un) != 0 {
 		t.Fatalf("completed job still unfinished: %+v", un)
@@ -160,6 +165,153 @@ func TestJournalRejectsMidFileCorruption(t *testing.T) {
 	if _, _, err := OpenJournal(path); err == nil {
 		t.Fatal("mid-file corruption accepted")
 	}
+}
+
+// Boot-time compaction must preserve the journal's two observable
+// contracts: the Unfinished replay set is identical to the original's,
+// and the high-water ID Recover derives (so fresh IDs never collide
+// with completed jobs dropped from the file) survives via the mark.
+func TestJournalCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := json.RawMessage(`{"nets":5}`)
+	for _, id := range []string{"cjob-1", "cjob-2", "cjob-3", "cjob-4", "cjob-5"} {
+		if err := j.Accept(id, "batch-1", "key-"+id, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Complete all but cjob-2 and cjob-4; note cjob-5 — the high-water
+	// ID — is among the completed, so without the mark a recovered
+	// coordinator would mint cjob-5 again.
+	for _, id := range []string{"cjob-1", "cjob-3", "cjob-5"} {
+		if err := j.Complete(id, StateDone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUnfinished := Unfinished(mustParseJournal(t, before))
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compacted: mark + the 2 unfinished accepts, nothing else.
+	if len(recs) != 3 || recs[0].T != "mark" || recs[0].Job != "cjob-5" {
+		t.Fatalf("compacted set = %+v, want mark(cjob-5) + 2 accepts", recs)
+	}
+	got := Unfinished(recs)
+	if len(got) != len(wantUnfinished) {
+		t.Fatalf("unfinished set changed: got %+v, want %+v", got, wantUnfinished)
+	}
+	for i := range got {
+		if got[i].Job != wantUnfinished[i].Job || got[i].Key != wantUnfinished[i].Key ||
+			got[i].Batch != wantUnfinished[i].Batch || string(got[i].Body) != string(wantUnfinished[i].Body) {
+			t.Fatalf("unfinished[%d] = %+v, want %+v", i, got[i], wantUnfinished[i])
+		}
+	}
+	// The on-disk file shrank and is itself a valid journal: appends go
+	// to the compacted file and a further boot replays them.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(before) {
+		t.Fatalf("compaction did not shrink the file: %d -> %d bytes", len(before), len(after))
+	}
+	if err := j2.Complete("cjob-2", StateDone); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("compacted journal unreadable: %v", err)
+	}
+	defer j3.Close()
+	if un := Unfinished(recs); len(un) != 1 || un[0].Job != "cjob-4" {
+		t.Fatalf("after append+reboot unfinished = %+v, want just cjob-4", un)
+	}
+	// A Coordinator recovering from the compacted journal must not
+	// regress its ID counter below the dropped completed jobs.
+	c, err := New(Config{Backends: []Backend{{Name: "b0", URL: "http://127.0.0.1:1"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown(context.Background())
+	c.Recover(recs)
+	c.mu.Lock()
+	next := c.nextID
+	c.mu.Unlock()
+	if next < 5 {
+		t.Fatalf("recovered nextID = %d, want >= 5 (mark must pin the high-water ID)", next)
+	}
+}
+
+// An already-compacted journal is not rewritten again on the next
+// boot — the rewrite only fires when it shrinks the record set.
+func TestJournalCompactionIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept("cjob-1", "", "k", json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept("cjob-2", "", "k", json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Complete("cjob-1", StateDone); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, _, err := OpenJournal(path) // compacts: mark + accept(cjob-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	st1, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+	st2, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Size() != st2.Size() {
+		t.Fatalf("second boot rewrote a stable journal: %d -> %d bytes", st1.Size(), st2.Size())
+	}
+	if len(recs) != 2 || recs[0].T != "mark" || recs[1].Job != "cjob-2" {
+		t.Fatalf("stable journal replayed %+v, want mark + accept(cjob-2)", recs)
+	}
+}
+
+func mustParseJournal(t *testing.T, raw []byte) []Record {
+	t.Helper()
+	var recs []Record
+	for _, line := range bytes.Split(raw, []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("unparseable journal line %q: %v", line, err)
+		}
+		recs = append(recs, r)
+	}
+	return recs
 }
 
 // Appends after Close are dropped, not crashed on — the shutdown path

@@ -88,6 +88,16 @@ type Options struct {
 	// production default — imposes nothing and keeps the sweep
 	// bit-identical to the paper engine. See constrained.go.
 	Balance *Balance
+	// SweepLo and SweepHi, when SweepHi > 0, restrict the sweep to the
+	// 1-based rank window [SweepLo, SweepHi] (intersected with whatever
+	// window a Balance budget already imposes). The caller asserts that
+	// the globally best split lies inside the window: a warm start from
+	// a previous run on a perturbed netlist sweeps only ranks near the
+	// previous winner instead of all m−1 splits. Because the shard
+	// reduction keeps the earliest best split, a window that contains
+	// the full-sweep winner reproduces the full sweep's result exactly.
+	// Zero values (the default) sweep everything.
+	SweepLo, SweepHi int
 	// FixedSides, when non-nil, pins modules before the sweep:
 	// FixedSides[v] = 0 pins module v to side U, 1 pins it to side W,
 	// and −1 leaves it free. A pinned module pre-assigns its nets'
@@ -295,6 +305,20 @@ func sweep(h *hypergraph.Hypergraph, order []int, opts Options) (Result, error) 
 	loRank, hiRank := 1, nSplits
 	if cons != nil {
 		loRank, hiRank = balanceRankWindow(cons.bal, h.NumModules(), nSplits)
+	}
+	// An explicit sweep window (warm starts) intersects the balance
+	// window; clamp to the valid rank range so callers can center a
+	// window near the ends without bounds bookkeeping.
+	if opts.SweepHi > 0 {
+		if opts.SweepLo > loRank {
+			loRank = opts.SweepLo
+		}
+		if opts.SweepHi < hiRank {
+			hiRank = opts.SweepHi
+		}
+		if loRank > hiRank {
+			return Result{}, fmt.Errorf("core: empty sweep window [%d,%d]", loRank, hiRank)
+		}
 	}
 
 	sw := rec.StartSpan("sweep")

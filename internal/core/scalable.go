@@ -57,6 +57,19 @@ func PartitionCandidates(h *hypergraph.Hypergraph, candidates int, opts Options)
 	return res, nil
 }
 
+// PartitionCandidatesWithOrder runs the candidate sweep over an
+// externally supplied net ordering, the evenly-spaced counterpart of
+// PartitionWithOrder. Warm starts use it as a cheap global probe: a
+// dense window around the previous best rank can miss an optimum the
+// perturbation relocated, and a few dozen spaced completions over the
+// whole ordering catch that at O(candidates·(m+e)) cost.
+func PartitionCandidatesWithOrder(h *hypergraph.Hypergraph, order []int, candidates int, opts Options) (Result, error) {
+	if len(order) != h.NumNets() {
+		return Result{}, fmt.Errorf("core: order has %d entries, want %d", len(order), h.NumNets())
+	}
+	return candidateSweep(h, order, candidates, opts)
+}
+
 // candidateRanks returns the evenly spaced, strictly ascending rank set
 // probed over 1..nSplits.
 func candidateRanks(candidates, nSplits int) []int {

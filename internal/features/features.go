@@ -1,0 +1,148 @@
+// Package features extracts the cheap structural feature vector of a
+// netlist that drives per-instance algorithm choice: size, pin density,
+// and the net-size / module-degree distribution shape from Section 2 of
+// the paper. The same vector feeds the bench taxonomy table and the
+// portfolio lineup heuristic, so the two can never drift on feature
+// definitions.
+//
+// Extraction is one O(pins) walk (it reuses hypergraph.ComputeStats)
+// and is deterministic: equal netlists always yield equal vectors.
+package features
+
+import (
+	"fmt"
+	"sort"
+
+	"igpart/internal/hypergraph"
+)
+
+// Class buckets a netlist by the structure that matters for choosing a
+// partitioning strategy. The thresholds live in Classify.
+type Class string
+
+const (
+	// ClassTiny: small enough that every engine finishes instantly;
+	// racing direct engines costs nothing and spectral quality wins.
+	ClassTiny Class = "tiny"
+	// ClassSparse: moderate size, bounded net sizes, low pin density —
+	// the flat IG-Match sweep is affordable and usually best.
+	ClassSparse Class = "sparse"
+	// ClassDense: large nets relative to the module count (high pin
+	// density); the intersection graph is heavy, so module-side
+	// spectral (EIG1) and coarsened engines pull ahead.
+	ClassDense Class = "dense"
+	// ClassLarge: enough nets that the full O(m·(m+e)) sweep is the
+	// bottleneck; multilevel and candidate-sweep variants are the
+	// only engines that stay fast.
+	ClassLarge Class = "large"
+)
+
+// Vector is the feature vector of one netlist.
+type Vector struct {
+	Modules int `json:"modules"`
+	Nets    int `json:"nets"`
+	Pins    int `json:"pins"`
+
+	// AvgNetSize and MaxNetSize summarize the net-size distribution;
+	// P90NetSize is the smallest size covering 90% of nets (their
+	// count, not their pins).
+	AvgNetSize float64 `json:"avg_net_size"`
+	MaxNetSize int     `json:"max_net_size"`
+	P90NetSize int     `json:"p90_net_size"`
+
+	// AvgDegree and MaxDegree summarize the module-degree
+	// distribution (nets per module).
+	AvgDegree float64 `json:"avg_degree"`
+	MaxDegree int     `json:"max_degree"`
+
+	// PinDensity is pins / (modules · nets) — the fill ratio of the
+	// module-net incidence matrix. Dense instances make the
+	// intersection graph quadratic-ish and favor module-side engines.
+	PinDensity float64 `json:"pin_density"`
+
+	// Class is the lineup bucket Classify derived from the fields
+	// above.
+	Class Class `json:"class"`
+}
+
+// Classification thresholds. Exported so the portfolio lineup, the bench
+// taxonomy table, and tests agree on the exact boundaries.
+const (
+	// TinyNets: at or below this many nets everything is instant.
+	TinyNets = 256
+	// LargeNets: above this many nets the full sweep dominates wall
+	// time and coarsening/candidate engines take over.
+	LargeNets = 4096
+	// DensePinDensity: above this fill ratio the instance counts as
+	// dense regardless of size.
+	DensePinDensity = 0.05
+	// DenseAvgNetSizeFrac: an average net spanning more than this
+	// fraction of all modules also counts as dense.
+	DenseAvgNetSizeFrac = 0.25
+)
+
+// Extract walks h once and returns its feature vector, classified.
+func Extract(h *hypergraph.Hypergraph) Vector {
+	st := hypergraph.ComputeStats(h)
+	v := Vector{
+		Modules:    st.Modules,
+		Nets:       st.Nets,
+		Pins:       st.Pins,
+		AvgNetSize: st.AvgNetSize,
+		MaxNetSize: st.MaxNetSize,
+		AvgDegree:  st.AvgDegree,
+		MaxDegree:  st.MaxDegree,
+		P90NetSize: quantileFromHist(st.NetSizeHist, st.Nets, 0.90),
+	}
+	if st.Modules > 0 && st.Nets > 0 {
+		v.PinDensity = float64(st.Pins) / (float64(st.Modules) * float64(st.Nets))
+	}
+	v.Class = v.classify()
+	return v
+}
+
+// classify buckets the vector; see the Class constants for intent.
+func (v Vector) classify() Class {
+	dense := v.PinDensity > DensePinDensity ||
+		(v.Modules > 0 && v.AvgNetSize > DenseAvgNetSizeFrac*float64(v.Modules))
+	switch {
+	case v.Nets <= TinyNets:
+		return ClassTiny
+	case v.Nets > LargeNets:
+		return ClassLarge
+	case dense:
+		return ClassDense
+	default:
+		return ClassSparse
+	}
+}
+
+// quantileFromHist returns the smallest key k of hist such that the
+// cumulative count through k reaches q·total. Zero when the histogram is
+// empty.
+func quantileFromHist(hist map[int]int, total int, q float64) int {
+	if total <= 0 || len(hist) == 0 {
+		return 0
+	}
+	keys := make([]int, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	need := q * float64(total)
+	cum := 0
+	for _, k := range keys {
+		cum += hist[k]
+		if float64(cum) >= need {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// String renders the vector for log lines and tables.
+func (v Vector) String() string {
+	return fmt.Sprintf("class=%s nets=%d modules=%d pins=%d density=%.4f netsize[avg=%.2f p90=%d max=%d] degree[avg=%.2f max=%d]",
+		v.Class, v.Nets, v.Modules, v.Pins, v.PinDensity,
+		v.AvgNetSize, v.P90NetSize, v.MaxNetSize, v.AvgDegree, v.MaxDegree)
+}

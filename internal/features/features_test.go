@@ -1,0 +1,111 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+
+	"igpart/internal/hypergraph"
+)
+
+// chain builds a path-like netlist: n 2-pin nets over n+1 modules.
+func chain(n int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNet(i, i+1)
+	}
+	return b.Build()
+}
+
+func TestExtractBasics(t *testing.T) {
+	h := chain(10)
+	v := Extract(h)
+	if v.Nets != 10 || v.Modules != 11 || v.Pins != 20 {
+		t.Fatalf("counts: %+v", v)
+	}
+	if v.AvgNetSize != 2 || v.MaxNetSize != 2 || v.P90NetSize != 2 {
+		t.Fatalf("net sizes: %+v", v)
+	}
+	if v.MaxDegree != 2 {
+		t.Fatalf("max degree: %+v", v)
+	}
+	wantDensity := 20.0 / (11.0 * 10.0)
+	if v.PinDensity != wantDensity {
+		t.Fatalf("pin density %g, want %g", v.PinDensity, wantDensity)
+	}
+	if v.Class != ClassTiny {
+		t.Fatalf("class %q, want tiny", v.Class)
+	}
+}
+
+func TestClassifyBuckets(t *testing.T) {
+	cases := []struct {
+		name string
+		v    Vector
+		want Class
+	}{
+		{"tiny", Vector{Nets: TinyNets, Modules: 100}, ClassTiny},
+		{"sparse", Vector{Nets: 1000, Modules: 1000, AvgNetSize: 3, PinDensity: 0.003}, ClassSparse},
+		{"large", Vector{Nets: LargeNets + 1, Modules: 4000}, ClassLarge},
+		{"dense-by-density", Vector{Nets: 1000, Modules: 50, PinDensity: 0.2}, ClassDense},
+		{"dense-by-netsize", Vector{Nets: 1000, Modules: 40, AvgNetSize: 20}, ClassDense},
+	}
+	for _, c := range cases {
+		if got := c.v.classify(); got != c.want {
+			t.Errorf("%s: classify = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestP90Quantile(t *testing.T) {
+	// 9 nets of size 2, 1 net of size 7: the 90th percentile is size 2,
+	// one more net pushes it to 7.
+	b := hypergraph.NewBuilder()
+	for i := 0; i < 9; i++ {
+		b.AddNet(i, i+1)
+	}
+	b.AddNet(0, 1, 2, 3, 4, 5, 6)
+	v := Extract(b.Build())
+	if v.P90NetSize != 2 {
+		t.Fatalf("p90 = %d, want 2", v.P90NetSize)
+	}
+	b.AddNet(0, 1, 2, 3, 4, 5, 7)
+	v = Extract(b.Build())
+	// 11 nets, need ceil(9.9) = 10 covered; sizes 2 cover 9, size 7 nets
+	// bring the cumulative count to 11 >= 9.9 at key 7.
+	if v.P90NetSize != 7 {
+		t.Fatalf("p90 after big nets = %d, want 7", v.P90NetSize)
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := hypergraph.NewBuilder()
+	for i := 0; i < 300; i++ {
+		k := 2 + rng.Intn(4)
+		pins := make([]int, k)
+		for j := range pins {
+			pins[j] = rng.Intn(200)
+		}
+		b.AddNet(pins...)
+	}
+	h := b.Build()
+	a, bvec := Extract(h), Extract(h)
+	if a != bvec {
+		t.Fatalf("Extract not deterministic: %+v vs %+v", a, bvec)
+	}
+	if a.Class != ClassSparse {
+		t.Fatalf("class %q, want sparse", a.Class)
+	}
+}
+
+func TestEmptyHypergraph(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(3)
+	v := Extract(b.Build())
+	if v.Nets != 0 || v.PinDensity != 0 || v.P90NetSize != 0 {
+		t.Fatalf("empty: %+v", v)
+	}
+	if v.Class != ClassTiny {
+		t.Fatalf("class %q, want tiny", v.Class)
+	}
+}

@@ -1,0 +1,255 @@
+package portfolio
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"igpart/internal/hypergraph"
+)
+
+// PinRef names one (net, module) incidence of the base netlist — the unit
+// of an ECO pin change. Net indexes the base netlist's nets, Module its
+// modules (AddPin may reference modules beyond the base count to
+// introduce new modules).
+type PinRef struct {
+	Net    int `json:"net"`
+	Module int `json:"module"`
+}
+
+// Delta is an ECO (engineering change order) against a base netlist:
+// whole nets added or removed, and single pins moved on surviving nets.
+// Net and module indices refer to the base netlist; added nets may
+// reference fresh modules one past the base module count (appended in
+// order of first use).
+//
+// A Delta is data, not a diff of pointers: it marshals to JSON for the
+// PATCH /v1/jobs API and has a canonical encoding (Canonical) that cache
+// keys build on.
+type Delta struct {
+	// AddNets lists new nets, each as its pin (module) list.
+	AddNets [][]int `json:"add_nets,omitempty"`
+	// RemoveNets lists base net indices to delete.
+	RemoveNets []int `json:"remove_nets,omitempty"`
+	// AddPins adds modules to surviving base nets.
+	AddPins []PinRef `json:"add_pins,omitempty"`
+	// RemovePins removes existing pins from surviving base nets.
+	RemovePins []PinRef `json:"remove_pins,omitempty"`
+}
+
+// Empty reports whether the delta changes nothing.
+func (d Delta) Empty() bool {
+	return len(d.AddNets) == 0 && len(d.RemoveNets) == 0 &&
+		len(d.AddPins) == 0 && len(d.RemovePins) == 0
+}
+
+// TouchedNets counts how many nets the delta perturbs — added nets,
+// removed nets, and distinct surviving nets with pin changes. The
+// warm-start threshold compares this against the base net count.
+func (d Delta) TouchedNets() int {
+	touched := make(map[int]bool)
+	for _, p := range d.AddPins {
+		touched[p.Net] = true
+	}
+	for _, p := range d.RemovePins {
+		touched[p.Net] = true
+	}
+	for _, e := range d.RemoveNets {
+		delete(touched, e) // removal supersedes pin edits
+	}
+	return len(d.AddNets) + len(d.RemoveNets) + len(touched)
+}
+
+// maxDeltaNets bounds a single delta's size; a "delta" rewriting more
+// nets than this is not an ECO and should be a fresh submission.
+const maxDeltaNets = 1 << 20
+
+// Validate checks the delta against the base netlist it will be applied
+// to: indices in range, no duplicate or conflicting edits, and pins
+// referenced by RemovePins actually present. A valid delta is guaranteed
+// to Apply without error.
+func (d Delta) Validate(base *hypergraph.Hypergraph) error {
+	m, n := base.NumNets(), base.NumModules()
+	if t := len(d.AddNets) + len(d.RemoveNets) + len(d.AddPins) + len(d.RemovePins); t > maxDeltaNets {
+		return fmt.Errorf("delta has %d edits, max %d", t, maxDeltaNets)
+	}
+	// New modules may be introduced by AddNets/AddPins; cap the module
+	// universe at base plus one fresh module per added pin.
+	budget := n
+	for _, pins := range d.AddNets {
+		budget += len(pins)
+	}
+	budget += len(d.AddPins)
+
+	removed := make(map[int]bool, len(d.RemoveNets))
+	for _, e := range d.RemoveNets {
+		if e < 0 || e >= m {
+			return fmt.Errorf("remove_nets: net %d outside [0,%d)", e, m)
+		}
+		if removed[e] {
+			return fmt.Errorf("remove_nets: net %d removed twice", e)
+		}
+		removed[e] = true
+	}
+	for i, pins := range d.AddNets {
+		if len(pins) == 0 {
+			return fmt.Errorf("add_nets[%d]: empty pin list", i)
+		}
+		for _, v := range pins {
+			if v < 0 || v >= budget {
+				return fmt.Errorf("add_nets[%d]: module %d outside [0,%d)", i, v, budget)
+			}
+		}
+	}
+	seenAdd := make(map[PinRef]bool, len(d.AddPins))
+	for _, p := range d.AddPins {
+		if p.Net < 0 || p.Net >= m {
+			return fmt.Errorf("add_pins: net %d outside [0,%d)", p.Net, m)
+		}
+		if removed[p.Net] {
+			return fmt.Errorf("add_pins: net %d is also removed", p.Net)
+		}
+		if p.Module < 0 || p.Module >= budget {
+			return fmt.Errorf("add_pins: module %d outside [0,%d)", p.Module, budget)
+		}
+		if seenAdd[p] {
+			return fmt.Errorf("add_pins: pin (%d,%d) added twice", p.Net, p.Module)
+		}
+		seenAdd[p] = true
+		if p.Module < n && hasPin(base, p.Net, p.Module) {
+			return fmt.Errorf("add_pins: pin (%d,%d) already present", p.Net, p.Module)
+		}
+	}
+	seenRm := make(map[PinRef]bool, len(d.RemovePins))
+	for _, p := range d.RemovePins {
+		if p.Net < 0 || p.Net >= m {
+			return fmt.Errorf("remove_pins: net %d outside [0,%d)", p.Net, m)
+		}
+		if removed[p.Net] {
+			return fmt.Errorf("remove_pins: net %d is also removed", p.Net)
+		}
+		if seenRm[p] {
+			return fmt.Errorf("remove_pins: pin (%d,%d) removed twice", p.Net, p.Module)
+		}
+		seenRm[p] = true
+		if seenAdd[p] {
+			return fmt.Errorf("pin (%d,%d) both added and removed", p.Net, p.Module)
+		}
+		if p.Module < 0 || p.Module >= n || !hasPin(base, p.Net, p.Module) {
+			return fmt.Errorf("remove_pins: pin (%d,%d) not present in base", p.Net, p.Module)
+		}
+	}
+	return nil
+}
+
+func hasPin(h *hypergraph.Hypergraph, e, v int) bool {
+	// Pins are sorted ascending (Builder invariant).
+	pins := h.Pins(e)
+	i := sort.SearchInts(pins, v)
+	return i < len(pins) && pins[i] == v
+}
+
+// Canonical returns a stable textual encoding of the delta: equal edit
+// sets yield equal strings regardless of slice order, so cache keys
+// derived from it are stable. The encoding sorts every edit list and
+// the pins within each added net.
+func (d Delta) Canonical() string {
+	var b strings.Builder
+	b.WriteString("delta/v1")
+	if len(d.AddNets) > 0 {
+		nets := make([]string, len(d.AddNets))
+		for i, pins := range d.AddNets {
+			p := append([]int(nil), pins...)
+			sort.Ints(p)
+			nets[i] = intsKey(p)
+		}
+		sort.Strings(nets)
+		b.WriteString("|+nets=")
+		b.WriteString(strings.Join(nets, ";"))
+	}
+	if len(d.RemoveNets) > 0 {
+		e := append([]int(nil), d.RemoveNets...)
+		sort.Ints(e)
+		b.WriteString("|-nets=")
+		b.WriteString(intsKey(e))
+	}
+	writePins := func(tag string, pins []PinRef) {
+		if len(pins) == 0 {
+			return
+		}
+		p := append([]PinRef(nil), pins...)
+		sort.Slice(p, func(i, j int) bool {
+			if p[i].Net != p[j].Net {
+				return p[i].Net < p[j].Net
+			}
+			return p[i].Module < p[j].Module
+		})
+		b.WriteString(tag)
+		for i, pr := range p {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d:%d", pr.Net, pr.Module)
+		}
+	}
+	writePins("|+pins=", d.AddPins)
+	writePins("|-pins=", d.RemovePins)
+	return b.String()
+}
+
+func intsKey(s []int) string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Apply builds the delta'd netlist. The returned netMap gives, for each
+// net of the new netlist, its index in the base netlist (−1 for added
+// nets): surviving base nets keep their relative order, added nets are
+// appended in AddNets order. Module indices are preserved; fresh modules
+// referenced by added pins extend the module range. Apply assumes a
+// Validate'd delta and panics on out-of-range indices like the Builder
+// does.
+func (d Delta) Apply(base *hypergraph.Hypergraph) (h *hypergraph.Hypergraph, netMap []int) {
+	removed := make(map[int]bool, len(d.RemoveNets))
+	for _, e := range d.RemoveNets {
+		removed[e] = true
+	}
+	addPins := make(map[int][]int)
+	for _, p := range d.AddPins {
+		addPins[p.Net] = append(addPins[p.Net], p.Module)
+	}
+	rmPins := make(map[int]map[int]bool)
+	for _, p := range d.RemovePins {
+		if rmPins[p.Net] == nil {
+			rmPins[p.Net] = make(map[int]bool)
+		}
+		rmPins[p.Net][p.Module] = true
+	}
+
+	b := hypergraph.NewBuilder()
+	b.SetNumModules(base.NumModules())
+	var pins []int
+	for e := 0; e < base.NumNets(); e++ {
+		if removed[e] {
+			continue
+		}
+		pins = pins[:0]
+		rm := rmPins[e]
+		for _, v := range base.Pins(e) {
+			if !rm[v] {
+				pins = append(pins, v)
+			}
+		}
+		pins = append(pins, addPins[e]...)
+		b.AddNet(pins...)
+		netMap = append(netMap, e)
+	}
+	for _, p := range d.AddNets {
+		b.AddNet(p...)
+		netMap = append(netMap, -1)
+	}
+	return b.Build(), netMap
+}

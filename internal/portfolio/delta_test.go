@@ -1,0 +1,141 @@
+package portfolio
+
+import (
+	"strings"
+	"testing"
+
+	"igpart/internal/hypergraph"
+)
+
+// base44 builds a 4-net, 5-module test netlist with known pins.
+func base44() *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.AddNet(0, 1)
+	b.AddNet(1, 2)
+	b.AddNet(2, 3)
+	b.AddNet(3, 4)
+	return b.Build()
+}
+
+func TestDeltaValidateRejections(t *testing.T) {
+	h := base44()
+	cases := []struct {
+		name string
+		d    Delta
+		want string
+	}{
+		{"remove-out-of-range", Delta{RemoveNets: []int{4}}, "outside"},
+		{"remove-negative", Delta{RemoveNets: []int{-1}}, "outside"},
+		{"remove-twice", Delta{RemoveNets: []int{1, 1}}, "twice"},
+		{"empty-add-net", Delta{AddNets: [][]int{{}}}, "empty pin list"},
+		{"add-net-bad-module", Delta{AddNets: [][]int{{0, 99}}}, "outside"},
+		{"add-pin-bad-net", Delta{AddPins: []PinRef{{Net: 9, Module: 0}}}, "outside"},
+		{"add-pin-on-removed", Delta{RemoveNets: []int{1}, AddPins: []PinRef{{Net: 1, Module: 4}}}, "also removed"},
+		{"add-existing-pin", Delta{AddPins: []PinRef{{Net: 0, Module: 1}}}, "already present"},
+		{"add-pin-twice", Delta{AddPins: []PinRef{{Net: 0, Module: 3}, {Net: 0, Module: 3}}}, "twice"},
+		{"remove-missing-pin", Delta{RemovePins: []PinRef{{Net: 0, Module: 4}}}, "not present"},
+		{"remove-pin-on-removed", Delta{RemoveNets: []int{2}, RemovePins: []PinRef{{Net: 2, Module: 2}}}, "also removed"},
+		{"add-and-remove-pin", Delta{AddPins: []PinRef{{Net: 0, Module: 3}}, RemovePins: []PinRef{{Net: 0, Module: 3}}}, "both added and removed"},
+	}
+	for _, c := range cases {
+		err := c.d.Validate(h)
+		if err == nil {
+			t.Errorf("%s: Validate accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDeltaValidateAccepts(t *testing.T) {
+	h := base44()
+	ok := []Delta{
+		{},
+		{AddNets: [][]int{{0, 4}, {1, 3}}},
+		{RemoveNets: []int{3, 0}},
+		{AddPins: []PinRef{{Net: 0, Module: 4}}, RemovePins: []PinRef{{Net: 1, Module: 2}}},
+		{AddNets: [][]int{{0, 5}}}, // fresh module one past the base range
+	}
+	for i, d := range ok {
+		if err := d.Validate(h); err != nil {
+			t.Errorf("delta %d: %v", i, err)
+		}
+	}
+}
+
+func TestDeltaCanonicalOrderIndependent(t *testing.T) {
+	a := Delta{
+		AddNets:    [][]int{{3, 0}, {1, 4}},
+		RemoveNets: []int{2, 0},
+		AddPins:    []PinRef{{Net: 1, Module: 4}, {Net: 1, Module: 0}},
+		RemovePins: []PinRef{{Net: 3, Module: 4}},
+	}
+	b := Delta{
+		AddNets:    [][]int{{4, 1}, {0, 3}},
+		RemoveNets: []int{0, 2},
+		AddPins:    []PinRef{{Net: 1, Module: 0}, {Net: 1, Module: 4}},
+		RemovePins: []PinRef{{Net: 3, Module: 4}},
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("canonical differs:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	c := a
+	c.RemoveNets = []int{0, 3}
+	if a.Canonical() == c.Canonical() {
+		t.Fatal("different deltas share a canonical encoding")
+	}
+	if (Delta{}).Canonical() != "delta/v1" {
+		t.Fatalf("empty canonical = %q", (Delta{}).Canonical())
+	}
+}
+
+func TestDeltaApply(t *testing.T) {
+	h := base44()
+	d := Delta{
+		AddNets:    [][]int{{0, 4}},
+		RemoveNets: []int{1},
+		AddPins:    []PinRef{{Net: 0, Module: 2}},
+		RemovePins: []PinRef{{Net: 3, Module: 3}},
+	}
+	if err := d.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	nh, netMap := d.Apply(h)
+	if nh.NumNets() != 4 {
+		t.Fatalf("nets = %d, want 4", nh.NumNets())
+	}
+	wantMap := []int{0, 2, 3, -1}
+	for i, f := range wantMap {
+		if netMap[i] != f {
+			t.Fatalf("netMap = %v, want %v", netMap, wantMap)
+		}
+	}
+	wantPins := [][]int{{0, 1, 2}, {2, 3}, {4}, {0, 4}}
+	for e, want := range wantPins {
+		got := nh.Pins(e)
+		if len(got) != len(want) {
+			t.Fatalf("net %d pins %v, want %v", e, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("net %d pins %v, want %v", e, got, want)
+			}
+		}
+	}
+	if d.TouchedNets() != 4 { // +1 net, −1 net, 2 pin-edited nets
+		t.Fatalf("touched = %d, want 4", d.TouchedNets())
+	}
+}
+
+func TestDeltaEmptyAndTouched(t *testing.T) {
+	if !(Delta{}).Empty() {
+		t.Fatal("zero delta not Empty")
+	}
+	d := Delta{RemoveNets: []int{0}, RemovePins: []PinRef{{Net: 0, Module: 1}}}
+	// The pin edit targets a removed net: removal supersedes it.
+	if d.TouchedNets() != 1 {
+		t.Fatalf("touched = %d, want 1", d.TouchedNets())
+	}
+}

@@ -21,6 +21,7 @@ const (
 	AlgoMultilevel   = "multilevel"
 	AlgoKWay         = "kway"
 	AlgoKWaySpectral = "kway-spectral"
+	AlgoPortfolio    = "portfolio"
 )
 
 // kwayAlgo reports whether the algorithm runs the balanced k-way engine.
@@ -59,6 +60,16 @@ type Options struct {
 	// Names must exist in the netlist; a module may not be pinned to two
 	// different parts.
 	Fix []hypergraph.FixPin
+	// Budget bounds the AlgoPortfolio race; contenders still running at
+	// expiry are cancelled and the best finished result wins. 0 waits
+	// for every contender, which (with Accept 0) makes the outcome
+	// deterministic — the configuration the cache assumes.
+	Budget time.Duration
+	// Accept is the AlgoPortfolio acceptance ratio-cut bound: the first
+	// contender at or under it wins immediately. Positive values make
+	// the winner timing-dependent; a cached result is then one valid
+	// outcome, not the unique one.
+	Accept float64
 	// Timeout is the per-job deadline, measured from submission so that
 	// queue wait counts against it. 0 uses the engine default; the
 	// engine's MaxTimeout caps it. Not part of the cache key.
@@ -120,6 +131,12 @@ func (r Request) Validate() error {
 	}
 	if o.Parallelism > maxParallelism {
 		return badf("parallelism %d exceeds %d", o.Parallelism, maxParallelism)
+	}
+	if o.Budget < 0 {
+		return badf("negative portfolio budget %v", o.Budget)
+	}
+	if math.IsNaN(o.Accept) || math.IsInf(o.Accept, 0) || o.Accept < 0 {
+		return badf("portfolio accept bound %v, need a finite value >= 0", o.Accept)
 	}
 	if o.BlockSize > r.Netlist.NumNets() {
 		// The eigenproblem's dimension is the net count; a block wider
@@ -201,6 +218,9 @@ func (o Options) normalize() (Options, error) {
 		if o.CoarseningRatio <= 0 || o.CoarseningRatio > 1 {
 			o.CoarseningRatio = 0.9
 		}
+	case AlgoPortfolio:
+		o.Levels = 0
+		o.CoarseningRatio = 0
 	case AlgoKWay, AlgoKWaySpectral:
 		o.Levels = 0
 		o.CoarseningRatio = 0
@@ -230,6 +250,10 @@ func (o Options) normalize() (Options, error) {
 		o.K = 0
 		o.Eps = 0
 		o.Fix = nil
+	}
+	if o.Algo != AlgoPortfolio {
+		o.Budget = 0
+		o.Accept = 0
 	}
 	if _, ok := schemes[o.Scheme]; !ok {
 		return o, fmt.Errorf("service: unknown weight scheme %q", o.Scheme)
@@ -266,5 +290,26 @@ func cacheKey(h *igpart.Netlist, o Options) string {
 			fmt.Fprintf(sum, "|pin=%q:%d", p.Module, p.Part)
 		}
 	}
+	if o.Algo == AlgoPortfolio {
+		// Unlike Timeout, the race budget and acceptance bound change
+		// which contender wins, so they key the entry.
+		fmt.Fprintf(sum, "|budget=%d|accept=%g", o.Budget, o.Accept)
+	}
+	return fmt.Sprintf("%x", sum.Sum(nil))
+}
+
+// deltaCacheKey content-addresses an ECO delta job: the base netlist's
+// hash plus the delta's canonical encoding plus the options that shape
+// the warm-start solve. Keying on (base, delta) rather than the applied
+// netlist means a re-submitted identical ECO hits without re-applying,
+// and equivalent deltas (same edits, different list order) share an
+// entry via Canonical's sorted encoding.
+func deltaCacheKey(base *igpart.Netlist, d igpart.NetlistDelta, o Options) string {
+	sum := sha256.New()
+	sum.Write(base.CanonicalBytes())
+	sum.Write([]byte("|"))
+	sum.Write([]byte(d.Canonical()))
+	fmt.Fprintf(sum, "|scheme=%s|thr=%d|seed=%d|block=%d",
+		o.Scheme, o.Threshold, o.Seed, o.BlockSize)
 	return fmt.Sprintf("%x", sum.Sum(nil))
 }

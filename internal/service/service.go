@@ -62,6 +62,15 @@ var (
 	ErrShutdown = errors.New("service: engine shutting down")
 	// ErrCancelled is the cancel cause of a user-requested Cancel.
 	ErrCancelled = errors.New("service: job cancelled")
+	// ErrUnknownBase rejects a delta submission naming a job the engine
+	// does not know (expired, pruned, or never existed). cmd/igpartd
+	// maps it to HTTP 404.
+	ErrUnknownBase = errors.New("service: unknown base job")
+	// ErrNotWarmStartable rejects a delta submission whose base job
+	// cannot seed a warm start: not done yet, failed, or solved by an
+	// algorithm that leaves no net ordering behind. cmd/igpartd maps it
+	// to HTTP 409 — the request may become valid once the base finishes.
+	ErrNotWarmStartable = errors.New("service: base job not warm-startable")
 )
 
 // Config sizes an Engine. The zero value is production-usable.
@@ -163,6 +172,17 @@ type Result struct {
 	Lambda2 float64
 	// BestRank is the winning sweep split (AlgoIGMatch).
 	BestRank int
+	// NetOrder is the winning net ordering of the sweep, kept so PATCH
+	// deltas can warm-start from the cached result. Engine-internal:
+	// the HTTP layer never serializes it.
+	NetOrder []int
+	// Winner is the winning contender of an AlgoPortfolio race.
+	Winner string
+	// Warm reports that an ECO delta job re-solved through the windowed
+	// warm start; false on delta jobs means the cold fallback ran.
+	Warm bool
+	// TouchedNets is the delta perturbation size of an ECO delta job.
+	TouchedNets int
 	// Levels and CoarsestNets describe the V-cycle actually built
 	// (AlgoMultilevel).
 	Levels       int
@@ -196,10 +216,28 @@ type Snapshot struct {
 	Result *Result
 }
 
+// warmSpec carries what an ECO delta job needs beyond its Request: the
+// base netlist, the cached sweep state to warm-start from, and the
+// delta itself. The job's Request.Netlist holds the applied (delta'd)
+// netlist so the job can in turn base further deltas.
+type warmSpec struct {
+	baseID string
+	base   *igpart.Netlist
+	order  []int
+	rank   int
+	delta  igpart.NetlistDelta
+}
+
 // Job is a submitted partitioning request tracked by the engine.
 type Job struct {
 	id  string
 	req Request
+	// key is the precomputed cache key for jobs whose key is not
+	// cacheKey(req.Netlist, req.Options) — delta jobs key on
+	// (base hash, canonical delta) instead. Empty means compute.
+	key string
+	// warm is non-nil exactly for ECO delta jobs.
+	warm *warmSpec
 
 	ctx       context.Context
 	cancel    context.CancelCauseFunc
@@ -296,6 +334,9 @@ type Engine struct {
 	// solveFn computes a request's result; tests substitute a stub to
 	// exercise lifecycle paths deterministically.
 	solveFn func(ctx context.Context, req Request, o Options) (*Result, error)
+	// solveDeltaFn computes an ECO delta job's result by warm start;
+	// same test seam as solveFn.
+	solveDeltaFn func(ctx context.Context, ws *warmSpec, o Options) (*Result, error)
 	// clock paces retry backoff; tests substitute a fake.
 	clock clock
 
@@ -321,7 +362,10 @@ func New(cfg Config) *Engine {
 	// The solve closure binds the engine's injector so the pipeline's
 	// own points (eigen.noconverge, sweep.slow-shard) share one stream.
 	e.solveFn = func(ctx context.Context, req Request, o Options) (*Result, error) {
-		return solve(ctx, req, o, cfg.Fault)
+		return solve(ctx, req, o, cfg.Fault, e.reg)
+	}
+	e.solveDeltaFn = func(ctx context.Context, ws *warmSpec, o Options) (*Result, error) {
+		return solveDelta(ctx, ws, o, cfg.Fault, e.reg)
 	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -348,7 +392,61 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	req.Options = norm
-	timeout := norm.Timeout
+	return e.enqueue(req, "", nil)
+}
+
+// SubmitDelta enqueues an incremental ECO re-partitioning of a finished
+// job: delta d is applied to the base job's netlist and solved by
+// warm-starting from the base result's cached net ordering (sweep +
+// completion only — no eigensolve), falling back to a cold solve past
+// the perturbation threshold. The delta job is a first-class job: same
+// queue, lifecycle, retry, and cache machinery, with its own cache
+// entry keyed on (base netlist hash, canonical delta, options) so
+// equivalent re-submissions hit. Its result carries the new net
+// ordering, so further deltas may chain off it.
+func (e *Engine) SubmitDelta(baseID string, d igpart.NetlistDelta, timeout time.Duration) (*Job, error) {
+	if timeout < 0 {
+		return nil, badf("negative timeout %v", timeout)
+	}
+	base, ok := e.Get(baseID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownBase, baseID)
+	}
+	snap := base.Snapshot()
+	if snap.State != StateDone || snap.Result == nil {
+		return nil, fmt.Errorf("%w: job %s is %s", ErrNotWarmStartable, baseID, snap.State)
+	}
+	res := snap.Result
+	if len(res.NetOrder) == 0 || res.BestRank < 1 {
+		return nil, fmt.Errorf("%w: %s result (algo %s) carries no net ordering",
+			ErrNotWarmStartable, baseID, res.Algo)
+	}
+	bh := base.req.Netlist
+	if err := d.Validate(bh); err != nil {
+		return nil, badf("invalid delta: %v", err)
+	}
+	o := base.req.Options
+	o.Algo = AlgoIGMatch
+	o.Levels, o.CoarseningRatio = 0, 0
+	o.K, o.Eps, o.Fix = 0, 0, nil
+	o.Budget, o.Accept = 0, 0
+	o.Timeout = timeout
+	applied, _ := d.Apply(bh)
+	return e.enqueue(Request{Netlist: applied, Options: o}, deltaCacheKey(bh, d, o), &warmSpec{
+		baseID: baseID,
+		base:   bh,
+		order:  res.NetOrder,
+		rank:   res.BestRank,
+		delta:  d,
+	})
+}
+
+// enqueue builds the job for an already-validated, normalized request
+// and offers it to the queue. key overrides the content-address for
+// jobs not keyed on their own netlist (delta jobs); ws marks the job
+// as an ECO warm start.
+func (e *Engine) enqueue(req Request, key string, ws *warmSpec) (*Job, error) {
+	timeout := req.Options.Timeout
 	if timeout <= 0 {
 		timeout = e.cfg.DefaultTimeout
 	}
@@ -367,6 +465,8 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 	}
 	job := &Job{
 		req:       req,
+		key:       key,
+		warm:      ws,
 		ctx:       ctx,
 		cancel:    cancel,
 		stopTimer: stopTimer,
@@ -480,7 +580,10 @@ func (e *Engine) run(job *Job) {
 		e.finalizeAborted(job)
 		return
 	}
-	key := cacheKey(job.req.Netlist, job.req.Options)
+	key := job.key
+	if key == "" {
+		key = cacheKey(job.req.Netlist, job.req.Options)
+	}
 	if res, ok := e.cache.get(key); ok {
 		if job.finish(StateDone, res, true, nil) {
 			e.reg.Counter("service.jobs_completed").Add(1)
@@ -524,7 +627,11 @@ func (e *Engine) safeSolve(job *Job) (res *Result, err error) {
 	if e.cfg.Fault.Active(fault.WorkerPanic) {
 		panic("injected fault: " + string(fault.WorkerPanic))
 	}
-	res, err = e.solveFn(job.ctx, job.req, job.req.Options)
+	if job.warm != nil {
+		res, err = e.solveDeltaFn(job.ctx, job.warm, job.req.Options)
+	} else {
+		res, err = e.solveFn(job.ctx, job.req, job.req.Options)
+	}
 	e.mu.Lock()
 	e.panicStreak = 0
 	e.mu.Unlock()
@@ -603,13 +710,56 @@ func (e *Engine) pruneFinishedLocked() {
 	}
 }
 
+// foldMetrics adds a solve trace's registry counters into the
+// engine-wide registry, so pipeline-level counters (the portfolio
+// race and warm-start tallies) surface on the daemon's /metrics
+// instead of dying with the per-job trace. Gauges overwrite —
+// last solve wins, which is the natural reading for e.g. the
+// winner-ratio gauge.
+func foldMetrics(dst *obs.Registry, tr *igpart.Trace) {
+	if dst == nil || tr == nil {
+		return
+	}
+	snap := tr.Metrics().Snapshot()
+	for name, v := range snap.Counters {
+		dst.Counter(name).Add(v)
+	}
+	for name, v := range snap.Gauges {
+		dst.Gauge(name).Set(v)
+	}
+}
+
 // solve runs the real pipeline for a normalized request, recording the
 // stage-span tree into the result. inj forwards the engine's fault
-// injector into the pipeline; nil means injection off.
-func solve(ctx context.Context, req Request, o Options, inj *fault.Injector) (*Result, error) {
+// injector into the pipeline; nil means injection off; reg receives
+// the solve's pipeline counters (see foldMetrics).
+func solve(ctx context.Context, req Request, o Options, inj *fault.Injector, reg *obs.Registry) (*Result, error) {
 	tr := igpart.NewTrace("solve")
+	defer foldMetrics(reg, tr)
 	scheme := schemes[o.Scheme]
 	switch o.Algo {
+	case AlgoPortfolio:
+		r, err := igpart.Portfolio(req.Netlist, igpart.PortfolioOptions{
+			Budget:      o.Budget,
+			Accept:      o.Accept,
+			Parallelism: o.Parallelism,
+			Seed:        o.Seed,
+			Rec:         tr,
+			Ctx:         ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Algo:     o.Algo,
+			Metrics:  r.Metrics,
+			Sides:    append([]igpart.Side(nil), r.Partition.Sides()...),
+			Lambda2:  r.Lambda2,
+			BestRank: r.BestRank,
+			NetOrder: r.NetOrder,
+			Winner:   r.Winner,
+			Stages:   tr.Finish(),
+		}, nil
 	case AlgoMultilevel:
 		r, err := igpart.MultilevelIGMatch(req.Netlist, igpart.MultilevelOptions{
 			Levels:          o.Levels,
@@ -688,7 +838,42 @@ func solve(ctx context.Context, req Request, o Options, inj *fault.Injector) (*R
 			Sides:    append([]igpart.Side(nil), r.Partition.Sides()...),
 			Lambda2:  r.Lambda2,
 			BestRank: r.BestRank,
+			NetOrder: r.NetOrder,
 			Stages:   tr.Finish(),
 		}, nil
 	}
+}
+
+// solveDelta runs an ECO delta job: warm-start from the base job's
+// cached sweep state (or the cold fallback past the perturbation
+// threshold), on the same recorder/fault plumbing as solve.
+func solveDelta(ctx context.Context, ws *warmSpec, o Options, inj *fault.Injector, reg *obs.Registry) (*Result, error) {
+	tr := igpart.NewTrace("solve-delta")
+	defer foldMetrics(reg, tr)
+	r, err := igpart.WarmStart(ws.base,
+		igpart.IGMatchResult{NetOrder: ws.order, BestRank: ws.rank},
+		ws.delta,
+		igpart.IGMatchOptions{
+			Scheme:      schemes[o.Scheme],
+			Threshold:   o.Threshold,
+			Seed:        o.Seed,
+			BlockSize:   o.BlockSize,
+			Parallelism: o.Parallelism,
+			Rec:         tr,
+			Ctx:         ctx,
+			Fault:       inj,
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Algo:        AlgoIGMatch,
+		Metrics:     r.Metrics,
+		Sides:       append([]igpart.Side(nil), r.Partition.Sides()...),
+		BestRank:    r.BestRank,
+		NetOrder:    r.NetOrder,
+		Warm:        !r.Cold,
+		TouchedNets: r.TouchedNets,
+		Stages:      tr.Finish(),
+	}, nil
 }
