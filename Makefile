@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz fuzz-smoke bench-sanity scale-report scale-smoke experiments cover serve smoke cluster-smoke eco-smoke chaos clean
+.PHONY: all build vet lint test race bench fuzz fuzz-smoke bench-sanity scale-report scale-smoke experiments cover serve smoke cluster-smoke ha-smoke eco-smoke chaos clean
 
 all: build vet lint test
 
@@ -49,16 +49,16 @@ fuzz-smoke:
 # Chaos suite: the seeded fault-injection and panic-isolation tests —
 # injector determinism, shard panic barriers, eigen fallback rungs, the
 # 100-panicking-jobs survival run, the daemon's degraded-readiness
-# probes, and the cluster tier's failover and journal-recovery paths
-# (backend killed mid-batch, coordinator crash and replay) — all under
-# the race detector.
+# probes, and the cluster tier's failover, journal-recovery, HA
+# (lease fencing, standby takeover, coordinator crash injection), and
+# membership-churn paths — all under the race detector.
 chaos:
 	$(GO) test -race ./internal/fault
 	$(GO) test -race ./internal/core -run 'Panic|SlowShard|FaultThreaded'
 	$(GO) test -race ./internal/eigen -run 'Fallback|NoConverge|Rung|NonFinite'
 	$(GO) test -race ./internal/service -run 'Chaos|Retry|Backoff|Health|Validate|ShutdownRacingCancel'
-	$(GO) test -race ./internal/cluster -run 'Failover|Dead|JournalRecovery|Backpressure'
-	$(GO) test -race ./cmd/igpartd -run 'Readyz|Liveness|IOReadErr|BadRequest|ClusterChaos|ClusterCoordinatorRestart'
+	$(GO) test -race ./internal/cluster -run 'Failover|Dead|JournalRecovery|Backpressure|Lease|Standby|Membership|Backends|Crash|Probe'
+	$(GO) test -race ./cmd/igpartd -run 'Readyz|Liveness|IOReadErr|BadRequest|ClusterChaos|ClusterCoordinatorRestart|Standby|SwitchHandler'
 
 # CI bench sanity: regenerate the small-circuit report and fail on any
 # ratio-cut regression beyond 10% of the checked-in baseline, hold the
@@ -152,6 +152,15 @@ smoke:
 # the failover must show in the aggregated metrics.
 cluster-smoke:
 	./scripts/cluster-smoke.sh
+
+# HA smoke: the cluster smoke plus the coordinator-kill and membership
+# phases — a standby tails the shared journal and is SIGKILL-promoted
+# mid-batch (all jobs finish under their original IDs with ratio-cut
+# parity and no duplicate completions), then a backend joins and the
+# batch owner leaves via the backends file mid-batch with minimal ring
+# churn.
+ha-smoke:
+	./scripts/cluster-smoke.sh ha
 
 # Incremental-ECO smoke: boot igpartd, solve a base netlist, PATCH a
 # small delta against it, and assert the warm re-partition beat a cold

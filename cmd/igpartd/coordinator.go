@@ -28,6 +28,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
@@ -35,6 +36,10 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"igpart"
@@ -457,33 +462,214 @@ func (s *coordServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// runCoordinator boots cluster mode: build the fleet clients and ring,
-// replay the journal, serve the coordinator API, and on SIGTERM drain
-// in-flight routed jobs (grace-bounded; jobs the drain abandons are
-// replayed by the next boot).
-func runCoordinator(addr, dataDir string, maxBody int64, grace, readTO, writeTO time.Duration, cfg cluster.Config, journalPath string) error {
-	var replay []cluster.Record
-	if journalPath != "" {
-		j, recs, err := cluster.OpenJournal(journalPath)
+// coordOptions gathers everything runCoordinator needs, leader or
+// standby.
+type coordOptions struct {
+	addr    string
+	dataDir string
+	maxBody int64
+	grace   time.Duration
+	readTO  time.Duration
+	writeTO time.Duration
+
+	cfg            cluster.Config
+	journalPath    string
+	standby        bool
+	leaseTTL       time.Duration
+	backendsFile   string
+	membershipPoll time.Duration
+	inj            *igpart.FaultInjector
+}
+
+// switchHandler atomically swaps the daemon's handler when a standby
+// wins leadership mid-serve: requests before the swap see the standby
+// façade, requests after see the full coordinator API.
+type switchHandler struct {
+	h atomic.Value // http.Handler
+}
+
+func (s *switchHandler) Set(h http.Handler) { s.h.Store(&h) }
+
+func (s *switchHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load().(*http.Handler)).ServeHTTP(w, r)
+}
+
+// standbyServer is the HTTP façade served while this process is a warm
+// standby: health endpoints answer truthfully (alive, role standby),
+// everything else is 503 + Retry-After so clients and load balancers
+// wait out the takeover or go find the leader.
+type standbyServer struct {
+	stb *cluster.Standby
+	mux *http.ServeMux
+}
+
+func newStandbyServer(stb *cluster.Standby) *standbyServer {
+	s := &standbyServer{stb: stb, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleLive)
+	s.mux.HandleFunc("GET /livez", s.handleLive)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("/", s.handleNotLeader)
+	return s
+}
+
+func (s *standbyServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *standbyServer) handleLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "mode": "coordinator", "role": "standby"})
+}
+
+// standbyHealthJSON is the standby's /readyz payload: not ready (a
+// standby takes no work), but transparent about how warm it is and
+// whose lease it is watching.
+type standbyHealthJSON struct {
+	Status       string    `json:"status"`
+	Role         string    `json:"role"`
+	LeaseTerm    int64     `json:"lease_term,omitempty"`
+	LeaseOwner   string    `json:"lease_owner,omitempty"`
+	LeaseExpires time.Time `json:"lease_expires,omitempty"`
+	WarmRecords  int       `json:"warm_records"`
+	Unfinished   int       `json:"unfinished"`
+}
+
+func (s *standbyServer) handleReady(w http.ResponseWriter, _ *http.Request) {
+	st := s.stb.Status()
+	h := standbyHealthJSON{Status: "standby", Role: "standby", WarmRecords: st.Records, Unfinished: st.Unfinished}
+	if st.HasLease {
+		h.LeaseTerm = st.Lease.Term
+		h.LeaseOwner = st.Lease.Owner
+		h.LeaseExpires = st.Lease.Deadline
+	}
+	writeJSON(w, http.StatusServiceUnavailable, h)
+}
+
+func (s *standbyServer) handleNotLeader(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable, "standby coordinator: not the leader yet; retry after takeover")
+}
+
+// runCoordinator boots cluster mode. A leader takes the journal's
+// leadership lease, builds the fleet (static -backends or the
+// watchable -backends-file), replays unfinished work, and serves the
+// coordinator API; a standby serves the 503 façade while tailing the
+// journal, then flips to leader in place when the lease lapses. On
+// SIGTERM both drain (grace-bounded; jobs the drain abandons are
+// replayed by the next boot), and a leader releases its lock early so
+// a standby need not wait out the lease window.
+func runCoordinator(o coordOptions) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	owner := cluster.LeaseOwnerID()
+	sw := &switchHandler{}
+	var active atomic.Pointer[cluster.Coordinator]
+
+	// SIGHUP forces a membership reload. Armed in every coordinator
+	// mode so a standby that takes over inherits the behavior.
+	force := make(chan struct{}, 1)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				select {
+				case force <- struct{}{}:
+				default:
+				}
+			}
+		}
+	}()
+
+	startLeader := func(j *cluster.Journal, replay []cluster.Record, lease *cluster.Lease) error {
+		cfg := o.cfg
+		cfg.Journal = j
+		if o.backendsFile != "" {
+			fleet, err := cluster.ParseBackendsFile(o.backendsFile)
+			if err != nil {
+				return err
+			}
+			cfg.Backends = fleet
+		}
+		if lease != nil {
+			cfg.HA = &cluster.HAConfig{Lease: *lease, TTL: o.leaseTTL, LockPath: cluster.LockPath(o.journalPath)}
+		}
+		coord, err := cluster.New(cfg)
 		if err != nil {
 			return err
 		}
-		cfg.Journal = j
-		replay = recs
+		if n := coord.Recover(replay); n > 0 {
+			log.Printf("igpartd: journal replay resubmitted %d unfinished job(s)", n)
+		}
+		if o.backendsFile != "" {
+			go coord.WatchBackendsFile(ctx, o.backendsFile, o.membershipPoll, force, log.Printf)
+		}
+		names := make([]string, len(cfg.Backends))
+		for i, b := range cfg.Backends {
+			names[i] = b.Name + "=" + b.URL
+		}
+		log.Printf("igpartd: coordinator over %d backend(s): %v", len(names), names)
+		if lease != nil {
+			log.Printf("igpartd: leadership held (term %d, owner %s)", lease.Term, lease.Owner)
+		}
+		active.Store(coord)
+		sw.Set(newCoordServer(coord, o.dataDir, o.maxBody))
+		return nil
 	}
-	coord, err := cluster.New(cfg)
-	if err != nil {
-		return err
-	}
-	if n := coord.Recover(replay); n > 0 {
-		log.Printf("igpartd: journal replay resubmitted %d unfinished job(s)", n)
-	}
-	backends := make([]string, len(cfg.Backends))
-	for i, b := range cfg.Backends {
-		backends[i] = b.Name + "=" + b.URL
-	}
-	log.Printf("igpartd: coordinator over %d backend(s): %v", len(backends), backends)
 
-	handler := newCoordServer(coord, dataDir, maxBody)
-	return serveHTTP(addr, readTO, writeTO, handler, coord.Shutdown, grace)
+	if o.standby {
+		stb := cluster.NewStandby(cluster.StandbyConfig{
+			Path:    o.journalPath,
+			Owner:   owner,
+			TTL:     o.leaseTTL,
+			Metrics: o.cfg.Metrics,
+		})
+		sw.Set(newStandbyServer(stb))
+		log.Printf("igpartd: standby tailing %s (owner %s)", o.journalPath, owner)
+		go func() {
+			j, replay, lease, err := stb.Run(ctx)
+			if err != nil {
+				if ctx.Err() == nil {
+					log.Printf("igpartd: standby: %v", err)
+				}
+				return
+			}
+			j.SetFault(o.inj)
+			log.Printf("igpartd: standby takeover: lease term %d (owner %s)", lease.Term, lease.Owner)
+			if err := startLeader(j, replay, &lease); err != nil {
+				// Keep serving the 503 façade; the operator sees why.
+				log.Printf("igpartd: standby takeover failed: %v", err)
+			}
+		}()
+	} else {
+		var (
+			j      *cluster.Journal
+			replay []cluster.Record
+			lease  *cluster.Lease
+		)
+		if o.journalPath != "" {
+			jj, recs, l, err := cluster.TakeLeadership(o.journalPath, owner, o.leaseTTL)
+			if err != nil {
+				return err
+			}
+			jj.SetFault(o.inj)
+			j, replay, lease = jj, recs, &l
+		}
+		if err := startLeader(j, replay, lease); err != nil {
+			return err
+		}
+	}
+
+	drain := func(dctx context.Context) error {
+		cancel() // stop the standby tail and the membership watcher
+		if c := active.Load(); c != nil {
+			return c.Shutdown(dctx)
+		}
+		return nil
+	}
+	return serveHTTP(o.addr, o.readTO, o.writeTO, sw, drain, o.grace)
 }

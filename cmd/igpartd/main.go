@@ -19,6 +19,11 @@
 // consistent hashing on the netlist's content address, fails work over
 // when a backend dies, and journals accepted jobs durably so its own
 // restart loses nothing.
+//
+// The control plane itself is made highly available by a warm standby
+// sharing the journal path (-standby: tails the journal, takes over on
+// lease expiry), and the fleet can change live via a watchable
+// backends file (-backends-file; SIGHUP forces a reload).
 package main
 
 import (
@@ -56,11 +61,18 @@ func main() {
 		injectSeed    = flag.Int64("inject-seed", 1, "seed for the deterministic fault-injection streams")
 
 		// Cluster-mode flags. With -coordinator the engine flags above
-		// (-workers, -queue, -cache, -retry, -inject, job timeouts) are
-		// unused: the coordinator computes nothing itself.
+		// (-workers, -queue, -cache, -retry, job timeouts) are unused:
+		// the coordinator computes nothing itself. -inject stays live for
+		// the coordinator-side chaos points (coord.crash,
+		// journal.write-err).
 		coordinator     = flag.Bool("coordinator", false, "run as a cluster coordinator over -backends instead of solving locally")
-		backendsFlag    = flag.String("backends", "", "comma-separated backend URLs, each optionally name= prefixed (coordinator mode)")
+		backendsFlag    = flag.String("backends", "", "comma-separated backend URLs, each optionally name= prefixed (coordinator mode, static fleet)")
+		backendsFile    = flag.String("backends-file", "", "watchable backends file: one backend spec per line (name=URL or URL, '#' comments); polled for changes, SIGHUP forces a reload (coordinator mode, dynamic fleet)")
+		membershipPoll  = flag.Duration("membership-poll", 2*time.Second, "backends-file change poll cadence")
+		minDwell        = flag.Duration("min-dwell", 5*time.Second, "flapping guard: a backend re-added within this window of its removal waits it out before rejoining the ring (negative disables)")
 		journalPath     = flag.String("journal", "", "durable job journal path (JSONL, fsync'd; replayed on boot; empty disables)")
+		standby         = flag.Bool("standby", false, "run as a warm-standby coordinator: tail the shared -journal, serve 503s, and take over when the leader's lease expires")
+		leaseTTL        = flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "coordinator leadership lease horizon; the leader renews at a third of this, a standby takes over once it expires")
 		clusterAttempts = flag.Int("cluster-attempts", 0, "max submissions per job across failover hops (0 = 2x backend count)")
 		pollInterval    = flag.Duration("poll-interval", 50*time.Millisecond, "backend job status poll cadence")
 		probeInterval   = flag.Duration("probe-interval", 500*time.Millisecond, "backend /readyz health probe cadence (negative disables)")
@@ -80,24 +92,57 @@ func main() {
 		if !wtSet {
 			*writeTimeout = 0
 		}
-		backends, err := cluster.ParseBackends(*backendsFlag)
-		if err != nil {
-			log.Fatalf("igpartd: -backends: %v", err)
+		if (*backendsFlag == "") == (*backendsFile == "") {
+			log.Fatalf("igpartd: coordinator mode needs exactly one of -backends or -backends-file")
 		}
-		err = runCoordinator(*addr, *dataDir, *maxBody, *shutdownGrace, *readTimeout, *writeTimeout, cluster.Config{
-			Backends:      backends,
-			Attempts:      *clusterAttempts,
-			PollInterval:  *pollInterval,
-			ProbeInterval: *probeInterval,
-			Metrics:       new(igpart.MetricsRegistry),
-		}, *journalPath)
+		if *standby && *journalPath == "" {
+			log.Fatalf("igpartd: -standby requires -journal (the leadership lease lives there)")
+		}
+		reg := new(igpart.MetricsRegistry)
+		inj, err := igpart.ParseFaultSpec(*inject, *injectSeed, reg)
+		if err != nil {
+			log.Fatalf("igpartd: -inject: %v", err)
+		}
+		if inj != nil {
+			log.Printf("igpartd: FAULT INJECTION ARMED: %s", inj)
+		}
+		var backends []cluster.Backend
+		if *backendsFlag != "" {
+			backends, err = cluster.ParseBackends(*backendsFlag)
+			if err != nil {
+				log.Fatalf("igpartd: -backends: %v", err)
+			}
+		}
+		err = runCoordinator(coordOptions{
+			addr:    *addr,
+			dataDir: *dataDir,
+			maxBody: *maxBody,
+			grace:   *shutdownGrace,
+			readTO:  *readTimeout,
+			writeTO: *writeTimeout,
+			cfg: cluster.Config{
+				Backends:      backends,
+				Attempts:      *clusterAttempts,
+				PollInterval:  *pollInterval,
+				ProbeInterval: *probeInterval,
+				MinDwell:      *minDwell,
+				Metrics:       reg,
+				Fault:         inj,
+			},
+			journalPath:    *journalPath,
+			standby:        *standby,
+			leaseTTL:       *leaseTTL,
+			backendsFile:   *backendsFile,
+			membershipPoll: *membershipPoll,
+			inj:            inj,
+		})
 		if err != nil {
 			log.Fatalf("igpartd: %v", err)
 		}
 		return
 	}
-	if *backendsFlag != "" || *journalPath != "" {
-		log.Fatalf("igpartd: -backends/-journal require -coordinator")
+	if *backendsFlag != "" || *backendsFile != "" || *journalPath != "" || *standby {
+		log.Fatalf("igpartd: -backends/-backends-file/-journal/-standby require -coordinator")
 	}
 
 	reg := new(igpart.MetricsRegistry)

@@ -20,13 +20,21 @@ type Backend struct {
 	URL  string
 }
 
+// ErrDuplicateBackend rejects a backend list in which two entries
+// share a ring name. Letting the last one win would silently
+// double-count the name's virtual nodes and hide half the fleet.
+var ErrDuplicateBackend = errors.New("cluster: duplicate backend name")
+
 // ParseBackends parses the -backends flag: a comma-separated list of
 // URLs, each optionally prefixed "name=". Unnamed backends are called
 // b0, b1, … in flag order — positional names are fine for a static
 // fleet, but naming them explicitly keeps the ring stable when the
-// list is reordered.
+// list is reordered. Duplicate names (explicit, or an explicit name
+// colliding with a positional one) are rejected with
+// ErrDuplicateBackend.
 func ParseBackends(spec string) ([]Backend, error) {
 	var out []Backend
+	seen := make(map[string]bool)
 	for i, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -36,6 +44,10 @@ func ParseBackends(spec string) ([]Backend, error) {
 		if name, url, ok := strings.Cut(part, "="); ok && !strings.Contains(name, "/") {
 			b.Name, part = name, url
 		}
+		if seen[b.Name] {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateBackend, b.Name)
+		}
+		seen[b.Name] = true
 		if !strings.HasPrefix(part, "http://") && !strings.HasPrefix(part, "https://") {
 			part = "http://" + part
 		}
@@ -91,17 +103,21 @@ type backendJob struct {
 // re-probes /readyz so a dead backend is skipped at routing time
 // instead of burning a failed attempt per job.
 type client struct {
-	b       Backend
-	hc      *http.Client
-	timeout time.Duration
+	b            Backend
+	hc           *http.Client
+	timeout      time.Duration
+	probeTimeout time.Duration
 
 	mu      sync.Mutex
 	healthy bool
 	lastErr error
 }
 
-func newClient(b Backend, hc *http.Client, timeout time.Duration) *client {
-	return &client{b: b, hc: hc, timeout: timeout, healthy: true}
+func newClient(b Backend, hc *http.Client, timeout, probeTimeout time.Duration) *client {
+	if probeTimeout <= 0 || probeTimeout > timeout {
+		probeTimeout = timeout
+	}
+	return &client{b: b, hc: hc, timeout: timeout, probeTimeout: probeTimeout, healthy: true}
 }
 
 // Healthy reports the coordinator's current belief about the backend.
@@ -230,11 +246,15 @@ func (c *client) cancel(ctx context.Context, id string) {
 	_, _, _ = c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil)
 }
 
-// probe checks /readyz. Ready means route new work here; a live but
-// degraded backend (503) stays unhealthy for routing yet needs no
-// failover of running jobs — probe errors, not degradation, mark the
-// node dead.
+// probe checks /readyz under its own probe timeout — tighter than the
+// general request timeout, because a probe that needs ten seconds has
+// already answered the question. Ready means route new work here; a
+// live but degraded backend (503) stays unhealthy for routing yet
+// needs no failover of running jobs — probe errors, not degradation,
+// mark the node dead.
 func (c *client) probe(ctx context.Context) bool {
+	ctx, cancel := context.WithTimeout(ctx, c.probeTimeout)
+	defer cancel()
 	status, _, err := c.do(ctx, http.MethodGet, "/readyz", nil)
 	ok := err == nil && status == http.StatusOK
 	if err == nil {

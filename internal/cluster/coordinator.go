@@ -52,14 +52,15 @@ var (
 
 // Config sizes a Coordinator. Backends is the only required field.
 type Config struct {
-	// Backends is the static fleet, routed by consistent hashing.
+	// Backends is the boot-time fleet, routed by consistent hashing.
+	// UpdateBackends (or the backends-file watcher) changes it live.
 	Backends []Backend
 	// Replicas is the ring's virtual-node count per backend
 	// (default DefaultReplicas).
 	Replicas int
 	// Attempts bounds submissions per job across failover hops
-	// (default 2·len(Backends): every backend gets a second chance
-	// after a full lap of backoff).
+	// (default 2·current fleet size: every backend gets a second
+	// chance after a full lap of backoff).
 	Attempts int
 	// MaxInflight bounds concurrently dispatched jobs; accepted jobs
 	// beyond it wait, already journaled (default 128).
@@ -70,6 +71,10 @@ type Config struct {
 	// disables it (health then updates only from request outcomes),
 	// 0 means the default 500ms.
 	ProbeInterval time.Duration
+	// ProbeTimeout bounds each individual /readyz probe (default 2s,
+	// capped at RequestTimeout) so one hung backend cannot stall a
+	// probe round for the whole fleet.
+	ProbeTimeout time.Duration
 	// RequestTimeout bounds each backend HTTP call (default 10s).
 	RequestTimeout time.Duration
 	// RetryBaseDelay and RetryMaxDelay shape the capped exponential
@@ -80,22 +85,41 @@ type Config struct {
 	// MaxFinished bounds how many terminal jobs stay queryable
 	// (default 4096).
 	MaxFinished int
+	// MinDwell is the flapping guard for dynamic membership: a backend
+	// re-added within MinDwell of its removal is held out of the ring
+	// until the dwell passes (default 5s; negative disables).
+	MinDwell time.Duration
 	// Metrics receives the coordinator's counters and gauges; nil gets
 	// a private registry.
 	Metrics *obs.Registry
 	// Journal is the durable intake log; nil runs without durability.
 	Journal *Journal
+	// Fault arms the coordinator-side chaos points (coord.crash); nil
+	// disables them.
+	Fault *fault.Injector
+	// HA, when set, makes the coordinator maintain the leadership lease
+	// it was booted with: renew at TTL/3, depose itself if the lock
+	// file stops naming it.
+	HA *HAConfig
 	// HTTPClient overrides the backend transport (tests); nil uses a
 	// fresh http.Client.
 	HTTPClient *http.Client
 }
 
+// HAConfig carries the leadership state a coordinator must keep alive.
+type HAConfig struct {
+	// Lease is the lease held at boot, from TakeLeadership.
+	Lease Lease
+	// TTL is the lease horizon; renewals push the deadline this far
+	// into the future (default DefaultLeaseTTL).
+	TTL time.Duration
+	// LockPath is the O_EXCL leader lock file (LockPath(journalPath)).
+	LockPath string
+}
+
 func (c Config) withDefaults() Config {
 	if c.Replicas <= 0 {
 		c.Replicas = DefaultReplicas
-	}
-	if c.Attempts <= 0 {
-		c.Attempts = 2 * len(c.Backends)
 	}
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 128
@@ -108,6 +132,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.ProbeTimeout > c.RequestTimeout {
+		c.ProbeTimeout = c.RequestTimeout
+	}
+	if c.MinDwell == 0 {
+		c.MinDwell = 5 * time.Second
 	}
 	if c.RetryBaseDelay <= 0 {
 		c.RetryBaseDelay = 100 * time.Millisecond
@@ -218,19 +251,32 @@ type Batch struct {
 // Coordinator routes jobs across the backend fleet: consistent-hash
 // placement, health-aware failover with bounded backed-off
 // resubmission, and a durable journal so accepted work survives a
-// coordinator restart.
+// coordinator restart. The fleet itself is dynamic — UpdateBackends
+// swaps the ring and client set live, draining removed backends'
+// in-flight jobs through the ordinary failover path.
 type Coordinator struct {
 	cfg     Config
 	reg     *obs.Registry
-	ring    *Ring
-	clients map[string]*client
 	journal *Journal
+
+	// topoMu guards the routable topology. Rings are immutable, so a
+	// membership change builds a new ring and swaps the pointer;
+	// runners holding an old ring's route simply fail over into the
+	// new topology when their backend disappears from clients.
+	topoMu   sync.RWMutex
+	ring     *Ring
+	backends []Backend
+	clients  map[string]*client
+	removed  map[string]time.Time // name → removal time, for the flap guard
 
 	ctx       context.Context
 	abort     context.CancelCauseFunc
 	wg        sync.WaitGroup // job runners
 	probeWG   sync.WaitGroup
 	probeStop chan struct{}
+	leaseWG   sync.WaitGroup
+	leaseStop chan struct{}
+	stopOnce  sync.Once
 	sem       chan struct{} // MaxInflight dispatch slots
 
 	mu       sync.Mutex
@@ -241,7 +287,8 @@ type Coordinator struct {
 }
 
 // New builds a coordinator over the configured backends and starts its
-// health prober. Call Recover next when booting with a journal.
+// health prober (and, under HA, its lease-renewal loop). Call Recover
+// next when booting with a journal.
 func New(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	names := make([]string, len(cfg.Backends))
@@ -257,21 +304,29 @@ func New(cfg Config) (*Coordinator, error) {
 		cfg:       cfg,
 		reg:       cfg.Metrics,
 		ring:      ring,
+		backends:  append([]Backend(nil), cfg.Backends...),
 		clients:   make(map[string]*client, len(cfg.Backends)),
+		removed:   make(map[string]time.Time),
 		journal:   cfg.Journal,
 		ctx:       ctx,
 		abort:     abort,
 		probeStop: make(chan struct{}),
+		leaseStop: make(chan struct{}),
 		sem:       make(chan struct{}, cfg.MaxInflight),
 		jobs:      make(map[string]*Job),
 	}
 	for _, b := range cfg.Backends {
-		c.clients[b.Name] = newClient(b, cfg.HTTPClient, cfg.RequestTimeout)
+		c.clients[b.Name] = newClient(b, cfg.HTTPClient, cfg.RequestTimeout, cfg.ProbeTimeout)
 	}
 	c.reg.Gauge("cluster.backends_healthy").Set(float64(len(cfg.Backends)))
+	c.reg.Gauge("cluster.backends_total").Set(float64(len(cfg.Backends)))
 	if cfg.ProbeInterval > 0 {
 		c.probeWG.Add(1)
 		go c.prober()
+	}
+	if cfg.HA != nil {
+		c.leaseWG.Add(1)
+		go c.renewLease()
 	}
 	return c, nil
 }
@@ -279,8 +334,81 @@ func New(cfg Config) (*Coordinator, error) {
 // Metrics returns the coordinator's metrics registry.
 func (c *Coordinator) Metrics() *obs.Registry { return c.reg }
 
-// Ring returns the routing ring (read-only).
-func (c *Coordinator) Ring() *Ring { return c.ring }
+// Ring returns the current routing ring (immutable; a membership
+// change swaps in a new one).
+func (c *Coordinator) Ring() *Ring {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return c.ring
+}
+
+// attemptBudget is the per-job failover budget: the configured cap, or
+// two laps of the current fleet.
+func (c *Coordinator) attemptBudget() int {
+	if c.cfg.Attempts > 0 {
+		return c.cfg.Attempts
+	}
+	c.topoMu.RLock()
+	n := len(c.backends)
+	c.topoMu.RUnlock()
+	if n == 0 {
+		n = 1
+	}
+	return 2 * n
+}
+
+// renewLease keeps the leadership lease alive. Every TTL/3 it checks
+// the lock file still names this coordinator — if not, a standby
+// fenced us out, and the only safe move is to depose: stop intake and
+// abort runners crash-style, leaving unfinished jobs journaled for the
+// new leader's replay. A failed renewal write is retried on the next
+// tick; if the writes keep failing, the lease expires and the standby
+// takes over, which is the designed outcome for a leader that lost its
+// disk.
+func (c *Coordinator) renewLease() {
+	defer c.leaseWG.Done()
+	ha := c.cfg.HA
+	ttl := ha.TTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	interval := ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	c.reg.Gauge("cluster.lease.term").Set(float64(ha.Lease.Term))
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.leaseStop:
+			return
+		case <-t.C:
+		}
+		if owner, err := readLockOwner(ha.LockPath); err != nil || owner != ha.Lease.Owner {
+			c.reg.Counter("cluster.lease.lost").Add(1)
+			c.depose()
+			return
+		}
+		l := Lease{Term: ha.Lease.Term, Owner: ha.Lease.Owner, Deadline: time.Now().Add(ttl)}
+		if err := c.journal.Lease(l); err != nil {
+			c.reg.Counter("cluster.lease.write_errors").Add(1)
+			continue
+		}
+		c.reg.Counter("cluster.lease.renewals").Add(1)
+	}
+}
+
+// depose stops this coordinator as if it had crashed: intake closes,
+// runners abort without journaling completions, and the journaled
+// unfinished set is left for the successor's replay. Used when a
+// standby fences us out and by the coord.crash chaos point.
+func (c *Coordinator) depose() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.abort(errAborted)
+}
 
 // prober re-probes every backend's /readyz on a fixed cadence so dead
 // nodes are skipped at routing time rather than discovered one failed
@@ -300,19 +428,29 @@ func (c *Coordinator) prober() {
 }
 
 // probeAll probes all backends concurrently and updates the healthy
-// gauge.
+// gauge. Each probe carries its own ProbeTimeout-bounded context (see
+// client.probe), so one hung backend delays the round by at most that
+// timeout instead of the full RequestTimeout.
 func (c *Coordinator) probeAll() {
-	var wg sync.WaitGroup
+	c.topoMu.RLock()
+	clients := make([]*client, 0, len(c.clients))
 	for _, cl := range c.clients {
+		clients = append(clients, cl)
+	}
+	c.topoMu.RUnlock()
+	var wg sync.WaitGroup
+	for _, cl := range clients {
 		wg.Add(1)
 		go func(cl *client) {
 			defer wg.Done()
-			cl.probe(c.ctx)
+			if !cl.probe(c.ctx) {
+				c.reg.Counter("cluster.probe.failures").Add(1)
+			}
 		}(cl)
 	}
 	wg.Wait()
 	healthy := 0
-	for _, cl := range c.clients {
+	for _, cl := range clients {
 		if cl.Healthy() {
 			healthy++
 		}
@@ -370,6 +508,14 @@ func (c *Coordinator) submit(batch, key string, body json.RawMessage) (*Job, err
 		// point of the journal is that accepted == durable.
 		return nil, err
 	}
+	if c.cfg.Fault.Active(fault.CoordCrash) {
+		// Die between journaling and dispatching — the worst-timed crash:
+		// the record is durable but no backend has seen the job. The
+		// successor's replay must resurface it under this exact ID.
+		c.reg.Counter("cluster.coord.crashes").Add(1)
+		c.depose()
+		return nil, ErrShutdown
+	}
 	return c.start(id, batch, key, body), nil
 }
 
@@ -398,7 +544,9 @@ func (c *Coordinator) SubmitDelta(ctx context.Context, baseID string, body json.
 	if snap.State != StateDone || snap.Backend == "" || snap.BackendJob == "" {
 		return nil, fmt.Errorf("%w: job %s is %s", ErrNotWarmStartable, baseID, snap.State)
 	}
+	c.topoMu.RLock()
 	cl, ok := c.clients[snap.Backend]
+	c.topoMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: backend %s left the fleet", ErrNotWarmStartable, snap.Backend)
 	}
@@ -568,7 +716,7 @@ func (c *Coordinator) run(j *Job) {
 	}()
 	c.reg.Gauge("cluster.jobs_inflight").Set(float64(len(c.sem)))
 
-	order := c.ring.Route(j.key)
+	order := c.Ring().Route(j.key)
 	// FNV-1a over the job ID: per-job deterministic jitter streams, the
 	// same scheme the backend engine uses for its solve retries.
 	seed := uint64(14695981039346656037)
@@ -576,7 +724,8 @@ func (c *Coordinator) run(j *Job) {
 		seed = (seed ^ uint64(j.id[i])) * 1099511628211
 	}
 	var lastErr error
-	for attempt := 1; attempt <= c.cfg.Attempts; attempt++ {
+	budget := c.attemptBudget()
+	for attempt := 1; attempt <= budget; attempt++ {
 		if j.ctx.Err() != nil {
 			c.finishAborted(j)
 			return
@@ -592,6 +741,16 @@ func (c *Coordinator) run(j *Job) {
 			}
 		}
 		cl := c.pick(order, attempt-1)
+		if cl == nil {
+			// Every backend in the routed order left the fleet since this
+			// job was routed: re-route on the current ring.
+			order = c.Ring().Route(j.key)
+			cl = c.pick(order, attempt-1)
+		}
+		if cl == nil {
+			c.finish(j, StateFailed, nil, errors.New("cluster: no routable backend in the current fleet"))
+			return
+		}
 		j.mu.Lock()
 		j.state = StateRunning
 		j.backend = cl.b.Name
@@ -634,7 +793,7 @@ func (c *Coordinator) run(j *Job) {
 		}
 	}
 	c.finish(j, StateFailed, nil,
-		fmt.Errorf("cluster: no backend completed the job after %d attempts: %w", c.cfg.Attempts, lastErr))
+		fmt.Errorf("cluster: no backend completed the job after %d attempts: %w", budget, lastErr))
 }
 
 // pollErrLimit is how many consecutive poll failures declare the
@@ -674,17 +833,29 @@ func (c *Coordinator) pollUntilTerminal(j *Job, cl *client, bid string) (*backen
 
 // pick chooses the backend for a given failover hop: ring order from
 // the hop offset, preferring the first backend currently believed
-// healthy, falling back to the nominal choice when the whole fleet
-// looks down (it may have recovered since the last probe).
+// healthy, falling back to the first still-present choice when the
+// whole fleet looks down (it may have recovered since the last
+// probe). Backends that left the fleet since the order was computed
+// are skipped; nil means none of the routed backends exist anymore
+// and the caller must re-route.
 func (c *Coordinator) pick(order []string, hop int) *client {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
 	n := len(order)
+	var fallback *client
 	for i := 0; i < n; i++ {
 		cl := c.clients[order[(hop+i)%n]]
+		if cl == nil {
+			continue
+		}
+		if fallback == nil {
+			fallback = cl
+		}
 		if cl.Healthy() {
 			return cl
 		}
 	}
-	return c.clients[order[hop%n]]
+	return fallback
 }
 
 // cancelBackend best-effort cancels the backend's copy of a job; the
@@ -775,19 +946,32 @@ type BackendStatus struct {
 	Detail  json.RawMessage `json:"detail,omitempty"`
 }
 
+// Backends returns the current fleet in configuration order.
+func (c *Coordinator) Backends() []Backend {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return append([]Backend(nil), c.backends...)
+}
+
 // Status live-probes every backend's /readyz and returns per-backend
 // readiness in configuration order.
 func (c *Coordinator) Status(ctx context.Context) []BackendStatus {
-	out := make([]BackendStatus, len(c.cfg.Backends))
+	c.topoMu.RLock()
+	backends := append([]Backend(nil), c.backends...)
+	clients := make([]*client, len(backends))
+	for i, b := range backends {
+		clients[i] = c.clients[b.Name]
+	}
+	c.topoMu.RUnlock()
+	out := make([]BackendStatus, len(backends))
 	var wg sync.WaitGroup
-	for i, b := range c.cfg.Backends {
+	for i, b := range backends {
 		wg.Add(1)
-		go func(i int, b Backend) {
+		go func(i int, b Backend, cl *client) {
 			defer wg.Done()
-			cl := c.clients[b.Name]
 			ready, detail := cl.readyz(ctx)
 			out[i] = BackendStatus{Name: b.Name, URL: b.URL, Ready: ready, Healthy: cl.Healthy(), Detail: detail}
-		}(i, b)
+		}(i, b, clients[i])
 	}
 	wg.Wait()
 	return out
@@ -796,12 +980,18 @@ func (c *Coordinator) Status(ctx context.Context) []BackendStatus {
 // GatherMetrics fetches every backend's /metrics concurrently; a dead
 // backend maps to null so the aggregate never blocks on fleet health.
 func (c *Coordinator) GatherMetrics(ctx context.Context) map[string]json.RawMessage {
-	out := make(map[string]json.RawMessage, len(c.clients))
+	c.topoMu.RLock()
+	clients := make(map[string]*client, len(c.clients))
+	for name, cl := range c.clients {
+		clients[name] = cl
+	}
+	c.topoMu.RUnlock()
+	out := make(map[string]json.RawMessage, len(clients))
 	var (
 		mu sync.Mutex
 		wg sync.WaitGroup
 	)
-	for name, cl := range c.clients {
+	for name, cl := range clients {
 		wg.Add(1)
 		go func(name string, cl *client) {
 			defer wg.Done()
@@ -823,15 +1013,18 @@ func (c *Coordinator) GatherMetrics(ctx context.Context) map[string]json.RawMess
 // completion. If ctx fires first the remaining runners abort without
 // journaling completions — exactly a crash from the journal's point of
 // view, so the next boot replays them; the ctx error is returned.
+// Under HA the leader lock is released (if still ours) so a standby
+// can take over without waiting out the lease window.
 func (c *Coordinator) Shutdown(ctx context.Context) error {
 	c.mu.Lock()
-	first := !c.closed
 	c.closed = true
 	c.mu.Unlock()
-	if first {
+	c.stopOnce.Do(func() {
 		close(c.probeStop)
-	}
+		close(c.leaseStop)
+	})
 	c.probeWG.Wait()
+	c.leaseWG.Wait()
 
 	drained := make(chan struct{})
 	go func() {
@@ -848,6 +1041,9 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	}
 	if jerr := c.journal.Close(); err == nil && jerr != nil {
 		err = jerr
+	}
+	if ha := c.cfg.HA; ha != nil {
+		releaseLock(ha.LockPath, ha.Lease.Owner)
 	}
 	return err
 }

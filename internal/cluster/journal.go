@@ -11,9 +11,15 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"igpart/internal/fault"
 )
 
-// Record is one journal line. Three kinds exist:
+// errInjectedWrite marks a journal append failed by the
+// journal.write-err fault point rather than by the filesystem.
+var errInjectedWrite = errors.New("injected fault")
+
+// Record is one journal line. Four kinds exist:
 //
 //   - accept: the coordinator took responsibility for a job — the full
 //     forwarded request body and routing key are stored, so the job can
@@ -23,6 +29,10 @@ import (
 //     accept/done pairs, which would otherwise regress the ID counter
 //     Recover derives from the highest ID seen; the mark pins that
 //     high-water ID in the compacted file. Unfinished ignores marks.
+//   - lease: a leadership claim or renewal — term number, owner
+//     identity, and deadline. The newest lease (highest term, then
+//     latest deadline) tells a standby tailing the journal whether the
+//     leader is still alive; compaction always preserves it.
 //
 // A job that has an accept but no done record is unfinished: a
 // coordinator crash happened between accepting and completing it, and
@@ -31,12 +41,17 @@ import (
 // function of the request and the backends' content-addressed caches
 // usually turn the re-run into a hit.
 type Record struct {
-	T     string          `json:"t"` // "accept" | "done" | "mark"
-	Job   string          `json:"job"`
+	T     string          `json:"t"` // "accept" | "done" | "mark" | "lease"
+	Job   string          `json:"job,omitempty"`
 	Batch string          `json:"batch,omitempty"`
 	Key   string          `json:"key,omitempty"`
 	Body  json.RawMessage `json:"body,omitempty"`
 	State string          `json:"state,omitempty"`
+
+	// Lease fields (T == "lease").
+	Term     int64  `json:"term,omitempty"`
+	Owner    string `json:"owner,omitempty"`
+	Deadline int64  `json:"deadline,omitempty"` // unix nanoseconds
 }
 
 // Journal is the coordinator's durable intake log: append-only JSONL,
@@ -45,8 +60,21 @@ type Record struct {
 // record is on disk, so an accepted batch survives a SIGKILL. A nil
 // *Journal is a disabled journal: appends succeed as no-ops.
 type Journal struct {
-	mu sync.Mutex
-	f  *os.File
+	mu  sync.Mutex
+	f   *os.File
+	inj *fault.Injector
+}
+
+// SetFault arms the journal.write-err injection point: when it fires,
+// an append fails before touching disk, exactly as a full or failing
+// volume would.
+func (j *Journal) SetFault(inj *fault.Injector) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.inj = inj
+	j.mu.Unlock()
 }
 
 // OpenJournal opens (creating if absent) the journal at path and
@@ -71,41 +99,10 @@ func OpenJournal(path string) (*Journal, []Record, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("cluster: open journal: %w", err)
 	}
-	var recs []Record
-	br := bufio.NewReaderSize(f, 64*1024)
-	var off int64 // byte offset just past the last fully-persisted line
-	for {
-		line, rerr := br.ReadBytes('\n')
-		if rerr != nil && !errors.Is(rerr, io.EOF) {
-			f.Close()
-			return nil, nil, fmt.Errorf("cluster: read journal: %w", rerr)
-		}
-		complete := rerr == nil // the line carries its terminating newline
-		if body := bytes.TrimSuffix(line, []byte{'\n'}); len(body) > 0 {
-			var r Record
-			if jerr := json.Unmarshal(body, &r); jerr != nil {
-				// Only the torn tail of a crashed write is tolerated; garbage
-				// followed by valid records means the file is not ours.
-				if complete {
-					if _, perr := br.Peek(1); perr == nil {
-						f.Close()
-						return nil, nil, fmt.Errorf("cluster: corrupt journal record: %v", jerr)
-					}
-				}
-				break
-			}
-			if !complete {
-				// Parseable JSON but no newline: the write (line then Sync)
-				// never finished, so the record was never acknowledged —
-				// drop it with the rest of the torn tail.
-				break
-			}
-			recs = append(recs, r)
-		}
-		if !complete {
-			break
-		}
-		off += int64(len(line))
+	recs, off, err := scanJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
 	}
 	if end, serr := f.Seek(0, io.SeekEnd); serr != nil {
 		f.Close()
@@ -137,11 +134,58 @@ func OpenJournal(path string) (*Journal, []Record, error) {
 	return &Journal{f: f}, recs, nil
 }
 
+// scanJournal reads complete records off r, returning them along with
+// the byte offset just past the last fully-persisted line. A torn
+// final line — the crash happened mid-write — is tolerated and simply
+// excluded from off; a complete garbage line followed by valid data
+// means the file is not a journal (or was rewritten underneath the
+// reader) and is reported as an error. The standby tailer reuses this
+// on the suffix of the leader's live journal.
+func scanJournal(r io.Reader) ([]Record, int64, error) {
+	var recs []Record
+	br := bufio.NewReaderSize(r, 64*1024)
+	var off int64 // byte offset just past the last fully-persisted line
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return nil, 0, fmt.Errorf("cluster: read journal: %w", rerr)
+		}
+		complete := rerr == nil // the line carries its terminating newline
+		if body := bytes.TrimSuffix(line, []byte{'\n'}); len(body) > 0 {
+			var rec Record
+			if jerr := json.Unmarshal(body, &rec); jerr != nil {
+				// Only the torn tail of a crashed write is tolerated; garbage
+				// followed by valid records means the file is not ours.
+				if complete {
+					if _, perr := br.Peek(1); perr == nil {
+						return nil, 0, fmt.Errorf("cluster: corrupt journal record: %v", jerr)
+					}
+				}
+				break
+			}
+			if !complete {
+				// Parseable JSON but no newline: the write (line then Sync)
+				// never finished, so the record was never acknowledged —
+				// drop it with the rest of the torn tail.
+				break
+			}
+			recs = append(recs, rec)
+		}
+		if !complete {
+			break
+		}
+		off += int64(len(line))
+	}
+	return recs, off, nil
+}
+
 // compactRecords reduces a replayed record set to what future boots
 // need: a mark pinning the high-water job/batch ID (so dropping
-// completed jobs cannot regress Recover's ID counter) plus the
-// unfinished accepts in order. Returns the input-sized slice when
-// compaction would not shrink the file.
+// completed jobs cannot regress Recover's ID counter), the newest
+// lease record (a standby must still see who led last and at what
+// term, or takeover would reuse term numbers), plus the unfinished
+// accepts in order. Returns the input-sized slice when compaction
+// would not shrink the file.
 func compactRecords(recs []Record) []Record {
 	maxID := int64(0)
 	for _, r := range recs {
@@ -154,9 +198,12 @@ func compactRecords(recs []Record) []Record {
 		}
 	}
 	unfinished := Unfinished(recs)
-	kept := make([]Record, 0, len(unfinished)+1)
+	kept := make([]Record, 0, len(unfinished)+2)
 	if maxID > 0 {
 		kept = append(kept, Record{T: "mark", Job: fmt.Sprintf("cjob-%d", maxID)})
+	}
+	if lease, ok := LatestLease(recs); ok {
+		kept = append(kept, lease.record())
 	}
 	kept = append(kept, unfinished...)
 	if len(kept) >= len(recs) {
@@ -224,6 +271,9 @@ func (j *Journal) append(r Record) error {
 	if j.f == nil {
 		return nil // closed: the coordinator is past the point of journaling
 	}
+	if j.inj.Active(fault.JournalWriteErr) {
+		return fmt.Errorf("cluster: journal write: %w", errInjectedWrite)
+	}
 	if _, err := j.f.Write(line); err != nil {
 		return fmt.Errorf("cluster: journal write: %w", err)
 	}
@@ -242,6 +292,13 @@ func (j *Journal) Accept(job, batch, key string, body json.RawMessage) error {
 // Complete journals a job's terminal state.
 func (j *Journal) Complete(job, state string) error {
 	return j.append(Record{T: "done", Job: job, State: state})
+}
+
+// Lease journals a leadership claim or renewal. Like every record it
+// is fsync'd before returning — a standby trusts only what is durably
+// on disk, so an unsynced renewal is no renewal at all.
+func (j *Journal) Lease(l Lease) error {
+	return j.append(l.record())
 }
 
 // Close releases the journal file. Appends after Close are dropped —

@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"igpart/internal/fault"
 )
 
 func TestJournalRoundTrip(t *testing.T) {
@@ -332,5 +336,147 @@ func TestJournalAppendAfterClose(t *testing.T) {
 	}
 	if err := nilJ.Close(); err != nil {
 		t.Fatalf("nil journal close: %v", err)
+	}
+}
+
+// Compaction keeps exactly one lease record — the newest by term, then
+// deadline — no matter how many claims and renewals the journal has
+// accumulated. Dropping it would let the next takeover reuse a term;
+// keeping an old one would misreport who led last.
+func TestJournalCompactionPreservesNewestLease(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now()
+	leases := []Lease{
+		{Term: 1, Owner: "a", Deadline: base.Add(time.Second)},
+		{Term: 2, Owner: "b", Deadline: base.Add(2 * time.Second)},
+		{Term: 2, Owner: "b", Deadline: base.Add(5 * time.Second)}, // renewal
+	}
+	for i, l := range leases {
+		if err := j.Lease(l); err != nil {
+			t.Fatal(err)
+		}
+		// Interleave completed work so compaction has something to drop.
+		id := fmt.Sprintf("cjob-%d", i+1)
+		if err := j.Accept(id, "", "k", json.RawMessage(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Complete(id, StateDone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	nLease := 0
+	for _, r := range recs {
+		if r.T == "lease" {
+			nLease++
+		}
+	}
+	if nLease != 1 {
+		t.Fatalf("compacted journal keeps %d lease records, want exactly 1 (%+v)", nLease, recs)
+	}
+	l, ok := LatestLease(recs)
+	if !ok || l.Term != 2 || l.Owner != "b" {
+		t.Fatalf("surviving lease = %+v, want term 2 owner b", l)
+	}
+	if !l.Deadline.Equal(leases[2].Deadline.Truncate(0)) && l.Deadline.UnixNano() != leases[2].Deadline.UnixNano() {
+		t.Fatalf("surviving lease deadline %v, want the renewal's %v", l.Deadline, leases[2].Deadline)
+	}
+}
+
+// Compact-then-recover with a live lease: a coordinator booting from a
+// compacted journal (mark + lease + unfinished) must resubmit exactly
+// the unfinished set under the original IDs and keep counting above the
+// mark — the lease record must not confuse either derivation.
+func TestJournalCompactedLeaseRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Lease(Lease{Term: 3, Owner: "a", Deadline: time.Now().Add(time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"cjob-6", "cjob-7", "cjob-8"} {
+		if err := j.Accept(id, "", "key-"+id, json.RawMessage(`{"seed":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"cjob-6", "cjob-8"} {
+		if err := j.Complete(id, StateDone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, recs, err := OpenJournal(path) // compacts: mark + lease + cjob-7
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if un := Unfinished(recs); len(un) != 1 || un[0].Job != "cjob-7" {
+		t.Fatalf("unfinished = %+v, want cjob-7", un)
+	}
+	if l, ok := LatestLease(recs); !ok || l.Term != 3 {
+		t.Fatalf("lease lost in compaction: %+v ok=%v", l, ok)
+	}
+	c, err := New(Config{Backends: []Backend{{Name: "b0", URL: "http://127.0.0.1:1"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown(context.Background())
+	n := c.Recover(recs)
+	if n != 1 {
+		t.Fatalf("Recover resubmitted %d jobs, want 1", n)
+	}
+	if _, ok := c.Get("cjob-7"); !ok {
+		t.Fatal("recovered job not tracked under its original ID")
+	}
+	c.mu.Lock()
+	next := c.nextID
+	c.mu.Unlock()
+	if next < 8 {
+		t.Fatalf("recovered nextID = %d, want >= 8 (mark must outlive the lease)", next)
+	}
+}
+
+// The journal.write-err fault point fails the append before any byte
+// reaches disk — the coordinator must surface the error instead of
+// acknowledging a job it cannot durably own.
+func TestJournalWriteErrInjection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.New(1, nil, fault.Rule{Point: fault.JournalWriteErr, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetFault(inj)
+	if err := j.Accept("cjob-1", "", "k", json.RawMessage(`{}`)); err == nil {
+		t.Fatal("injected write error not surfaced")
+	}
+	// Limit=1: the fault is spent, the journal works again.
+	if err := j.Accept("cjob-2", "", "k", json.RawMessage(`{}`)); err != nil {
+		t.Fatalf("journal did not recover after injected fault: %v", err)
+	}
+	j.Close()
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != 1 || recs[0].Job != "cjob-2" {
+		t.Fatalf("replayed %+v, want only the acknowledged cjob-2", recs)
 	}
 }

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// DefaultLeaseTTL is the leadership lease horizon when none is
+// configured: long enough that a busy leader renewing at TTL/3 never
+// misses, short enough that takeover is fast.
+const DefaultLeaseTTL = 3 * time.Second
+
+// ErrLeaseHeld reports that the journal's leadership lease is still
+// owned by a live leader: the lease has not expired and the lock file
+// names a process that cannot be shown dead. Standbys poll until the
+// leader stops renewing.
+var ErrLeaseHeld = errors.New("cluster: journal lease held by a live leader")
+
+// Lease is a coordinator leadership claim over a shared journal. The
+// term is a fencing token: each takeover increments it, so records
+// from a deposed leader are distinguishable from the new leader's.
+type Lease struct {
+	Term     int64
+	Owner    string
+	Deadline time.Time
+}
+
+// Expired reports whether the lease deadline has passed.
+func (l Lease) Expired(now time.Time) bool {
+	return !l.Deadline.After(now)
+}
+
+func (l Lease) record() Record {
+	return Record{T: "lease", Term: l.Term, Owner: l.Owner, Deadline: l.Deadline.UnixNano()}
+}
+
+// LatestLease returns the winning lease in a replayed record set: the
+// highest term, and within a term (renewals keep their term) the
+// latest deadline.
+func LatestLease(recs []Record) (Lease, bool) {
+	var best Lease
+	found := false
+	for _, r := range recs {
+		if r.T != "lease" {
+			continue
+		}
+		l := Lease{Term: r.Term, Owner: r.Owner, Deadline: time.Unix(0, r.Deadline)}
+		if !found || l.Term > best.Term || (l.Term == best.Term && !l.Deadline.Before(best.Deadline)) {
+			best, found = l, true
+		}
+	}
+	return best, found
+}
+
+// LeaseOwnerID identifies this process in lease and lock records:
+// host/pid, distinct across every process that could share a journal
+// path (same host via pid, replicated path via hostname).
+func LeaseOwnerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "unknown"
+	}
+	return fmt.Sprintf("%s/%d", host, os.Getpid())
+}
+
+// LockPath returns the leader lock file guarding the journal at path.
+func LockPath(journalPath string) string {
+	return journalPath + ".lock"
+}
+
+// readLockOwner returns the owner string inside the lock file.
+func readLockOwner(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(b)), nil
+}
+
+// lockHolderDead reports whether the lock's recorded owner is a
+// same-host process that demonstrably no longer exists. Only a
+// provable death breaks a lock early; a holder on another host (the
+// replicated-journal topology) must instead let its lease expire.
+func lockHolderDead(owner string) bool {
+	host, pidStr, ok := strings.Cut(owner, "/")
+	if !ok {
+		return false
+	}
+	if self, err := os.Hostname(); err != nil || host != self {
+		return false
+	}
+	pid, err := strconv.Atoi(pidStr)
+	if err != nil || pid <= 0 || pid == os.Getpid() {
+		return false
+	}
+	proc, err := os.FindProcess(pid)
+	if err != nil {
+		return true
+	}
+	serr := proc.Signal(syscall.Signal(0))
+	// EPERM means the pid exists under another uid — alive.
+	return serr != nil && !errors.Is(serr, syscall.EPERM)
+}
+
+// acquireLock creates the lock file with O_EXCL, making lock
+// acquisition atomic even between processes racing on the same
+// journal: exactly one O_CREATE|O_EXCL open succeeds.
+func acquireLock(path, owner string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := fmt.Fprintln(f, owner)
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(path)
+		return fmt.Errorf("cluster: write leader lock: %w", werr)
+	}
+	return nil
+}
+
+// releaseLock removes the lock file iff it still names owner. A
+// deposed leader must not delete the lock its successor now holds.
+func releaseLock(path, owner string) {
+	if cur, err := readLockOwner(path); err == nil && cur == owner {
+		os.Remove(path)
+	}
+}
+
+// peekLease scans the journal read-only for the current lease, without
+// opening it for append (that is the leader's privilege).
+func peekLease(path string) (Lease, bool, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return Lease{}, false, nil
+	}
+	if err != nil {
+		return Lease{}, false, fmt.Errorf("cluster: peek journal lease: %w", err)
+	}
+	defer f.Close()
+	recs, _, err := scanJournal(f)
+	if err != nil {
+		return Lease{}, false, err
+	}
+	l, ok := LatestLease(recs)
+	return l, ok, nil
+}
+
+// TakeLeadership claims single-writer ownership of the journal at
+// path: verify that no live leader holds it, take the O_EXCL lock
+// file, open (and compact) the journal, and fsync a fresh lease one
+// term past the previous leader's. On success the caller is the
+// leader and must keep renewing the lease.
+//
+// Leadership is takeable when the previous lease has expired, when the
+// lock holder is a same-host process that provably died, or when no
+// lock file exists at all (a graceful shutdown releases the lock
+// early, letting a standby skip the rest of the lease window; a live
+// leader whose lock vanishes deposes itself at its next renewal, so
+// the fencing still holds). ErrLeaseHeld means none of those — keep
+// polling.
+func TakeLeadership(path, owner string, ttl time.Duration) (*Journal, []Record, Lease, error) {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	prev, havePrev, err := peekLease(path)
+	if err != nil {
+		return nil, nil, Lease{}, err
+	}
+	lockPath := LockPath(path)
+	holder, herr := readLockOwner(lockPath)
+	switch {
+	case herr == nil && holder == owner:
+		// Our own stale lock (a crashed previous run of this very
+		// process identity); fall through and re-create it.
+		os.Remove(lockPath)
+	case herr == nil:
+		expired := havePrev && prev.Expired(time.Now())
+		if !expired && !lockHolderDead(holder) {
+			// No lease yet but a lock: the holder is between locking and
+			// its first lease write — still a live claim.
+			return nil, nil, Lease{}, fmt.Errorf("%w (owner %s, term %d)", ErrLeaseHeld, holder, prev.Term)
+		}
+		os.Remove(lockPath)
+	case !os.IsNotExist(herr):
+		return nil, nil, Lease{}, fmt.Errorf("cluster: read leader lock: %w", herr)
+	}
+	if err := acquireLock(lockPath, owner); err != nil {
+		if os.IsExist(err) {
+			// Another standby won the O_EXCL race this instant.
+			return nil, nil, Lease{}, fmt.Errorf("%w (lost lock race)", ErrLeaseHeld)
+		}
+		return nil, nil, Lease{}, fmt.Errorf("cluster: acquire leader lock: %w", err)
+	}
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		releaseLock(lockPath, owner)
+		return nil, nil, Lease{}, err
+	}
+	term := int64(1)
+	if l, ok := LatestLease(recs); ok {
+		term = l.Term + 1
+	}
+	lease := Lease{Term: term, Owner: owner, Deadline: time.Now().Add(ttl)}
+	if err := j.Lease(lease); err != nil {
+		j.Close()
+		releaseLock(lockPath, owner)
+		return nil, nil, Lease{}, fmt.Errorf("cluster: write initial lease: %w", err)
+	}
+	return j, recs, lease, nil
+}

@@ -18,7 +18,8 @@ import (
 // DefaultReplicas is the virtual-node count per backend. 128 vnodes
 // keep per-backend key shares within a few tens of percent of even
 // while the ring stays small enough to rebuild on every topology
-// change (rebuilds are rare: the backend set is static per process).
+// change (rebuilds happen on membership reloads, which are operator
+// actions, not hot-path events).
 const DefaultReplicas = 128
 
 // Ring is an immutable consistent-hash ring over named backends. Keys
@@ -103,6 +104,23 @@ func (r *Ring) Route(key string) []string {
 		}
 	}
 	return out
+}
+
+// MovedKeys estimates ring churn between two topologies: of n
+// synthetic keys, how many route to a different owner on after than on
+// before. For a consistent-hash ring the expectation is n·(share of
+// the ring the changed backends own) — adding one node to a fleet of k
+// moves about n/(k+1) keys, never a full rehash. The key stream is
+// fixed, so the estimate is deterministic.
+func MovedKeys(before, after *Ring, n int) int {
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("movedkeys-sample-%d", i)
+		if before.Owner(key) != after.Owner(key) {
+			moved++
+		}
+	}
+	return moved
 }
 
 // succ returns the index of the key's successor vnode.

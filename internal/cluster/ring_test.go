@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"testing"
 )
@@ -150,5 +151,52 @@ func TestParseBackends(t *testing.T) {
 	}
 	if _, err := ParseBackends(" , "); err == nil {
 		t.Error("empty spec accepted")
+	}
+}
+
+// Duplicate backend names are a typed error from ParseBackends — a
+// silent duplicate would double one backend's ring share, so both the
+// explicit-name and positional-name collision shapes must be caught.
+func TestParseBackendsRejectsDuplicates(t *testing.T) {
+	cases := []string{
+		"a=http://h1,a=http://h2",          // explicit vs explicit
+		"b1=http://h1,http://h2",           // explicit vs positional (entry 1 auto-names b1)
+		"http://h1,b0=http://h2",           // positional vs explicit
+		"http://h1,http://h2,b1=http://h3", // positional vs later explicit
+	}
+	for _, spec := range cases {
+		if _, err := ParseBackends(spec); !errors.Is(err, ErrDuplicateBackend) {
+			t.Errorf("ParseBackends(%q) = %v, want ErrDuplicateBackend", spec, err)
+		}
+	}
+	// Distinct names sharing a URL are fine — that is a deployment
+	// choice (weighting), not a config typo.
+	if _, err := ParseBackends("a=http://h1,b=http://h1"); err != nil {
+		t.Errorf("shared URL rejected: %v", err)
+	}
+}
+
+// MovedKeys is the membership-change churn estimator: identical rings
+// move nothing, adding one node to k moves about 1/(k+1) of the keys,
+// and the sample is deterministic call to call.
+func TestMovedKeysEstimatesChurn(t *testing.T) {
+	r2, err := NewRing([]string{"b0", "b1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := NewRing([]string{"b0", "b1", "b2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4096
+	if moved := MovedKeys(r2, r2, n); moved != 0 {
+		t.Fatalf("identical rings moved %d keys", moved)
+	}
+	moved := MovedKeys(r2, r3, n)
+	if moved == 0 || moved > n/2 {
+		t.Fatalf("2->3 backends moved %d/%d keys, want roughly a third", moved, n)
+	}
+	if again := MovedKeys(r2, r3, n); again != moved {
+		t.Fatalf("estimate not deterministic: %d then %d", moved, again)
 	}
 }

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"igpart/internal/obs"
+)
+
+// StandbyConfig configures a warm-standby coordinator.
+type StandbyConfig struct {
+	// Path is the journal shared with (or replicated from) the leader.
+	Path string
+	// Owner is this process's lease identity (LeaseOwnerID()).
+	Owner string
+	// TTL is the lease horizon written at takeover and the patience
+	// granted to a journal with no lease at all. Default DefaultLeaseTTL.
+	TTL time.Duration
+	// Poll is the journal tail cadence. Default 100ms.
+	Poll time.Duration
+	// Metrics receives standby gauges and counters; nil disables.
+	Metrics *obs.Registry
+}
+
+// StandbyStatus is a point-in-time view of the standby for /readyz.
+type StandbyStatus struct {
+	Lease      Lease
+	HasLease   bool
+	Records    int
+	Unfinished int
+}
+
+// Standby is the warm spare: it tails the shared journal keeping the
+// replay set a takeover would need, and claims leadership the moment
+// the leader's lease stops being renewed. Tailing is incremental — a
+// poll reads only the bytes appended since the last one — with a full
+// rebuild whenever the file shrinks or stops parsing mid-stream, which
+// is what the leader's boot-time compaction (rename-over with a new,
+// smaller file) looks like from a reader holding a byte offset.
+type Standby struct {
+	cfg StandbyConfig
+
+	// mu guards the tail state: Run's goroutine writes it, Status (the
+	// /readyz handler) reads it concurrently.
+	mu   sync.Mutex
+	recs []Record
+	off  int64
+}
+
+// NewStandby builds a standby tailer; call Run to start it.
+func NewStandby(cfg StandbyConfig) *Standby {
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultLeaseTTL
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 100 * time.Millisecond
+	}
+	return &Standby{cfg: cfg}
+}
+
+// Status reports the standby's current view of the journal.
+func (s *Standby) Status() StandbyStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StandbyStatus{Records: len(s.recs), Unfinished: len(Unfinished(s.recs))}
+	st.Lease, st.HasLease = LatestLease(s.recs)
+	return st
+}
+
+// reset drops the tail state so the next refresh re-reads from byte 0.
+func (s *Standby) reset() {
+	s.mu.Lock()
+	s.recs, s.off = nil, 0
+	s.mu.Unlock()
+	s.cfg.Metrics.Counter("cluster.standby.resets").Add(1)
+}
+
+// refresh tails newly appended records. Returns false when the file
+// had to be reset (caller may refresh again immediately).
+func (s *Standby) refresh() bool {
+	f, err := os.Open(s.cfg.Path)
+	if err != nil {
+		return true // nothing there yet (or transiently unreadable)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return true
+	}
+	s.mu.Lock()
+	off := s.off
+	s.mu.Unlock()
+	if st.Size() < off {
+		// The file shrank: compaction renamed a smaller journal over the
+		// path. Rebuild from the start.
+		s.reset()
+		return false
+	}
+	if st.Size() == off {
+		return true
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return true
+	}
+	recs, n, err := scanJournal(f)
+	if err != nil {
+		// Our offset landed mid-record in a rewritten file.
+		s.reset()
+		return false
+	}
+	s.mu.Lock()
+	s.recs = append(s.recs, recs...)
+	s.off = off + n
+	total, unfinished := len(s.recs), len(Unfinished(s.recs))
+	s.mu.Unlock()
+	s.cfg.Metrics.Gauge("cluster.standby.records").Set(float64(total))
+	s.cfg.Metrics.Gauge("cluster.standby.unfinished").Set(float64(unfinished))
+	return true
+}
+
+// Run tails the journal until leadership is takeable, then takes it.
+// It returns the open journal, the warm replay records, and the new
+// lease — the caller boots a Coordinator from them exactly as a fresh
+// leader would. Run blocks until takeover or ctx cancellation.
+func (s *Standby) Run(ctx context.Context) (*Journal, []Record, Lease, error) {
+	start := time.Now()
+	for {
+		if !s.refresh() {
+			s.refresh() // reread immediately after a compaction reset
+		}
+		lease, haveLease := LatestLease(s.snapshot())
+		now := time.Now()
+		takeable := false
+		switch {
+		case haveLease && lease.Expired(now):
+			takeable = true
+		case haveLease:
+			// Unexpired lease — but a gracefully-stopped leader releases
+			// its lock early, and that is takeable without waiting.
+			if _, err := os.Stat(LockPath(s.cfg.Path)); os.IsNotExist(err) {
+				takeable = true
+			}
+		case now.Sub(start) >= s.cfg.TTL:
+			// No lease at all after a full TTL of watching: a cold journal
+			// with no leader. Claim it.
+			takeable = true
+		}
+		if takeable {
+			j, recs, l, err := TakeLeadership(s.cfg.Path, s.cfg.Owner, s.cfg.TTL)
+			switch {
+			case err == nil:
+				s.cfg.Metrics.Counter("cluster.standby.takeovers").Add(1)
+				return j, recs, l, nil
+			case errors.Is(err, ErrLeaseHeld):
+				// Lost the race, or the leader came back between our read
+				// and the claim. Keep tailing.
+			default:
+				return nil, nil, Lease{}, err
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, nil, Lease{}, ctx.Err()
+		case <-time.After(s.cfg.Poll):
+		}
+	}
+}
+
+func (s *Standby) snapshot() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recs
+}

@@ -58,11 +58,22 @@ const (
 	// source, simulating a failed read. Exercises transient-error
 	// surfacing (HTTP 503, not 400).
 	IOReadErr Point = "io.read-err"
+	// CoordCrash fires in the coordinator right after a job is journaled
+	// but before any backend sees it — the coordinator then dies
+	// crash-style (intake closed, runners aborted, nothing journaled as
+	// done). Exercises standby takeover and journal replay: the accepted
+	// set must resurface under its original IDs.
+	CoordCrash Point = "coord.crash"
+	// JournalWriteErr fires inside a journal append, failing the write
+	// before it reaches disk. Exercises the accept-before-acknowledge
+	// contract (submission rejected, client retries) and lease-renewal
+	// resilience.
+	JournalWriteErr Point = "journal.write-err"
 )
 
 // Points lists every known injection point in stable order.
 func Points() []Point {
-	return []Point{WorkerPanic, EigenNoConverge, SweepSlowShard, CacheEvictStorm, IOReadErr}
+	return []Point{WorkerPanic, EigenNoConverge, SweepSlowShard, CacheEvictStorm, IOReadErr, CoordCrash, JournalWriteErr}
 }
 
 func knownPoint(p Point) bool {
